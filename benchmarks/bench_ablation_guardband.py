@@ -1,0 +1,62 @@
+"""Experiment A2 -- ablation: guard-band width (Section 4.2).
+
+Sweeps the guard-band half-width ``delta`` for a fixed elimination on
+both devices.  Expected trade-off: wider guard bands trap more
+borderline devices (higher retest cost) but cut confident-prediction
+errors; ``delta = 0`` exposes the raw model error the guard band is
+designed to absorb.
+"""
+
+from benchmarks.harness import datasets, print_table, run_once
+from repro.core.compaction import TestCompactor as Compactor
+from repro.mems import tests_at_temperature
+
+#: Guard-band widths swept (fractions of the acceptability range).
+DELTAS = (0.0, 0.02, 0.05, 0.10)
+#: Fixed op-amp elimination (the redundancy found by Fig. 5).
+OPAMP_ELIMINATED = ("gain", "bw_3db", "ugf", "rise_time")
+
+
+def _sweep(train, test, eliminated):
+    rows = []
+    for delta in DELTAS:
+        compactor = Compactor(guard_band=delta)
+        _, report = compactor.evaluate_subset(train, test, eliminated)
+        rows.append((delta, 100 * report.yield_loss_rate,
+                     100 * report.defect_escape_rate,
+                     100 * report.guard_rate))
+    return rows
+
+
+def _check_tradeoff(rows):
+    # Guard population grows with delta...
+    guards = [row[3] for row in rows]
+    assert guards == sorted(guards)
+    # ...and the unguarded model (delta=0) has the largest total error.
+    errors = [row[1] + row[2] for row in rows]
+    assert errors[0] >= max(errors[1:]) - 1e-9
+
+
+def bench_ablation_guardband_opamp(benchmark):
+    """Guard-band sweep on the op-amp elimination."""
+    train, test = datasets("opamp")
+    rows = run_once(benchmark,
+                    lambda: _sweep(train, test, OPAMP_ELIMINATED))
+    print_table(
+        "Ablation A2: guard-band width (op-amp, {} eliminated)".format(
+            ", ".join(OPAMP_ELIMINATED)),
+        ["delta", "yield loss %", "defect escape %", "guard band %"],
+        rows)
+    _check_tradeoff(rows)
+
+
+def bench_ablation_guardband_mems(benchmark):
+    """Guard-band sweep on the MEMS hot+cold elimination."""
+    train, test = datasets("mems")
+    eliminated = tests_at_temperature(-40) + tests_at_temperature(80)
+    rows = run_once(benchmark, lambda: _sweep(train, test, eliminated))
+    print_table(
+        "Ablation A2: guard-band width (MEMS, hot+cold eliminated)",
+        ["delta", "yield loss %", "defect escape %", "guard band %"],
+        rows)
+    _check_tradeoff(rows)

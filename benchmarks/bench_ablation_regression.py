@@ -1,0 +1,108 @@
+"""Experiment A4 -- ablation: classification vs regression (Sec. 4.1).
+
+The paper argues that pass/fail analysis is a *classification* problem:
+earlier statistical-test work regressed each eliminated specification's
+value and thresholded it, which needs training data covering the whole
+multi-dimensional space rather than just the class boundary.
+
+The regression baseline here: ridge-regress every eliminated
+specification on the kept measurements, threshold the predictions
+against the acceptability ranges, and AND with the direct kept-range
+check.  It is compared with the paper's SVM classification (both
+without guard bands, to isolate the modeling question).
+"""
+
+import numpy as np
+
+from benchmarks.harness import datasets, print_table, run_once
+from repro.core.compaction import TestCompactor as Compactor
+from repro.core.metrics import evaluate_predictions
+from repro.learn import RidgeRegressor
+from repro.mems import tests_at_temperature
+
+
+def _regression_flow(train, test, eliminated):
+    """Predict eliminated spec values with ridge, then threshold."""
+    kept = [n for n in train.names if n not in set(eliminated)]
+    specs = train.specifications
+    kept_specs = specs.subset(kept)
+    elim_specs = specs.subset(eliminated)
+
+    X_train = train.normalized_values(kept)
+    Y_train = train.project(list(eliminated)).values
+    model = RidgeRegressor(alpha=1e-6).fit(X_train, Y_train)
+
+    X_test = test.normalized_values(kept)
+    predicted = model.predict(X_test)
+    elim_pass = elim_specs.passes(predicted).all(axis=1)
+    kept_pass = kept_specs.passes(test.project(kept).values).all(axis=1)
+    predictions = np.where(elim_pass & kept_pass, 1, -1)
+    return evaluate_predictions(test.labels, predictions)
+
+
+#: Training sizes for the data-efficiency sweep (the heart of the
+#: paper's Section 4.1 argument: classification needs boundary
+#: coverage only, regression needs space-filling coverage).
+TRAIN_SIZES = (50, 100, 300, 1000)
+
+
+def bench_ablation_regression_vs_classification(benchmark):
+    """Head-to-head on the MEMS hot+cold elimination (no guard band)."""
+    train, test = datasets("mems")
+    eliminated = tests_at_temperature(-40) + tests_at_temperature(80)
+
+    def sweep():
+        rows = []
+        for n in TRAIN_SIZES:
+            sub = train.subset(range(min(n, len(train))))
+            classifier = Compactor(guard_band=0.0)
+            _, svm_report = classifier.evaluate_subset(sub, test,
+                                                       eliminated)
+            ridge_report = _regression_flow(sub, test, eliminated)
+            rows.append((n, 100 * svm_report.error_rate,
+                         100 * ridge_report.error_rate))
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print_table(
+        "Ablation A4: classification vs regression error vs training "
+        "size (MEMS, hot+cold eliminated, no guard band)",
+        ["n_train", "SVM classification error %",
+         "ridge regression error %"],
+        rows)
+
+    # Both approaches end up plausible at full data; the *trend* is the
+    # result (see EXPERIMENTS.md for the measured discussion).
+    assert rows[-1][1] < 5.0
+    assert rows[-1][2] < 20.0
+
+
+def bench_ablation_regression_opamp(benchmark):
+    """Same head-to-head on the op-amp (11-D, nonlinear couplings)."""
+    train, test = datasets("opamp")
+    eliminated = ("gain", "bw_3db", "ugf", "rise_time")
+
+    def sweep():
+        rows = []
+        for n in TRAIN_SIZES:
+            sub = train.subset(range(min(n, len(train))))
+            classifier = Compactor(guard_band=0.0)
+            _, svm_report = classifier.evaluate_subset(sub, test,
+                                                       eliminated)
+            ridge_report = _regression_flow(sub, test, eliminated)
+            rows.append((n, 100 * svm_report.error_rate,
+                         100 * ridge_report.error_rate))
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print_table(
+        "Ablation A4b: classification vs regression error vs training "
+        "size (op-amp, gain/bw_3db/ugf/rise_time eliminated)",
+        ["n_train", "SVM classification error %",
+         "ridge regression error %"],
+        rows)
+    # Without guard bands this elimination is intrinsically errorful
+    # (~5-8 % for either model); the guard band of A2 is what brings it
+    # under 1 %.  Bound the raw model error loosely.
+    assert rows[-1][1] < 12.0
+    assert rows[-1][2] < 12.0

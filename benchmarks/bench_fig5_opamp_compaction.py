@@ -1,0 +1,47 @@
+"""Experiment F5 -- paper Fig. 5: op-amp compaction trend.
+
+Regenerates the figure's series: yield loss, defect escape and
+guard-band population as specification tests are examined (and mostly
+eliminated) left to right by the greedy loop.
+
+Expected shape (paper): errors stay near zero for the first several
+eliminated tests and grow slowly; the guard-band population stays
+roughly stable; about half of the eleven tests are redundant at an
+error tolerance around 1 %.
+"""
+
+from benchmarks.harness import datasets, print_table, run_once
+from repro import compact_specification_tests
+
+#: Error tolerance e_T used for the figure.
+TOLERANCE = 0.01
+#: Guard-band half-width (paper: 5 % of the acceptability ranges).
+GUARD = 0.05
+
+
+def bench_fig5_compaction_trend(benchmark):
+    """Run the greedy loop and print the per-test series of Fig. 5."""
+    train, test = datasets("opamp")
+
+    result = run_once(benchmark, lambda: compact_specification_tests(
+        train, test, tolerance=TOLERANCE, guard_band=GUARD))
+
+    rows = [(row["test"],
+             "eliminated" if row["eliminated"] else "kept",
+             row["yield_loss_pct"], row["defect_escape_pct"],
+             row["guard_pct"])
+            for row in result.history_table()]
+    print_table(
+        "Fig. 5: errors vs cumulatively eliminated op-amp tests "
+        "(e_T={:.0%}, guard={:.0%})".format(TOLERANCE, GUARD),
+        ["test", "decision", "yield loss %", "defect escape %",
+         "guard band %"],
+        rows)
+    print("\nFinal compacted set ({} of {} tests kept): {}".format(
+        len(result.kept), len(train.names), ", ".join(result.kept)))
+    print("Final model: {}".format(result.final_report.summary()))
+
+    # Shape assertions: meaningful compaction at controlled error.
+    assert len(result.eliminated) >= 3
+    assert result.final_report.error_rate <= TOLERANCE + 1e-9
+    assert result.final_report.yield_loss_rate <= 0.01

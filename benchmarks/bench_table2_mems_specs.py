@@ -1,0 +1,38 @@
+"""Experiment T2 -- paper Table 2: accelerometer specifications.
+
+Regenerates the accelerometer specification table by measuring the
+nominal design at all three temperatures, and reports the Monte-Carlo
+yields (paper: 77.4 % train / 79.3 % test).
+"""
+
+from benchmarks.harness import datasets, print_table, run_once
+from repro.mems import MEMS_SPECIFICATIONS, measure_accelerometer
+
+
+def bench_table2_nominal_specs(benchmark):
+    """Measure the nominal accelerometer; print the Table 2 rows."""
+    values = run_once(benchmark, measure_accelerometer)
+
+    rows = []
+    for spec in MEMS_SPECIFICATIONS:
+        rows.append((spec.name, spec.unit, values[spec.name],
+                     "{:g} .. {:g}".format(spec.low, spec.high)))
+    print_table(
+        "Table 2: accelerometer specifications at -40/27/80 C",
+        ["test", "unit", "measured nominal", "range"],
+        rows)
+
+    for spec in MEMS_SPECIFICATIONS:
+        assert spec.contains(values[spec.name]), spec.name
+
+
+def bench_table2_population_yields(benchmark):
+    """Report yields (paper: 77.4 % train / 79.3 % test)."""
+    train, test = run_once(benchmark, lambda: datasets("mems"))
+    print_table(
+        "Table 2 companion: population yields",
+        ["population", "instances", "yield %"],
+        [("train", len(train), 100 * train.yield_fraction),
+         ("test", len(test), 100 * test.yield_fraction)])
+    assert 0.65 < train.yield_fraction < 0.90
+    assert 0.65 < test.yield_fraction < 0.90

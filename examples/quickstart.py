@@ -1,0 +1,52 @@
+"""Quickstart: compact the op-amp specification test set.
+
+Generates a small Monte-Carlo population of two-stage op-amps with the
+built-in MNA circuit simulator, measures all eleven specifications of
+each instance (paper Table 1), then runs the statistical-learning test
+compaction of paper Fig. 2 and reports which specification tests are
+redundant.
+
+Run:
+    python examples/quickstart.py [n_train] [n_test]
+
+The default sizes keep the runtime around a minute; the paper-scale
+experiment (5000/1000) lives in benchmarks/.
+"""
+
+import sys
+
+from repro import compact_specification_tests
+from repro.opamp import OpAmpBench
+
+
+def main():
+    n_train = int(sys.argv[1]) if len(sys.argv) > 1 else 400
+    n_test = int(sys.argv[2]) if len(sys.argv) > 2 else 200
+
+    bench = OpAmpBench()
+    print("Simulating {} training + {} test op-amp instances "
+          "(11 specification measurements each)...".format(n_train, n_test))
+    train = bench.generate_dataset(n_train, seed=1)
+    test = bench.generate_dataset(n_test, seed=2)
+    print("  training yield: {:.1%}   test yield: {:.1%}".format(
+        train.yield_fraction, test.yield_fraction))
+
+    print("\nRunning greedy specification test compaction "
+          "(tolerance e_T = 1%, guard band 5%)...")
+    result = compact_specification_tests(
+        train, test, tolerance=0.01, guard_band=0.05)
+
+    print()
+    print(result.summary())
+    print("\nPer-test history (cumulative candidate-model metrics):")
+    print("{:<16} {:>6} {:>8} {:>8} {:>8}".format(
+        "test", "kept?", "YL %", "DE %", "guard %"))
+    for row in result.history_table():
+        print("{:<16} {:>6} {:>8.2f} {:>8.2f} {:>8.2f}".format(
+            row["test"], "no" if row["eliminated"] else "yes",
+            row["yield_loss_pct"], row["defect_escape_pct"],
+            row["guard_pct"]))
+
+
+if __name__ == "__main__":
+    main()

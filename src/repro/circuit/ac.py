@@ -1,0 +1,105 @@
+"""Small-signal AC (frequency-domain) analysis.
+
+The circuit is linearized around a DC operating point: nonlinear
+devices contribute their small-signal conductances (``gm``, ``gds``,
+junction conductance) and reactive devices contribute ``j*omega``
+admittances.  Independent sources contribute their AC amplitudes; the
+DC values are irrelevant here because the analysis solves for
+small-signal deviations.
+"""
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+
+class ACResult:
+    """Frequency sweep result: complex node voltages vs frequency."""
+
+    def __init__(self, circuit, freqs, X):
+        self._circuit = circuit
+        #: Array of analysis frequencies in Hz.
+        self.freqs = freqs
+        self._X = X  # shape (n_freqs, n_unknowns), complex
+
+    def v(self, node):
+        """Complex voltage phasor array for ``node`` across the sweep."""
+        idx = self._circuit.node_id(node)
+        if idx < 0:
+            return np.zeros(len(self.freqs), dtype=complex)
+        return self._X[:, idx]
+
+    def branch_current(self, device_name):
+        """Complex branch-current phasor array for an aux-carrying device."""
+        device = self._circuit.device(device_name)
+        if device.aux is None:
+            raise AnalysisError(
+                "device {!r} has no branch-current unknown".format(device_name))
+        return self._X[:, device.aux]
+
+    def transfer(self, out_node, in_node):
+        """Complex transfer function ``V(out)/V(in)`` across the sweep."""
+        vin = self.v(in_node)
+        if np.any(vin == 0):
+            raise AnalysisError(
+                "input node {!r} has zero AC voltage; cannot form "
+                "transfer function".format(in_node))
+        return self.v(out_node) / vin
+
+    def __repr__(self):
+        return "ACResult({} frequencies)".format(len(self.freqs))
+
+
+def solve_ac(circuit, freqs, op):
+    """Run an AC sweep of ``circuit`` linearized at operating point ``op``.
+
+    Parameters
+    ----------
+    circuit:
+        The circuit to analyze.
+    freqs:
+        Iterable of analysis frequencies in Hz (must be positive).
+    op:
+        A :class:`~repro.circuit.dc.DCResult` from :func:`solve_dc` on
+        the *same* circuit, providing the linearization point.
+
+    Returns
+    -------
+    ACResult
+    """
+    circuit.compile()
+    freqs = np.asarray(list(freqs), dtype=float)
+    if freqs.size == 0:
+        raise AnalysisError("AC analysis needs at least one frequency")
+    if np.any(freqs <= 0):
+        raise AnalysisError("AC analysis frequencies must be positive")
+
+    n = circuit.n_unknowns
+    linear, nonlinear, reactive = circuit.partition()
+
+    # Frequency-independent part: static stamps + linearized devices.
+    G_base = np.zeros((n, n), dtype=complex)
+    b = np.zeros(n, dtype=complex)
+    for device in circuit.devices:
+        device.stamp_static(G_base)
+        device.stamp_ac_linearized(G_base, op.x)
+    # AC source amplitudes (right-hand side) are frequency independent.
+    for device in circuit.devices:
+        if not device.reactive:
+            device.stamp_ac(G_base, b, 0.0)
+    # Careful: non-reactive stamp_ac implementations only touch b.
+
+    X = np.empty((freqs.size, n), dtype=complex)
+    dummy_b = np.zeros(n, dtype=complex)
+    for k, f in enumerate(freqs):
+        omega = 2.0 * np.pi * f
+        G = G_base.copy()
+        for device in reactive:
+            device.stamp_ac(G, dummy_b, omega)
+        try:
+            X[k] = np.linalg.solve(G, b)
+        except np.linalg.LinAlgError:
+            raise AnalysisError(
+                "singular AC system at {:g} Hz in {!r}".format(
+                    f, circuit.title)) from None
+    return ACResult(circuit, freqs, X)

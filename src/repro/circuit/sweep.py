@@ -1,0 +1,105 @@
+"""DC sweep analysis: solve the operating point across a source sweep.
+
+Used for transfer curves (e.g. the op-amp's DC input-output
+characteristic and systematic offset) and for bias-point exploration.
+Each sweep point warm-starts Newton-Raphson from the previous solution,
+which makes sweeps across nonlinear transitions fast and robust --
+the same continuation idea as the homotopy fallbacks in
+:mod:`repro.circuit.dc`.
+"""
+
+import numpy as np
+
+from repro.circuit.dc import DCResult, solve_dc
+from repro.circuit.devices import Dc, VoltageSource, CurrentSource
+from repro.errors import AnalysisError, ConvergenceError
+
+
+class DCSweepResult:
+    """Solutions of a DC sweep: one operating point per sweep value."""
+
+    def __init__(self, circuit, sweep_values, X):
+        self._circuit = circuit
+        #: The swept source values.
+        self.values = sweep_values
+        self._X = X  # (n_points, n_unknowns)
+
+    def v(self, node):
+        """Voltage waveform of ``node`` across the sweep."""
+        idx = self._circuit.node_id(node)
+        if idx < 0:
+            return np.zeros(len(self.values))
+        return self._X[:, idx]
+
+    def branch_current(self, device_name):
+        """Branch current of an aux-carrying device across the sweep."""
+        device = self._circuit.device(device_name)
+        if device.aux is None:
+            raise AnalysisError(
+                "device {!r} has no branch-current unknown".format(
+                    device_name))
+        return self._X[:, device.aux]
+
+    def operating_point(self, index):
+        """The full :class:`~repro.circuit.dc.DCResult` at one point."""
+        return DCResult(self._circuit, self._X[index].copy(), 0)
+
+    def __repr__(self):
+        return "DCSweepResult({} points)".format(len(self.values))
+
+
+def sweep_dc(circuit, source_name, values, max_iter=120):
+    """Solve the DC operating point for each value of a swept source.
+
+    Parameters
+    ----------
+    circuit:
+        The circuit to solve.
+    source_name:
+        Name of an independent voltage or current source whose DC value
+        is swept.  The source must carry a plain DC waveform (sweeping
+        a pulse/sine source would be ambiguous).
+    values:
+        Iterable of source values.  Ordering matters: each point seeds
+        the next, so monotone sweeps converge fastest.
+    max_iter:
+        Per-point Newton iteration limit.
+
+    Returns
+    -------
+    DCSweepResult
+
+    Notes
+    -----
+    The swept source's DC value is restored after the sweep, so the
+    circuit can be reused for other analyses.
+    """
+    device = circuit.device(source_name)
+    if not isinstance(device, (VoltageSource, CurrentSource)):
+        raise AnalysisError(
+            "{!r} is not an independent source".format(source_name))
+    if not isinstance(device.wave, Dc):
+        raise AnalysisError(
+            "swept source {!r} must carry a plain DC value".format(
+                source_name))
+    values = np.asarray(list(values), dtype=float)
+    if values.size == 0:
+        raise AnalysisError("DC sweep needs at least one value")
+
+    original = device.wave.dc
+    circuit.compile()
+    X = np.empty((values.size, circuit.n_unknowns))
+    x_seed = None
+    try:
+        for k, value in enumerate(values):
+            device.wave.dc = float(value)
+            try:
+                op = solve_dc(circuit, x0=x_seed, max_iter=max_iter)
+            except ConvergenceError:
+                # Retry cold with the full homotopy arsenal.
+                op = solve_dc(circuit, max_iter=max_iter)
+            X[k] = op.x
+            x_seed = op.x
+    finally:
+        device.wave.dc = original
+    return DCSweepResult(circuit, values, X)

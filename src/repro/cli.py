@@ -1,0 +1,167 @@
+"""Command-line entry point: run the paper's experiments from a shell.
+
+::
+
+    python -m repro.cli table1            # op-amp specification table
+    python -m repro.cli table3 --train 500
+    python -m repro.cli fig5 --tolerance 0.02
+    python -m repro.cli cost
+
+Each subcommand simulates its Monte-Carlo populations on the fly (no
+cache) at a CLI-chosen scale, runs the corresponding experiment and
+prints the same rows the paper reports.  For the cached, asserted
+variants use ``pytest benchmarks/ --benchmark-only``.
+"""
+
+import argparse
+import sys
+
+from repro import compact_specification_tests
+
+
+def _print_rows(header, rows):
+    widths = [max(len(str(h)), 12) for h in header]
+    print("  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        cells = []
+        for value, w in zip(row, widths):
+            if isinstance(value, float):
+                cells.append("{:.3f}".format(value).ljust(w))
+            else:
+                cells.append(str(value).ljust(w))
+        print("  ".join(cells))
+
+
+def cmd_table1(args):
+    """Measure the nominal op-amp and print Table 1."""
+    from repro.opamp import OPAMP_SPECIFICATIONS, measure_opamp
+
+    values = measure_opamp()
+    _print_rows(["specification", "unit", "nominal", "range"],
+                [(s.name, s.unit, values[s.name],
+                  "{:g} .. {:g}".format(s.low, s.high))
+                 for s in OPAMP_SPECIFICATIONS])
+    return 0
+
+
+def cmd_table2(args):
+    """Measure the nominal accelerometer and print Table 2."""
+    from repro.mems import MEMS_SPECIFICATIONS, measure_accelerometer
+
+    values = measure_accelerometer()
+    _print_rows(["test", "unit", "nominal", "range"],
+                [(s.name, s.unit, values[s.name],
+                  "{:g} .. {:g}".format(s.low, s.high))
+                 for s in MEMS_SPECIFICATIONS])
+    return 0
+
+
+def cmd_fig5(args):
+    """Greedy op-amp compaction trend (Fig. 5)."""
+    from repro.opamp import OpAmpBench
+
+    bench = OpAmpBench()
+    print("Simulating {} + {} op-amp instances...".format(
+        args.train, args.test), file=sys.stderr)
+    train = bench.generate_dataset(args.train, seed=args.seed)
+    test = bench.generate_dataset(args.test, seed=args.seed + 1)
+    result = compact_specification_tests(
+        train, test, tolerance=args.tolerance, guard_band=args.guard)
+    _print_rows(["test", "decision", "YL %", "DE %", "guard %"],
+                [(r["test"],
+                  "eliminated" if r["eliminated"] else "kept",
+                  r["yield_loss_pct"], r["defect_escape_pct"],
+                  r["guard_pct"])
+                 for r in result.history_table()])
+    print()
+    print(result.summary())
+    return 0
+
+
+def cmd_table3(args):
+    """MEMS temperature-test elimination (Table 3)."""
+    from repro.core.compaction import TestCompactor
+    from repro.mems import AccelerometerBench, tests_at_temperature
+
+    bench = AccelerometerBench()
+    print("Simulating {} + {} accelerometer instances...".format(
+        args.train, args.test), file=sys.stderr)
+    train = bench.generate_dataset(args.train, seed=args.seed)
+    test = bench.generate_dataset(args.test, seed=args.seed + 1)
+    compactor = TestCompactor(guard_band=args.guard)
+    cold = tests_at_temperature(-40)
+    hot = tests_at_temperature(80)
+    rows = []
+    for label, eliminated in (("-40", cold), ("80", hot),
+                              ("both", cold + hot)):
+        _, report = compactor.evaluate_subset(train, test, eliminated)
+        rows.append((label, 100 * report.defect_escape_rate,
+                     100 * report.yield_loss_rate,
+                     100 * report.guard_rate))
+    _print_rows(["eliminated", "DE %", "YL %", "guard %"], rows)
+    return 0
+
+
+def cmd_cost(args):
+    """Accelerometer cost-reduction headline."""
+    from repro.core.compaction import TestCompactor
+    from repro.core.costmodel import TestCostModel
+    from repro.mems import (
+        TEMPERATURES, AccelerometerBench, tests_at_temperature,
+    )
+    from repro.tester import LookupTable, TestProgram
+
+    bench = AccelerometerBench()
+    train = bench.generate_dataset(args.train, seed=args.seed)
+    test = bench.generate_dataset(args.test, seed=args.seed + 1)
+    eliminated = tests_at_temperature(-40) + tests_at_temperature(80)
+    model, _ = TestCompactor(guard_band=args.guard).evaluate_subset(
+        train, test, eliminated)
+
+    costs, groups = {}, {}
+    for temp in TEMPERATURES:
+        for name in tests_at_temperature(temp):
+            costs[name] = 1.0
+            groups[name] = "{:g}C".format(temp)
+    cost_model = TestCostModel(costs, groups,
+                               {"-40C": 25.0, "27C": 2.0, "80C": 25.0})
+    outcome = TestProgram(LookupTable(model), cost_model).run(test)
+    print(outcome.summary())
+    return 0
+
+
+def build_parser():
+    """Construct the argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add(name, fn, **defaults):
+        p = sub.add_parser(name, help=fn.__doc__)
+        p.add_argument("--train", type=int,
+                       default=defaults.get("train", 600))
+        p.add_argument("--test", type=int,
+                       default=defaults.get("test", 400))
+        p.add_argument("--seed", type=int, default=1)
+        p.add_argument("--tolerance", type=float, default=0.01)
+        p.add_argument("--guard", type=float,
+                       default=defaults.get("guard", 0.05))
+        p.set_defaults(func=fn)
+
+    add("table1", cmd_table1)
+    add("table2", cmd_table2)
+    add("fig5", cmd_fig5)
+    add("table3", cmd_table3, guard=0.03, train=1000, test=1000)
+    add("cost", cmd_cost, guard=0.03, train=1000, test=1000)
+    return parser
+
+
+def main(argv=None):
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,66 @@
+"""The paper's core contribution: specification test compaction.
+
+Modules
+-------
+
+:mod:`repro.core.specs`
+    Specifications, acceptability ranges and pass/fail analysis
+    (paper Section 2.1).
+:mod:`repro.core.compaction`
+    The greedy statistical-learning test-set pruning loop
+    (paper Section 3.2, Fig. 2).
+:mod:`repro.core.guardband`
+    Two-model guard-banded classification (paper Section 4.2).
+:mod:`repro.core.grid`
+    Grid-based training-data compaction (paper Section 4.3).
+:mod:`repro.core.ordering`
+    Test-ordering strategies for the greedy loop (paper Section 3.2).
+:mod:`repro.core.metrics`
+    Yield loss / defect escape / guard-band accounting.
+:mod:`repro.core.costmodel`
+    Test-cost model quantifying the savings of compaction.
+:mod:`repro.core.pipeline`
+    One-call high-level API tying everything together.
+"""
+
+from repro.core.specs import Specification, SpecificationSet
+from repro.core.compaction import CompactionResult, CompactionStep, TestCompactor
+from repro.core.guardband import (
+    AutoTunedSVCFactory,
+    GuardBandedClassifier,
+    MarginGuardClassifier,
+    distribution_guard_deltas,
+)
+from repro.core.grid import GridCompactor
+from repro.core.metrics import GUARD, ClassificationReport, evaluate_predictions
+from repro.core.ordering import (
+    ClassificationPowerOrder,
+    ClusterOrder,
+    FunctionalOrder,
+    RandomOrder,
+)
+from repro.core.costmodel import TestCostModel
+from repro.core.pipeline import CompactionPipeline, compact_specification_tests
+
+__all__ = [
+    "Specification",
+    "SpecificationSet",
+    "TestCompactor",
+    "CompactionResult",
+    "CompactionStep",
+    "GuardBandedClassifier",
+    "AutoTunedSVCFactory",
+    "distribution_guard_deltas",
+    "MarginGuardClassifier",
+    "GUARD",
+    "GridCompactor",
+    "ClassificationReport",
+    "evaluate_predictions",
+    "FunctionalOrder",
+    "ClassificationPowerOrder",
+    "ClusterOrder",
+    "RandomOrder",
+    "TestCostModel",
+    "CompactionPipeline",
+    "compact_specification_tests",
+]

@@ -1,0 +1,90 @@
+"""Test cost modeling (paper Section 6 "future work", implemented).
+
+Quantifies the production-test cost of a (compacted) specification
+test set.  Two cost components are modeled:
+
+* a **per-test cost** for applying each specification test (setup,
+  stimulus, measurement);
+* a **per-group fixture cost** incurred once whenever *any* test of a
+  group is applied -- the natural model for the MEMS temperature
+  tests, where heating or cooling the chip to steady state dominates
+  and is paid once per temperature insertion, regardless of how many
+  specifications are then measured at that temperature.
+
+With a realistic soak-to-measurement cost ratio, eliminating the hot
+and cold insertions reduces accelerometer test cost by more than half,
+reproducing the paper's headline claim.
+"""
+
+from repro.errors import CompactionError
+
+
+class TestCostModel:
+    """Cost accounting for specification test sets.
+
+    Parameters
+    ----------
+    test_costs:
+        Mapping from test name to its per-application cost.
+    groups:
+        Optional mapping from test name to a group key (e.g. the test
+        temperature).  Tests without a group incur no fixture cost.
+    group_costs:
+        Mapping from group key to the fixture cost paid once whenever
+        at least one member test is applied.
+    """
+
+    def __init__(self, test_costs, groups=None, group_costs=None):
+        self.test_costs = dict(test_costs)
+        if not self.test_costs:
+            raise CompactionError("test_costs must not be empty")
+        for name, cost in self.test_costs.items():
+            if cost < 0:
+                raise CompactionError(
+                    "negative cost for test {!r}".format(name))
+        self.groups = dict(groups or {})
+        self.group_costs = dict(group_costs or {})
+        unknown = set(self.groups) - set(self.test_costs)
+        if unknown:
+            raise CompactionError(
+                "groups reference unknown tests: {}".format(sorted(unknown)))
+        for group in set(self.groups.values()):
+            if group not in self.group_costs:
+                raise CompactionError(
+                    "group {!r} has no cost entry".format(group))
+
+    @classmethod
+    def uniform(cls, names, cost=1.0):
+        """Equal cost for every test, no fixture groups."""
+        return cls({name: cost for name in names})
+
+    def cost(self, applied_tests):
+        """Total cost of applying exactly ``applied_tests``."""
+        applied = list(applied_tests)
+        unknown = set(applied) - set(self.test_costs)
+        if unknown:
+            raise CompactionError(
+                "unknown test(s): {}".format(sorted(unknown)))
+        total = sum(self.test_costs[name] for name in applied)
+        active_groups = {self.groups[name] for name in applied
+                         if name in self.groups}
+        total += sum(self.group_costs[g] for g in active_groups)
+        return total
+
+    def full_cost(self):
+        """Cost of the complete specification test set."""
+        return self.cost(self.test_costs.keys())
+
+    def reduction(self, kept_tests):
+        """Fractional cost saving of a compacted set vs the full set.
+
+        0.55 means the compacted test set costs 55 % less.
+        """
+        full = self.full_cost()
+        if full <= 0:
+            raise CompactionError("full test set has non-positive cost")
+        return 1.0 - self.cost(kept_tests) / full
+
+    def __repr__(self):
+        return "TestCostModel({} tests, {} groups)".format(
+            len(self.test_costs), len(set(self.groups.values())))

@@ -1,0 +1,111 @@
+"""Grid-based training-data compaction (paper Section 4.3).
+
+Building a statistical model from a very large training set is slow.
+The paper compresses the set by overlaying a grid on the (normalized)
+specification space:
+
+* grid cells containing **both** good and bad instances -- i.e. cells
+  straddling the classification boundary -- keep all of their raw
+  instances;
+* *pure* cells (only good or only bad) are merged into a single
+  instance at the cell's center point carrying the common label.
+
+Classification only needs accurate coverage near the class boundary
+(Section 4.1), so this preserves model quality while shrinking the
+training set dramatically.
+"""
+
+import numpy as np
+
+from repro.core.specs import BAD, GOOD
+from repro.errors import CompactionError
+
+
+class GridCompactor:
+    """Compress a labeled training set on a regular grid.
+
+    Parameters
+    ----------
+    resolution:
+        Number of grid divisions per dimension across the normalized
+        [0, 1] acceptability window.  Values outside [0, 1] fall into
+        outer cells via floor indexing, so out-of-range (bad) devices
+        are compacted too.
+    """
+
+    def __init__(self, resolution=8):
+        resolution = int(resolution)
+        if resolution < 1:
+            raise CompactionError("grid resolution must be >= 1")
+        self.resolution = resolution
+
+    def cell_indices(self, X_normalized):
+        """Integer grid coordinates of each (normalized) row."""
+        X = np.asarray(X_normalized, dtype=float)
+        if X.ndim != 2:
+            raise CompactionError("expected a 2-D feature matrix")
+        return np.floor(X * self.resolution).astype(np.int64)
+
+    def cell_center(self, cell):
+        """Normalized-space center point of an integer grid cell."""
+        return (np.asarray(cell, dtype=float) + 0.5) / self.resolution
+
+    def compact(self, X_normalized, labels):
+        """Return ``(X_compact, labels_compact, info)``.
+
+        ``info`` is a dict with ``n_cells``, ``n_mixed_cells``,
+        ``n_pure_cells`` and ``compression`` (output/input size ratio).
+        """
+        X = np.asarray(X_normalized, dtype=float)
+        labels = np.asarray(labels)
+        if labels.shape != (X.shape[0],):
+            raise CompactionError("labels shape mismatch")
+        if not np.all(np.isin(labels, (GOOD, BAD))):
+            raise CompactionError("labels must be +1/-1")
+        if X.shape[0] == 0:
+            raise CompactionError("cannot compact an empty training set")
+
+        cells = self.cell_indices(X)
+        # Group rows by cell via lexicographic sorting.
+        order = np.lexsort(cells.T[::-1])
+        sorted_cells = cells[order]
+        boundaries = np.flatnonzero(
+            np.any(np.diff(sorted_cells, axis=0) != 0, axis=1)) + 1
+        groups = np.split(order, boundaries)
+
+        keep_rows = []
+        centers = []
+        center_labels = []
+        n_mixed = 0
+        for group in groups:
+            group_labels = labels[group]
+            has_good = np.any(group_labels == GOOD)
+            has_bad = np.any(group_labels == BAD)
+            if has_good and has_bad:
+                n_mixed += 1
+                keep_rows.extend(group.tolist())
+            else:
+                centers.append(self.cell_center(cells[group[0]]))
+                center_labels.append(GOOD if has_good else BAD)
+
+        parts_X = []
+        parts_y = []
+        if keep_rows:
+            keep_rows = np.asarray(keep_rows)
+            parts_X.append(X[keep_rows])
+            parts_y.append(labels[keep_rows])
+        if centers:
+            parts_X.append(np.asarray(centers))
+            parts_y.append(np.asarray(center_labels))
+        X_out = np.vstack(parts_X)
+        y_out = np.concatenate(parts_y)
+        info = {
+            "n_cells": len(groups),
+            "n_mixed_cells": n_mixed,
+            "n_pure_cells": len(groups) - n_mixed,
+            "compression": X_out.shape[0] / X.shape[0],
+        }
+        return X_out, y_out, info
+
+    def __repr__(self):
+        return "GridCompactor(resolution={})".format(self.resolution)

@@ -1,0 +1,144 @@
+"""Test-ordering strategies for the greedy compaction loop.
+
+The greedy pruning of paper Fig. 2 examines tests one at a time, so the
+quality of the final compacted set depends on the examination order.
+Section 3.2 sketches three approaches, all implemented here:
+
+* :class:`FunctionalOrder` -- a fixed order from device-functionality
+  analysis ("in our case, we analyze device functionality to decide the
+  order of the tests") -- the user supplies the list;
+* :class:`ClassificationPowerOrder` -- "assessing the number of
+  training instances successfully classified by each specification":
+  tests whose specification uniquely rejects few devices are examined
+  (and thus likely eliminated) first;
+* :class:`ClusterOrder` -- "clustering specifications based on an
+  estimate of their mutual dependence": strongly correlated
+  specifications are redundant, so non-representative members of each
+  correlation cluster are examined first;
+* :class:`RandomOrder` -- a seeded random baseline.
+"""
+
+import numpy as np
+
+from repro.errors import CompactionError
+
+
+class OrderingStrategy:
+    """Base class: decide the order in which tests are examined."""
+
+    def order(self, dataset):
+        """Return a tuple of specification names (all of them, once)."""
+        raise NotImplementedError
+
+    @staticmethod
+    def _validate(names, dataset):
+        expected = set(dataset.names)
+        got = list(names)
+        if set(got) != expected or len(got) != len(expected):
+            raise CompactionError(
+                "ordering must be a permutation of the specification "
+                "names; got {}".format(got))
+        return tuple(got)
+
+
+class FunctionalOrder(OrderingStrategy):
+    """A fixed, user-supplied examination order (the paper's choice)."""
+
+    def __init__(self, names):
+        self._names = tuple(names)
+
+    def order(self, dataset):
+        return self._validate(self._names, dataset)
+
+
+class RandomOrder(OrderingStrategy):
+    """A seeded uniformly random permutation (baseline)."""
+
+    def __init__(self, seed=0):
+        self.seed = seed
+
+    def order(self, dataset):
+        rng = np.random.default_rng(self.seed)
+        names = list(dataset.names)
+        rng.shuffle(names)
+        return tuple(names)
+
+
+class ClassificationPowerOrder(OrderingStrategy):
+    """Order by how many instances each specification uniquely rejects.
+
+    For each specification, count the training instances that fail
+    *only* that specification -- devices whose pass/fail outcome this
+    single test uniquely decides.  Tests with a low unique-rejection
+    count carry little exclusive information and are examined first.
+    Ties break toward the test whose total rejection count is lower,
+    then alphabetically for determinism.
+    """
+
+    def order(self, dataset):
+        passes = dataset.specifications.passes(dataset.values)
+        fails = ~passes
+        n_failed_specs = fails.sum(axis=1)
+        unique_fail = fails & (n_failed_specs == 1)[:, None]
+        unique_counts = unique_fail.sum(axis=0)
+        total_counts = fails.sum(axis=0)
+        keyed = sorted(
+            zip(unique_counts, total_counts, dataset.names),
+            key=lambda item: (item[0], item[1], item[2]))
+        return self._validate([name for _, _, name in keyed], dataset)
+
+
+class ClusterOrder(OrderingStrategy):
+    """Order from correlation clustering of the specifications.
+
+    Specifications whose normalized measurements are strongly
+    correlated (``|r| >= threshold``) are connected in a graph; its
+    connected components form clusters of mutually dependent tests.
+    Within each cluster the member with the highest mean absolute
+    correlation to the rest is kept as the *representative*; all other
+    members are examined (offered for elimination) first, largest
+    clusters first, and the representatives last.
+    """
+
+    def __init__(self, threshold=0.8):
+        if not 0.0 < threshold <= 1.0:
+            raise CompactionError("correlation threshold must be in (0, 1]")
+        self.threshold = threshold
+
+    def _clusters(self, corr):
+        """Connected components of the |corr| >= threshold graph."""
+        import networkx as nx
+
+        n = corr.shape[0]
+        graph = nx.Graph()
+        graph.add_nodes_from(range(n))
+        for i in range(n):
+            for j in range(i + 1, n):
+                if abs(corr[i, j]) >= self.threshold:
+                    graph.add_edge(i, j)
+        return [sorted(component)
+                for component in nx.connected_components(graph)]
+
+    def order(self, dataset):
+        X = dataset.normalized_values()
+        with np.errstate(invalid="ignore"):
+            corr = np.corrcoef(X, rowvar=False)
+        corr = np.nan_to_num(corr)
+        clusters = self._clusters(corr)
+        clusters.sort(key=len, reverse=True)
+
+        early = []
+        representatives = []
+        for members in clusters:
+            if len(members) == 1:
+                representatives.append(members[0])
+                continue
+            strengths = [
+                (np.mean([abs(corr[i, j]) for j in members if j != i]), i)
+                for i in members]
+            _, rep = max(strengths)
+            representatives.append(rep)
+            early.extend(i for i in members if i != rep)
+        ordered = early + representatives
+        names = [dataset.names[i] for i in ordered]
+        return self._validate(names, dataset)

@@ -1,0 +1,42 @@
+"""Exception hierarchy shared across the :mod:`repro` package."""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` package."""
+
+
+class CircuitError(ReproError):
+    """Malformed circuit description (unknown node, duplicate name, ...)."""
+
+
+class ConvergenceError(ReproError):
+    """A nonlinear or transient solve failed to converge.
+
+    Attributes
+    ----------
+    iterations:
+        Number of Newton-Raphson iterations attempted before giving up.
+    residual:
+        The final residual norm (``nan`` when unknown).
+    """
+
+    def __init__(self, message, iterations=0, residual=float("nan")):
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual = residual
+
+
+class AnalysisError(ReproError):
+    """A measurement could not be extracted from simulation results."""
+
+
+class LearningError(ReproError):
+    """Statistical-learning failure (SMO not converging, bad shapes, ...)."""
+
+
+class CompactionError(ReproError):
+    """Invalid input to the test-compaction procedure."""
+
+
+class DatasetError(ReproError):
+    """Inconsistent specification dataset (shape or label mismatch)."""

@@ -1,0 +1,44 @@
+"""From-scratch statistical learning: support vector classification.
+
+The paper performs its test compaction with an eps-SVM classifier
+(Section 2.2, refs [7, 8]).  Since no external machine-learning package
+is assumed, this subpackage implements the full stack:
+
+* :mod:`repro.learn.kernels` -- linear / polynomial / RBF / sigmoid
+  kernels and Gram-matrix evaluation;
+* :mod:`repro.learn.smo` -- the Platt/Keerthi sequential minimal
+  optimization (SMO) dual solver with maximal-violating-pair working
+  set selection and a kernel cache;
+* :mod:`repro.learn.svm` -- the :class:`~repro.learn.svm.SVC` public
+  estimator (fit / predict / decision_function);
+* :mod:`repro.learn.model_selection` -- train/test splitting, k-fold
+  cross-validation and grid search;
+* :mod:`repro.learn.preprocessing` -- range normalization (paper
+  Section 4.3) and standardization;
+* :mod:`repro.learn.ridge` -- a ridge-regression baseline used by the
+  classification-versus-regression ablation (paper Section 4.1).
+"""
+
+from repro.learn.kernels import kernel_function, KERNELS
+from repro.learn.model_selection import (
+    KFold,
+    cross_val_score,
+    grid_search,
+    train_test_split,
+)
+from repro.learn.preprocessing import RangeNormalizer, StandardScaler
+from repro.learn.ridge import RidgeRegressor
+from repro.learn.svm import SVC
+
+__all__ = [
+    "SVC",
+    "kernel_function",
+    "KERNELS",
+    "train_test_split",
+    "KFold",
+    "cross_val_score",
+    "grid_search",
+    "RangeNormalizer",
+    "StandardScaler",
+    "RidgeRegressor",
+]

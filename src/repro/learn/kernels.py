@@ -1,0 +1,79 @@
+"""Kernel functions and Gram-matrix evaluation for the SVM.
+
+All kernels operate on 2-D arrays ``(n_samples, n_features)`` and
+return dense Gram matrices.  ``gamma`` follows the common ``"scale"``
+convention (``1 / (n_features * X.var())``) so RBF widths adapt to the
+feature scaling automatically.
+"""
+
+import numpy as np
+
+from repro.errors import LearningError
+
+#: Names of the supported kernels.
+KERNELS = ("linear", "poly", "rbf", "sigmoid")
+
+
+def resolve_gamma(gamma, X):
+    """Turn a ``gamma`` specification into a positive float.
+
+    ``"scale"`` -> ``1 / (n_features * var(X))`` and ``"auto"`` ->
+    ``1 / n_features``, mirroring the conventions users expect from
+    mainstream SVM implementations.
+    """
+    if gamma == "scale":
+        var = float(np.var(X))
+        if var <= 0:
+            var = 1.0
+        return 1.0 / (X.shape[1] * var)
+    if gamma == "auto":
+        return 1.0 / X.shape[1]
+    gamma = float(gamma)
+    if gamma <= 0:
+        raise LearningError("gamma must be positive, got {}".format(gamma))
+    return gamma
+
+
+def squared_distances(A, B):
+    """Pairwise squared Euclidean distances between rows of A and B."""
+    A = np.asarray(A, dtype=float)
+    B = np.asarray(B, dtype=float)
+    aa = np.sum(A * A, axis=1)[:, None]
+    bb = np.sum(B * B, axis=1)[None, :]
+    d2 = aa + bb - 2.0 * (A @ B.T)
+    np.maximum(d2, 0.0, out=d2)
+    return d2
+
+
+def kernel_function(name, gamma=1.0, degree=3, coef0=0.0):
+    """Return ``k(A, B) -> Gram`` for the named kernel.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`KERNELS`.
+    gamma:
+        Width/scale parameter (resolved value, not ``"scale"``).
+    degree, coef0:
+        Polynomial/sigmoid shape parameters.
+    """
+    if name == "linear":
+        return lambda A, B: np.asarray(A, dtype=float) @ np.asarray(
+            B, dtype=float).T
+    if name == "poly":
+        def poly(A, B):
+            return (gamma * (np.asarray(A, float) @ np.asarray(B, float).T)
+                    + coef0) ** degree
+        return poly
+    if name == "rbf":
+        def rbf(A, B):
+            return np.exp(-gamma * squared_distances(A, B))
+        return rbf
+    if name == "sigmoid":
+        def sigmoid(A, B):
+            return np.tanh(
+                gamma * (np.asarray(A, float) @ np.asarray(B, float).T)
+                + coef0)
+        return sigmoid
+    raise LearningError(
+        "unknown kernel {!r}; expected one of {}".format(name, KERNELS))

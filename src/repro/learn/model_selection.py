@@ -1,0 +1,106 @@
+"""Model selection utilities: splits, k-fold CV and grid search."""
+
+import itertools
+
+import numpy as np
+
+from repro.errors import LearningError
+
+
+def train_test_split(X, y, test_fraction=0.25, seed=0):
+    """Random split of ``(X, y)`` into train and test parts.
+
+    Returns ``(X_train, X_test, y_train, y_test)``.
+    """
+    X = np.asarray(X)
+    y = np.asarray(y)
+    n = X.shape[0]
+    if y.shape[0] != n:
+        raise LearningError("X and y have different sample counts")
+    if not 0.0 < test_fraction < 1.0:
+        raise LearningError("test_fraction must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(n)
+    k = int(round(test_fraction * n))
+    if k == 0 or k == n:
+        raise LearningError("split produces an empty part")
+    test_idx, train_idx = order[:k], order[k:]
+    return X[train_idx], X[test_idx], y[train_idx], y[test_idx]
+
+
+class KFold:
+    """Deterministic shuffled k-fold index generator."""
+
+    def __init__(self, n_splits=5, seed=0):
+        if n_splits < 2:
+            raise LearningError("n_splits must be at least 2")
+        self.n_splits = int(n_splits)
+        self.seed = seed
+
+    def split(self, n_samples):
+        """Yield ``(train_indices, test_indices)`` pairs."""
+        if n_samples < self.n_splits:
+            raise LearningError(
+                "cannot split {} samples into {} folds".format(
+                    n_samples, self.n_splits))
+        rng = np.random.default_rng(self.seed)
+        order = rng.permutation(n_samples)
+        folds = np.array_split(order, self.n_splits)
+        for k in range(self.n_splits):
+            test_idx = folds[k]
+            train_idx = np.concatenate(
+                [folds[j] for j in range(self.n_splits) if j != k])
+            yield train_idx, test_idx
+
+
+def cross_val_score(estimator, X, y, n_splits=5, seed=0):
+    """Accuracy of ``estimator`` over k folds (array of per-fold scores).
+
+    The estimator must implement ``clone()``, ``fit(X, y)`` and
+    ``score(X, y)`` (as :class:`repro.learn.svm.SVC` does).
+    """
+    X = np.asarray(X)
+    y = np.asarray(y)
+    scores = []
+    for train_idx, test_idx in KFold(n_splits, seed).split(X.shape[0]):
+        model = estimator.clone()
+        model.fit(X[train_idx], y[train_idx])
+        scores.append(model.score(X[test_idx], y[test_idx]))
+    return np.asarray(scores)
+
+
+def grid_search(estimator_factory, param_grid, X, y, n_splits=3, seed=0):
+    """Exhaustive hyperparameter search by cross-validated accuracy.
+
+    Parameters
+    ----------
+    estimator_factory:
+        Callable ``(**params) -> estimator``; typically
+        :class:`repro.learn.svm.SVC` itself.
+    param_grid:
+        Dict mapping parameter name to a list of candidate values.
+    X, y:
+        Training data.
+    n_splits, seed:
+        Cross-validation configuration.
+
+    Returns
+    -------
+    (best_params, best_score, results)
+        ``results`` is a list of ``(params, mean_score)`` tuples in
+        evaluation order.
+    """
+    if not param_grid:
+        raise LearningError("param_grid must not be empty")
+    names = sorted(param_grid)
+    results = []
+    best_params, best_score = None, -np.inf
+    for values in itertools.product(*(param_grid[n] for n in names)):
+        params = dict(zip(names, values))
+        estimator = estimator_factory(**params)
+        score = float(np.mean(cross_val_score(
+            estimator, X, y, n_splits=n_splits, seed=seed)))
+        results.append((params, score))
+        if score > best_score:
+            best_params, best_score = params, score
+    return best_params, best_score, results

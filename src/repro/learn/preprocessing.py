@@ -1,0 +1,114 @@
+"""Feature scaling utilities.
+
+The paper (Section 4.3) normalizes every specification by mapping its
+acceptability range onto [0, 1], "to ensure uniform convergence of the
+multi-dimensional space".  :class:`RangeNormalizer` implements exactly
+that; :class:`StandardScaler` is the conventional z-score alternative
+offered for experimentation.
+"""
+
+import numpy as np
+
+from repro.errors import LearningError
+
+
+class RangeNormalizer:
+    """Affine per-column scaling: ``(x - low) / (high - low)``.
+
+    Construct either from explicit bounds, from a
+    :class:`~repro.core.specs.SpecificationSet`
+    (:meth:`from_specifications` -- the paper's choice, using the
+    acceptability ranges) or from observed data extrema
+    (:meth:`from_data`).
+    """
+
+    def __init__(self, lows, highs):
+        lows = np.asarray(lows, dtype=float)
+        highs = np.asarray(highs, dtype=float)
+        if lows.shape != highs.shape or lows.ndim != 1:
+            raise LearningError("lows/highs must be matching 1-D arrays")
+        if np.any(highs <= lows):
+            raise LearningError("every high bound must exceed its low bound")
+        self.lows = lows
+        self.highs = highs
+
+    @classmethod
+    def from_specifications(cls, specifications):
+        """Bounds taken from the specification acceptability ranges."""
+        return cls(specifications.lows, specifications.highs)
+
+    @classmethod
+    def from_data(cls, X):
+        """Bounds taken from the per-column min/max of ``X``.
+
+        Constant columns receive a unit-width window centred on their
+        value so the transform stays well defined.
+        """
+        X = np.asarray(X, dtype=float)
+        lows = X.min(axis=0)
+        highs = X.max(axis=0)
+        flat = highs <= lows
+        lows = np.where(flat, lows - 0.5, lows)
+        highs = np.where(flat, highs + 0.5, highs)
+        return cls(lows, highs)
+
+    @property
+    def n_features(self):
+        """Number of columns this normalizer handles."""
+        return self.lows.size
+
+    def _check(self, X):
+        X = np.asarray(X, dtype=float)
+        one_dim = X.ndim == 1
+        if one_dim:
+            X = X[None, :]
+        if X.shape[1] != self.n_features:
+            raise LearningError(
+                "X has {} columns, normalizer expects {}".format(
+                    X.shape[1], self.n_features))
+        return X, one_dim
+
+    def transform(self, X):
+        """Map each column's [low, high] window onto [0, 1]."""
+        X, one_dim = self._check(X)
+        out = (X - self.lows) / (self.highs - self.lows)
+        return out[0] if one_dim else out
+
+    def inverse_transform(self, X):
+        """Invert :meth:`transform`."""
+        X, one_dim = self._check(X)
+        out = X * (self.highs - self.lows) + self.lows
+        return out[0] if one_dim else out
+
+    def subset(self, indices):
+        """Normalizer restricted to the given column indices."""
+        indices = np.asarray(indices)
+        return RangeNormalizer(self.lows[indices], self.highs[indices])
+
+
+class StandardScaler:
+    """Per-column z-score scaling with stored mean/std."""
+
+    def fit(self, X):
+        """Learn per-column mean and standard deviation."""
+        X = np.asarray(X, dtype=float)
+        self.mean_ = X.mean(axis=0)
+        std = X.std(axis=0)
+        self.std_ = np.where(std > 0, std, 1.0)
+        return self
+
+    def transform(self, X):
+        """Apply the learned scaling."""
+        if not hasattr(self, "mean_"):
+            raise LearningError("StandardScaler is not fitted")
+        return (np.asarray(X, dtype=float) - self.mean_) / self.std_
+
+    def fit_transform(self, X):
+        """Fit then transform in one call."""
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X):
+        """Invert :meth:`transform`."""
+        if not hasattr(self, "mean_"):
+            raise LearningError("StandardScaler is not fitted")
+        return np.asarray(X, dtype=float) * self.std_ + self.mean_

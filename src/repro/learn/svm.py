@@ -1,0 +1,149 @@
+"""The public SVM classifier: :class:`SVC`.
+
+Terminology note (paper Section 2.2): the paper's "eps-SVM" builds a
+decision function whose error is controlled to be below ``eps`` on all
+but a penalized set of training points.  In the standard soft-margin
+dual formulation solved here, that role is played by the KKT tolerance
+``tol`` (the optimality gap at which training stops) together with the
+penalty ``C`` that prices the unbounded slack errors the paper calls
+``zeta``.
+"""
+
+import numpy as np
+
+from repro.errors import LearningError
+from repro.learn.kernels import kernel_function, resolve_gamma
+from repro.learn.smo import solve_smo
+
+#: Support vectors are the training points with alpha above this.
+SUPPORT_THRESHOLD = 1e-8
+
+
+class SVC:
+    """A soft-margin support vector classifier (labels -1/+1).
+
+    Parameters
+    ----------
+    C:
+        Soft-margin penalty.  Larger values fit the training data more
+        tightly.
+    kernel:
+        ``"rbf"`` (default), ``"linear"``, ``"poly"`` or ``"sigmoid"``.
+    gamma:
+        Kernel width: ``"scale"`` (default), ``"auto"`` or a float.
+    degree, coef0:
+        Polynomial / sigmoid shape parameters.
+    tol:
+        SMO KKT-gap stopping tolerance.
+    max_iter:
+        SMO update ceiling (None -> automatic).
+
+    Notes
+    -----
+    A training set containing a single class is handled gracefully: the
+    classifier degenerates to a constant predictor.  This matters for
+    test compaction, where heavily compacted feature sets can make one
+    class (temporarily) vanish from a grid-compacted training set.
+    """
+
+    def __init__(self, C=10.0, kernel="rbf", gamma="scale", degree=3,
+                 coef0=0.0, tol=1e-3, max_iter=None):
+        self.C = float(C)
+        self.kernel = kernel
+        self.gamma = gamma
+        self.degree = degree
+        self.coef0 = coef0
+        self.tol = float(tol)
+        self.max_iter = max_iter
+        self._fitted = False
+        self._constant = None
+
+    # -- estimator API --------------------------------------------------------
+    def fit(self, X, y):
+        """Train on ``X`` (n x m) with labels ``y`` in {-1, +1}."""
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float).ravel()
+        if X.ndim != 2 or X.shape[0] != y.shape[0]:
+            raise LearningError(
+                "X must be (n, m) with matching y; got {} and {}".format(
+                    X.shape, y.shape))
+        if X.shape[0] == 0:
+            raise LearningError("cannot fit on an empty training set")
+        if not np.all(np.isin(y, (-1.0, 1.0))):
+            raise LearningError("labels must be -1/+1")
+
+        classes = np.unique(y)
+        if classes.size == 1:
+            # Degenerate single-class problem: constant prediction.
+            self._constant = float(classes[0])
+            self._fitted = True
+            return self
+        self._constant = None
+
+        self.gamma_ = resolve_gamma(self.gamma, X)
+        self._kernel = kernel_function(self.kernel, gamma=self.gamma_,
+                                       degree=self.degree, coef0=self.coef0)
+        result = solve_smo(self._kernel, X, y, self.C, tol=self.tol,
+                           max_iter=self.max_iter)
+        self.converged_ = result.converged
+        self.n_iter_ = result.iterations
+        self.intercept_ = result.bias
+
+        mask = result.alpha > SUPPORT_THRESHOLD
+        self.support_ = np.flatnonzero(mask)
+        self.support_vectors_ = X[mask]
+        self.dual_coef_ = result.alpha[mask] * y[mask]
+        self.n_features_ = X.shape[1]
+        self._fitted = True
+        return self
+
+    def _check_fitted(self):
+        if not self._fitted:
+            raise LearningError("SVC is not fitted yet")
+
+    def decision_function(self, X):
+        """Signed distance-like score; positive means class +1."""
+        self._check_fitted()
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X[None, :]
+        if self._constant is not None:
+            return np.full(X.shape[0], self._constant * np.inf)
+        if X.shape[1] != self.n_features_:
+            raise LearningError(
+                "X has {} features; SVC was trained with {}".format(
+                    X.shape[1], self.n_features_))
+        if self.support_vectors_.shape[0] == 0:
+            return np.full(X.shape[0], self.intercept_)
+        K = self._kernel(X, self.support_vectors_)
+        return K @ self.dual_coef_ + self.intercept_
+
+    def predict(self, X):
+        """Predicted labels in {-1, +1} (ties resolve to +1)."""
+        scores = self.decision_function(X)
+        return np.where(scores >= 0.0, 1, -1)
+
+    def score(self, X, y):
+        """Mean accuracy on ``(X, y)``."""
+        y = np.asarray(y).ravel()
+        return float(np.mean(self.predict(X) == y))
+
+    def error_rate(self, X, y):
+        """Fraction of misclassified instances (the paper's e_p)."""
+        return 1.0 - self.score(X, y)
+
+    def clone(self):
+        """A new unfitted SVC with identical hyperparameters."""
+        return SVC(C=self.C, kernel=self.kernel, gamma=self.gamma,
+                   degree=self.degree, coef0=self.coef0, tol=self.tol,
+                   max_iter=self.max_iter)
+
+    def get_params(self):
+        """Hyperparameters as a dict (for grid search and repr)."""
+        return {"C": self.C, "kernel": self.kernel, "gamma": self.gamma,
+                "degree": self.degree, "coef0": self.coef0,
+                "tol": self.tol, "max_iter": self.max_iter}
+
+    def __repr__(self):
+        return "SVC(C={:g}, kernel={!r}, gamma={!r})".format(
+            self.C, self.kernel, self.gamma)

@@ -1,0 +1,169 @@
+"""First-principles mechanics of the folded-flexure accelerometer.
+
+Converts an :class:`~repro.mems.geometry.AccelerometerGeometry` plus a
+temperature into the lumped parameters of the equivalent second-order
+system: effective mass ``m``, spring constant ``k(T)``, damping
+coefficient ``c(T)`` and the capacitive sense gain.
+
+Temperature physics
+-------------------
+
+* **Stress stiffening** -- die expansion moves the anchors relative to
+  the proof-mass center (the paper's stated mechanism).  The resulting
+  axial strain in the suspension beams adds a geometric-stiffness term:
+  for a clamped-guided beam under axial force ``N``,
+  ``k = k_bending + 1.2 * N / L``.  Hot dies (expansion) tension the
+  beams (stiffen); cold dies compress them (soften).
+* **Young's modulus** -- polysilicon softens slightly with temperature,
+  ``E(T) = E0 * (1 - TCE * (T - T0))``.
+* **Gas damping** -- air viscosity follows a Sutherland-like power law
+  ``mu(T) = mu0 * (T/T0)^0.7`` (absolute temperatures), so hot devices
+  are more heavily damped.
+"""
+
+import math
+
+from repro.errors import CircuitError
+
+#: Density of structural polysilicon (kg/m^3).
+DENSITY = 2330.0
+#: Young's modulus of polysilicon at room temperature (Pa).
+E_ROOM = 160e9
+#: Temperature coefficient of the Young's modulus (1/K).
+TCE = 60e-6
+#: Air viscosity at room temperature (Pa*s).
+MU_ROOM = 1.82e-5
+#: Effective squeeze-film coefficient of the comb fingers.  Captures the
+#: multiple gas-film surfaces per finger cell and end effects; calibrated
+#: so the nominal device has Q ~ 2 at room temperature, matching the
+#: paper's Table 2.
+SQUEEZE_COEFF = 82.0
+#: Fraction of the thermal axial strain that survives the folded
+#: flexure's stress-relief action.  A folded suspension relieves almost
+#: all axial stress (that is its purpose); the residual few percent is
+#: what couples die expansion into the spring constant.
+STRESS_RELIEF = 0.03
+#: Couette-damping air-gap under the proof mass (m).
+Z_GAP = 2.0e-6
+#: Reference (room) temperature (deg C).
+T_ROOM = 27.0
+#: Sense bias voltage of the capacitive readout (V).
+V_SENSE = 1.5
+#: Readout amplifier gain from relative capacitance change to volts.
+READOUT_GAIN = 10.0
+#: Vacuum permittivity (F/m).
+EPS0 = 8.854e-12
+#: Standard gravity (m/s^2).
+G0 = 9.80665
+
+
+def youngs_modulus(temperature_c):
+    """Temperature-dependent Young's modulus of polysilicon (Pa)."""
+    return E_ROOM * (1.0 - TCE * (temperature_c - T_ROOM))
+
+
+def viscosity(temperature_c):
+    """Air viscosity at the given temperature (Pa*s)."""
+    t_abs = temperature_c + 273.15
+    t0_abs = T_ROOM + 273.15
+    if t_abs <= 0:
+        raise CircuitError("temperature below absolute zero")
+    return MU_ROOM * (t_abs / t0_abs) ** 0.7
+
+
+def effective_mass(geometry):
+    """Proof mass plus finger mass plus 13/35 of the beam mass (kg)."""
+    plate = (geometry.mass_length * geometry.mass_width
+             * geometry.thickness * DENSITY)
+    fingers = (geometry.n_fingers * geometry.finger_length
+               * 3e-6 * geometry.thickness * DENSITY)
+    beams = 4.0 * (geometry.beam_length * geometry.beam_width
+                   * geometry.thickness * DENSITY)
+    return plate + fingers + (13.0 / 35.0) * beams
+
+
+def anchor_displacement(geometry, temperature_c):
+    """Anchor motion toward (+) / away (-) from the die center (m).
+
+    Positive values (hot die) stretch the suspension; negative values
+    (cold die) compress it -- the paper's shrink/expand mechanism.
+    """
+    return (geometry.cte_mismatch * (temperature_c - T_ROOM)
+            * geometry.anchor_span / 2.0)
+
+
+def spring_constant(geometry, temperature_c=T_ROOM):
+    """Suspension stiffness in the sense direction (N/m).
+
+    Four clamped-guided flexure legs in parallel:
+    ``k_bend = 4 * E(T) * t * (w / L)^3``, corrected for angular
+    misalignment (a misaligned beam is stiffer in the intended
+    compliant direction because axial stretch engages) and for the
+    thermal axial-stress geometric term.
+    """
+    E = youngs_modulus(temperature_c)
+    w = geometry.beam_width
+    L = geometry.beam_length
+    t = geometry.thickness
+    k_bend = 4.0 * E * t * (w / L) ** 3
+
+    # Angular misalignment: mixing in the (much stiffer) axial mode.
+    theta = math.radians(geometry.spring_angle_deg)
+    axial_ratio = (L / w) ** 2  # k_axial / k_bend per leg, to first order
+    k_bend *= (math.cos(theta) ** 2
+               + math.sin(theta) ** 2 * min(axial_ratio, 1e4) * 1e-3)
+
+    # Thermal axial stress from anchor motion (paper's mechanism).
+    delta = anchor_displacement(geometry, temperature_c)
+    strain = STRESS_RELIEF * delta / L          # folded flexure relieves most
+    axial_force = E * w * t * strain            # per leg
+    k_geometric = 4.0 * 1.2 * axial_force / L   # clamped-guided factor
+    k_total = k_bend + k_geometric
+    if k_total <= 0:
+        raise CircuitError(
+            "thermal buckling: non-positive spring constant at {} C".format(
+                temperature_c))
+    return k_total
+
+
+def damping_coefficient(geometry, temperature_c=T_ROOM):
+    """Viscous damping from Couette film + finger squeeze film (N*s/m)."""
+    mu = viscosity(temperature_c)
+    plate_area = geometry.mass_length * geometry.mass_width
+    couette = mu * plate_area / Z_GAP
+    # Squeeze-film contribution of the sense fingers (effective model:
+    # flow between finger sidewalls, cubic in thickness-to-gap ratio).
+    squeeze = (geometry.n_fingers * SQUEEZE_COEFF * mu
+               * geometry.finger_length
+               * (geometry.thickness / geometry.finger_gap) ** 3)
+    return couette + squeeze
+
+
+def resonant_frequency(geometry, temperature_c=T_ROOM):
+    """Undamped natural frequency f0 = sqrt(k/m) / 2*pi (Hz)."""
+    k = spring_constant(geometry, temperature_c)
+    m = effective_mass(geometry)
+    return math.sqrt(k / m) / (2.0 * math.pi)
+
+
+def quality_factor_analytic(geometry, temperature_c=T_ROOM):
+    """Analytic Q = sqrt(k*m) / c (used for cross-checks in tests)."""
+    k = spring_constant(geometry, temperature_c)
+    m = effective_mass(geometry)
+    c = damping_coefficient(geometry, temperature_c)
+    return math.sqrt(k * m) / c
+
+
+def sense_capacitance(geometry):
+    """Total sense capacitance of the comb fingers (F)."""
+    area = geometry.finger_length * geometry.thickness
+    return 2.0 * geometry.n_fingers * EPS0 * area / geometry.finger_gap
+
+
+def sense_gain(geometry):
+    """Readout gain from proof-mass displacement to output volts (V/m).
+
+    Differential gap-closing sense: ``dC/C = dx / gap`` per side, read
+    out with bias ``V_SENSE`` and amplifier gain ``READOUT_GAIN``.
+    """
+    return READOUT_GAIN * V_SENSE / geometry.finger_gap

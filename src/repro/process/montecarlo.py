@@ -1,0 +1,125 @@
+"""The Monte-Carlo training-data generation loop (paper Fig. 1).
+
+``generate_dataset`` repeatedly: samples a process-perturbed parameter
+set, sets up and simulates the device, takes the specification
+measurements and stores them -- until the requested number of training
+instances is reached.
+
+The DUT protocol
+----------------
+
+Any object with these three members can be used as a device under test:
+
+``specifications``
+    A :class:`~repro.core.specs.SpecificationSet` naming the measured
+    columns and their acceptability ranges.
+``sample_parameters(rng)``
+    Draw one process-disturbed parameter object.
+``measure(params)``
+    Simulate the instance and return a 1-D value array aligned with
+    ``specifications``.
+
+:class:`repro.opamp.OpAmpBench` and :class:`repro.mems.AccelerometerBench`
+implement it; so can user-provided devices.
+"""
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import DatasetError, ReproError
+from repro.process.dataset import SpecDataset
+
+
+@dataclass
+class GenerationReport:
+    """Bookkeeping for one Monte-Carlo generation run."""
+
+    n_requested: int
+    n_simulated: int = 0
+    n_failed: int = 0
+    failures: list = field(default_factory=list)
+
+    def __str__(self):
+        return ("GenerationReport(requested={}, simulated={}, failed={})"
+                .format(self.n_requested, self.n_simulated, self.n_failed))
+
+
+def generate_dataset(dut, n_instances, seed, on_error="resample",
+                     max_failures=None, return_report=False):
+    """Generate a labeled Monte-Carlo :class:`SpecDataset` for ``dut``.
+
+    Parameters
+    ----------
+    dut:
+        Device under test implementing the DUT protocol (see module
+        docstring).
+    n_instances:
+        Number of device instances in the returned dataset.
+    seed:
+        Seed for the :class:`numpy.random.Generator` driving the
+        process disturbances; generation is fully reproducible.
+    on_error:
+        ``"resample"`` (default): when a simulation fails to converge
+        or a measurement cannot be extracted, record the failure and
+        draw a fresh instance.  ``"raise"``: propagate the first error.
+    max_failures:
+        Abort (raise) after this many failures with ``"resample"``;
+        defaults to ``max(10, n_instances // 10)``.
+    return_report:
+        When True, return ``(dataset, GenerationReport)``.
+
+    Returns
+    -------
+    SpecDataset or (SpecDataset, GenerationReport)
+    """
+    if n_instances <= 0:
+        raise DatasetError("n_instances must be positive")
+    if on_error not in ("resample", "raise"):
+        raise DatasetError("on_error must be 'resample' or 'raise'")
+    if max_failures is None:
+        max_failures = max(10, n_instances // 10)
+
+    rng = np.random.default_rng(seed)
+    n_specs = len(dut.specifications)
+    values = np.empty((n_instances, n_specs))
+    report = GenerationReport(n_requested=n_instances)
+
+    filled = 0
+    while filled < n_instances:
+        params = dut.sample_parameters(rng)
+        try:
+            row = np.asarray(dut.measure(params), dtype=float)
+        except ReproError as exc:
+            report.n_failed += 1
+            report.failures.append(str(exc))
+            if on_error == "raise":
+                raise
+            if report.n_failed > max_failures:
+                raise DatasetError(
+                    "Monte-Carlo generation aborted: {} simulation "
+                    "failures (last: {})".format(report.n_failed, exc))
+            continue
+        finally:
+            report.n_simulated += 1
+        if row.shape != (n_specs,):
+            raise DatasetError(
+                "DUT measure() returned shape {}, expected ({},)".format(
+                    row.shape, n_specs))
+        if not np.all(np.isfinite(row)):
+            report.n_failed += 1
+            report.failures.append("non-finite measurement")
+            if on_error == "raise":
+                raise DatasetError("non-finite measurement from DUT")
+            if report.n_failed > max_failures:
+                raise DatasetError(
+                    "Monte-Carlo generation aborted: too many non-finite "
+                    "measurements")
+            continue
+        values[filled] = row
+        filled += 1
+
+    dataset = SpecDataset(dut.specifications, values)
+    if return_report:
+        return dataset, report
+    return dataset

@@ -1,0 +1,19 @@
+"""Deployment of a compacted test set on the production tester.
+
+Paper Section 3.3: after compaction the acceptability ranges of the
+kept tests are no longer sufficient -- the acceptance region is
+reshaped by the statistical model (Fig. 3).  Shipping the raw SVM to
+the tester "may require a significant amount of additional tester
+resources", so the paper proposes dividing the compacted-specification
+space into a grid and storing a good/bad attribute per cell: a lookup
+table the tester program consults at negligible cost.
+
+* :mod:`repro.tester.lookup` -- the grid lookup table;
+* :mod:`repro.tester.program` -- a production test-program simulation
+  including the guard-band retest flow and cost accounting.
+"""
+
+from repro.tester.lookup import LookupTable
+from repro.tester.program import TestOutcome, TestProgram
+
+__all__ = ["LookupTable", "TestProgram", "TestOutcome"]

@@ -1,0 +1,152 @@
+"""Production test-program simulation with guard-band retest.
+
+Models how a compacted test set actually runs on automatic test
+equipment:
+
+1. the tester applies only the *kept* specification tests;
+2. the measurements index the :class:`~repro.tester.lookup.LookupTable`
+   (or query the live model);
+3. devices with the guard-band attribute are handled per the retest
+   policy (paper Section 4.2: "devices can be further tested to answer
+   the question", or binned good/bad/lower-grade outright);
+4. per-device cost is accounted with a
+   :class:`~repro.core.costmodel.TestCostModel`.
+
+The simulation consumes a ground-truth-labeled
+:class:`~repro.process.dataset.SpecDataset`, so the resulting yield
+loss and defect escape are exact.
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.metrics import GUARD, evaluate_predictions
+from repro.core.specs import BAD, GOOD
+from repro.errors import CompactionError
+
+#: Guard-band devices get the complete specification test set applied.
+RETEST_FULL = "full_retest"
+#: Guard-band devices are shipped without retest (cheapest, most escapes).
+RETEST_ACCEPT = "accept"
+#: Guard-band devices are scrapped without retest (no escapes from guard).
+RETEST_REJECT = "reject"
+
+_POLICIES = (RETEST_FULL, RETEST_ACCEPT, RETEST_REJECT)
+
+
+@dataclass
+class TestOutcome:
+    """Result of running a test program over a device population."""
+
+    #: Final dispositions after retest (+1 ship, -1 scrap).
+    decisions: np.ndarray
+    #: First-pass predictions (+1/-1/0) before the retest policy.
+    first_pass: np.ndarray
+    #: Final-classification report (after retest resolution).
+    report: object
+    #: Number of devices sent through the retest flow.
+    n_retested: int
+    #: Total test cost for the population (cost-model units).
+    total_cost: float
+    #: Cost of testing the same population with the full test set.
+    full_cost: float
+
+    @property
+    def cost_per_device(self):
+        """Average cost per device under the compacted program."""
+        return self.total_cost / len(self.decisions)
+
+    @property
+    def cost_reduction(self):
+        """Fractional saving vs applying the complete test set."""
+        if self.full_cost <= 0:
+            return 0.0
+        return 1.0 - self.total_cost / self.full_cost
+
+    def summary(self):
+        """One-line outcome summary."""
+        return ("shipped {}  scrapped {}  retested {}  "
+                "YL {:.2%}  DE {:.2%}  cost/device {:.3g} "
+                "({:.1%} saved)").format(
+                    int(np.sum(self.decisions == GOOD)),
+                    int(np.sum(self.decisions == BAD)),
+                    self.n_retested,
+                    self.report.yield_loss_rate,
+                    self.report.defect_escape_rate,
+                    self.cost_per_device,
+                    self.cost_reduction)
+
+
+class TestProgram:
+    """A deployable compacted test program.
+
+    Parameters
+    ----------
+    classifier:
+        Either a fitted
+        :class:`~repro.core.guardband.GuardBandedClassifier` or a
+        :class:`~repro.tester.lookup.LookupTable`.
+    cost_model:
+        A :class:`~repro.core.costmodel.TestCostModel` covering every
+        specification test (kept and eliminated).
+    retest_policy:
+        ``"full_retest"`` (default), ``"accept"`` or ``"reject"``.
+    """
+
+    def __init__(self, classifier, cost_model=None,
+                 retest_policy=RETEST_FULL):
+        if retest_policy not in _POLICIES:
+            raise CompactionError(
+                "retest policy must be one of {}".format(_POLICIES))
+        self.classifier = classifier
+        self.cost_model = cost_model
+        self.retest_policy = retest_policy
+        self.kept = tuple(classifier.feature_names)
+
+    def _first_pass(self, dataset):
+        values = dataset.project(self.kept).values
+        if hasattr(self.classifier, "classify"):       # LookupTable
+            return np.asarray(self.classifier.classify(values))
+        return self.classifier.predict_measurements(values)
+
+    def run(self, dataset):
+        """Run the program over a ground-truth-labeled population.
+
+        Returns a :class:`TestOutcome`.  With the ``full_retest``
+        policy, guard-band devices receive the complete specification
+        test set, so their final disposition equals the ground truth
+        (and their cost is the full test-set cost on top of the
+        compacted pass).
+        """
+        first = self._first_pass(dataset)
+        decisions = first.copy()
+        guard_mask = first == GUARD
+        n_guard = int(np.sum(guard_mask))
+        if self.retest_policy == RETEST_FULL:
+            decisions[guard_mask] = dataset.labels[guard_mask]
+        elif self.retest_policy == RETEST_ACCEPT:
+            decisions[guard_mask] = GOOD
+        else:
+            decisions[guard_mask] = BAD
+
+        report = evaluate_predictions(dataset.labels, decisions)
+
+        total_cost = 0.0
+        full_cost = 0.0
+        if self.cost_model is not None:
+            per_device = self.cost_model.cost(self.kept)
+            full_per_device = self.cost_model.full_cost()
+            total_cost = per_device * len(dataset)
+            if self.retest_policy == RETEST_FULL:
+                total_cost += full_per_device * n_guard
+            full_cost = full_per_device * len(dataset)
+
+        return TestOutcome(
+            decisions=decisions,
+            first_pass=first,
+            report=report,
+            n_retested=n_guard if self.retest_policy == RETEST_FULL else 0,
+            total_cost=total_cost,
+            full_cost=full_cost,
+        )

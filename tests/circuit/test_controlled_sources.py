@@ -1,0 +1,80 @@
+"""Controlled-source behaviour in AC, and bias-tee element checks."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import Circuit, solve_ac, solve_dc
+
+
+class TestControlledSourcesAC:
+    def test_vcvs_gain_frequency_independent(self):
+        ckt = Circuit()
+        ckt.voltage_source("Vin", "in", "0", dc=0.0, ac=1.0)
+        ckt.vcvs("E1", "out", "0", "in", "0", gain=-7.0)
+        ckt.resistor("RL", "out", "0", 1e3)
+        op = solve_dc(ckt)
+        ac = solve_ac(ckt, [1.0, 1e3, 1e6], op)
+        assert np.allclose(ac.v("out"), -7.0)
+
+    def test_vccs_into_capacitor_integrates(self):
+        """gm into a capacitor: |vout| = gm / (w C)."""
+        gm, c = 1e-3, 1e-9
+        ckt = Circuit()
+        ckt.voltage_source("Vin", "in", "0", dc=0.0, ac=1.0)
+        ckt.vccs("G1", "0", "out", "in", "0", gm=gm)
+        ckt.capacitor("C1", "out", "0", c)
+        ckt.resistor("Rbig", "out", "0", 1e12)  # DC path
+        op = solve_dc(ckt)
+        freqs = np.array([1e3, 1e4, 1e5])
+        ac = solve_ac(ckt, freqs, op)
+        expected = gm / (2 * np.pi * freqs * c)
+        assert np.allclose(np.abs(ac.v("out")), expected, rtol=1e-3)
+
+    def test_vcvs_buffer_isolates_stages(self):
+        """An ideal buffer prevents inter-stage loading."""
+        def corner(buffered):
+            ckt = Circuit()
+            ckt.voltage_source("Vin", "in", "0", dc=0.0, ac=1.0)
+            ckt.resistor("R1", "in", "a", 1e3)
+            ckt.capacitor("C1", "a", "0", 1e-9)
+            if buffered:
+                ckt.vcvs("E1", "b", "0", "a", "0", gain=1.0)
+            else:
+                ckt.resistor("Rshort", "a", "b", 1.0)
+            ckt.resistor("R2", "b", "c", 1e3)
+            ckt.capacitor("C2", "c", "0", 1e-9)
+            op = solve_dc(ckt)
+            freqs = np.logspace(3, 7, 121)
+            ac = solve_ac(ckt, freqs, op)
+            from repro.circuit import analysis as ana
+
+            return ana.bandwidth_3db(freqs, ac.v("c"))
+
+        # Two isolated poles at f0 give a -3 dB corner at f0*sqrt(2^0.5-1)
+        # ~ 0.644 f0; the loaded cascade is slower than the buffered one.
+        assert corner(buffered=False) < corner(buffered=True)
+
+
+class TestBiasTeeElements:
+    """The op-amp testbench relies on the L/C bias tee working."""
+
+    def test_big_inductor_dc_short_ac_open(self):
+        ckt = Circuit()
+        ckt.voltage_source("Vin", "in", "0", dc=2.0, ac=1.0)
+        ckt.inductor("L", "in", "out", 1e6)
+        ckt.resistor("R", "out", "0", 1e3)
+        op = solve_dc(ckt)
+        assert op.v("out") == pytest.approx(2.0)  # DC short
+        ac = solve_ac(ckt, [10.0], op)
+        # At 10 Hz, |Z_L| = 6.3e7 >> 1k: essentially open.
+        assert np.abs(ac.v("out"))[0] < 1e-4
+
+    def test_big_capacitor_dc_open_ac_short(self):
+        ckt = Circuit()
+        ckt.voltage_source("Vin", "in", "0", dc=2.0, ac=1.0)
+        ckt.capacitor("C", "in", "out", 1.0)
+        ckt.resistor("R", "out", "0", 1e3)
+        op = solve_dc(ckt)
+        assert op.v("out") == pytest.approx(0.0, abs=1e-9)  # DC open
+        ac = solve_ac(ckt, [10.0], op)
+        assert np.abs(ac.v("out"))[0] == pytest.approx(1.0, abs=1e-4)

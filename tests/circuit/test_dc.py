@@ -1,0 +1,179 @@
+"""DC operating-point solver tests against hand-solvable circuits."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit import Circuit, solve_dc
+from repro.errors import ConvergenceError
+
+
+def test_resistor_divider():
+    ckt = Circuit()
+    ckt.voltage_source("V1", "in", "0", dc=10.0)
+    ckt.resistor("R1", "in", "mid", 1e3)
+    ckt.resistor("R2", "mid", "0", 3e3)
+    op = solve_dc(ckt)
+    assert op.v("mid") == pytest.approx(7.5)
+    assert op.branch_current("V1") == pytest.approx(-2.5e-3)
+
+
+@given(v=st.floats(-50, 50), r1=st.floats(10, 1e6), r2=st.floats(10, 1e6))
+@settings(max_examples=50, deadline=None)
+def test_divider_property(v, r1, r2):
+    """V_mid = V * R2 / (R1 + R2) for every divider."""
+    ckt = Circuit()
+    ckt.voltage_source("V1", "in", "0", dc=v)
+    ckt.resistor("R1", "in", "mid", r1)
+    ckt.resistor("R2", "mid", "0", r2)
+    op = solve_dc(ckt)
+    assert op.v("mid") == pytest.approx(v * r2 / (r1 + r2), rel=1e-9,
+                                        abs=1e-12)
+
+
+def test_superposition_of_two_sources():
+    """Linear circuits obey superposition."""
+    def build(v1, i2):
+        ckt = Circuit()
+        ckt.voltage_source("V1", "a", "0", dc=v1)
+        ckt.resistor("R1", "a", "b", 2e3)
+        ckt.resistor("R2", "b", "0", 1e3)
+        ckt.current_source("I2", "0", "b", dc=i2)
+        return solve_dc(ckt).v("b")
+
+    both = build(5.0, 1e-3)
+    only_v = build(5.0, 0.0)
+    only_i = build(0.0, 1e-3)
+    assert both == pytest.approx(only_v + only_i, rel=1e-9)
+
+
+def test_current_source_into_resistor():
+    ckt = Circuit()
+    ckt.current_source("I1", "0", "a", dc=2e-3)
+    ckt.resistor("R1", "a", "0", 1e3)
+    op = solve_dc(ckt)
+    assert op.v("a") == pytest.approx(2.0)
+
+
+def test_vcvs_gain():
+    ckt = Circuit()
+    ckt.voltage_source("V1", "in", "0", dc=0.5)
+    ckt.vcvs("E1", "out", "0", "in", "0", gain=10.0)
+    ckt.resistor("RL", "out", "0", 1e3)
+    op = solve_dc(ckt)
+    assert op.v("out") == pytest.approx(5.0)
+
+
+def test_vccs_transconductance():
+    ckt = Circuit()
+    ckt.voltage_source("V1", "in", "0", dc=1.0)
+    ckt.vccs("G1", "0", "out", "in", "0", gm=1e-3)
+    ckt.resistor("RL", "out", "0", 2e3)
+    op = solve_dc(ckt)
+    # 1 mA pushed into 2k load (from 0 to out means current into out).
+    assert op.v("out") == pytest.approx(2.0)
+
+
+def test_inductor_is_dc_short():
+    ckt = Circuit()
+    ckt.voltage_source("V1", "in", "0", dc=3.0)
+    ckt.resistor("R1", "in", "a", 1e3)
+    ckt.inductor("L1", "a", "b", 1.0)
+    ckt.resistor("R2", "b", "0", 1e3)
+    op = solve_dc(ckt)
+    assert op.v("a") == pytest.approx(op.v("b"))
+    assert op.branch_current("L1") == pytest.approx(1.5e-3)
+
+
+def test_capacitor_is_dc_open():
+    ckt = Circuit()
+    ckt.voltage_source("V1", "in", "0", dc=3.0)
+    ckt.resistor("R1", "in", "a", 1e3)
+    ckt.capacitor("C1", "a", "0", 1e-6)
+    op = solve_dc(ckt)
+    assert op.v("a") == pytest.approx(3.0)  # no DC current -> no drop
+
+
+def test_diode_forward_drop():
+    ckt = Circuit()
+    ckt.voltage_source("V1", "in", "0", dc=5.0)
+    ckt.resistor("R1", "in", "d", 1e3)
+    ckt.diode("D1", "d", "0")
+    op = solve_dc(ckt)
+    vd = op.v("d")
+    assert 0.4 < vd < 0.8
+    # KCL: resistor current equals diode current.
+    i_r = (5.0 - vd) / 1e3
+    i_d = 1e-14 * (np.exp(vd / 0.02585) - 1.0)
+    assert i_r == pytest.approx(i_d, rel=1e-3)
+
+
+def test_diode_reverse_blocks():
+    ckt = Circuit()
+    ckt.voltage_source("V1", "in", "0", dc=-5.0)
+    ckt.resistor("R1", "in", "d", 1e3)
+    ckt.diode("D1", "d", "0")
+    op = solve_dc(ckt)
+    assert op.v("d") == pytest.approx(-5.0, abs=1e-3)
+
+
+def test_nmos_saturation_current():
+    """Square-law drain current in saturation, against hand math."""
+    ckt = Circuit()
+    ckt.voltage_source("Vdd", "vdd", "0", dc=5.0)
+    ckt.voltage_source("Vg", "g", "0", dc=2.0)
+    ckt.resistor("Rd", "vdd", "d", 1e3)
+    m = ckt.mosfet("M1", "d", "g", "0", kind="n", w=10e-6, l=1e-6,
+                   kp=100e-6, vth=1.0, lam=0.0)
+    op = solve_dc(ckt)
+    beta = 100e-6 * 10
+    i_d = 0.5 * beta * (2.0 - 1.0) ** 2
+    assert op.v("d") == pytest.approx(5.0 - 1e3 * i_d, rel=1e-6)
+    assert m.operating_region(op.x) == "saturation"
+
+
+def test_nmos_triode_region():
+    ckt = Circuit()
+    ckt.voltage_source("Vdd", "vdd", "0", dc=5.0)
+    ckt.voltage_source("Vg", "g", "0", dc=4.0)
+    ckt.resistor("Rd", "vdd", "d", 1e5)
+    m = ckt.mosfet("M1", "d", "g", "0", kind="n", w=10e-6, l=1e-6,
+                   kp=100e-6, vth=1.0, lam=0.0)
+    op = solve_dc(ckt)
+    assert m.operating_region(op.x) == "triode"
+    assert op.v("d") < 4.0 - 1.0  # below vov confirms triode
+
+
+def test_pmos_mirror_ratio():
+    """A 2:1 PMOS mirror doubles the reference current."""
+    ckt = Circuit()
+    ckt.voltage_source("Vdd", "vdd", "0", dc=5.0)
+    ckt.resistor("Rref", "bias", "0", 40e3)
+    ckt.mosfet("MP1", "bias", "bias", "vdd", kind="p", w=20e-6, l=2e-6,
+               kp=40e-6, vth=0.8, lam=1e-9)
+    ckt.mosfet("MP2", "out", "bias", "vdd", kind="p", w=40e-6, l=2e-6,
+               kp=40e-6, vth=0.8, lam=1e-9)
+    ckt.voltage_source("Vout", "out", "0", dc=2.0)
+    op = solve_dc(ckt)
+    i_ref = op.v("bias") / 40e3
+    # The mirror pushes current into "out"; it exits through Vout from
+    # the + terminal, so the branch current is positive.
+    i_out = op.branch_current("Vout")
+    assert i_out == pytest.approx(2.0 * i_ref, rel=1e-3)
+
+
+def test_homotopy_can_be_disabled():
+    # A well-behaved circuit converges without homotopy.
+    ckt = Circuit()
+    ckt.voltage_source("V1", "in", "0", dc=1.0)
+    ckt.resistor("R1", "in", "0", 1e3)
+    op = solve_dc(ckt, use_homotopy=False)
+    assert op.v("in") == pytest.approx(1.0)
+
+
+def test_floating_node_raises():
+    ckt = Circuit()
+    ckt.current_source("I1", "0", "a", dc=1e-3)
+    # Node "a" has no DC path: singular matrix.
+    with pytest.raises(ConvergenceError):
+        solve_dc(ckt, use_homotopy=False)

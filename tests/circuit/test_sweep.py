@@ -1,0 +1,69 @@
+"""DC sweep analysis tests."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import Circuit, sweep_dc
+from repro.circuit.devices import Pulse
+from repro.errors import AnalysisError
+
+
+def _divider():
+    ckt = Circuit()
+    ckt.voltage_source("Vin", "in", "0", dc=1.0)
+    ckt.resistor("R1", "in", "mid", 1e3)
+    ckt.resistor("R2", "mid", "0", 1e3)
+    return ckt
+
+
+class TestSweepDc:
+    def test_linear_circuit_sweeps_linearly(self):
+        ckt = _divider()
+        values = np.linspace(-5, 5, 11)
+        sweep = sweep_dc(ckt, "Vin", values)
+        assert np.allclose(sweep.v("mid"), values / 2)
+        assert np.allclose(sweep.branch_current("Vin"), -values / 2e3)
+
+    def test_source_value_restored_after_sweep(self):
+        ckt = _divider()
+        sweep_dc(ckt, "Vin", [2.0, 3.0])
+        assert ckt.device("Vin").wave.dc == 1.0
+
+    def test_current_source_sweep(self):
+        ckt = Circuit()
+        ckt.current_source("I1", "0", "a", dc=0.0)
+        ckt.resistor("R1", "a", "0", 2e3)
+        sweep = sweep_dc(ckt, "I1", [1e-3, 2e-3])
+        assert np.allclose(sweep.v("a"), [2.0, 4.0])
+
+    def test_mosfet_transfer_curve(self):
+        """Common-source transfer curve: monotone falling, rail to rail."""
+        ckt = Circuit()
+        ckt.voltage_source("Vdd", "vdd", "0", dc=5.0)
+        ckt.voltage_source("Vg", "g", "0", dc=0.0)
+        ckt.resistor("Rd", "vdd", "d", 1e4)
+        ckt.mosfet("M1", "d", "g", "0", kind="n", w=20e-6, l=2e-6,
+                   kp=100e-6, vth=1.0, lam=0.02)
+        sweep = sweep_dc(ckt, "Vg", np.linspace(0.0, 3.0, 31))
+        vd = sweep.v("d")
+        assert vd[0] == pytest.approx(5.0, abs=1e-3)   # cutoff
+        assert vd[-1] < 1.0                            # hard on
+        assert np.all(np.diff(vd) <= 1e-9)             # monotone falling
+
+    def test_operating_point_accessor(self):
+        ckt = _divider()
+        sweep = sweep_dc(ckt, "Vin", [4.0])
+        op = sweep.operating_point(0)
+        assert op.v("mid") == pytest.approx(2.0)
+
+    def test_validation(self):
+        ckt = _divider()
+        with pytest.raises(AnalysisError, match="independent source"):
+            sweep_dc(ckt, "R1", [1.0])
+        with pytest.raises(AnalysisError, match="at least one"):
+            sweep_dc(ckt, "Vin", [])
+        ckt2 = Circuit()
+        ckt2.voltage_source("Vp", "a", "0", dc=Pulse(0, 1))
+        ckt2.resistor("R", "a", "0", 1e3)
+        with pytest.raises(AnalysisError, match="plain DC"):
+            sweep_dc(ckt2, "Vp", [1.0])

@@ -1,0 +1,138 @@
+"""Transient analysis tests against closed-form step responses."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit import Circuit, solve_transient
+from repro.circuit.devices import Pulse, Pwl, Sine
+from repro.errors import ConvergenceError
+
+
+def _rc_step(r=1e3, c=1e-7, v=1.0, delay=1e-5):
+    ckt = Circuit()
+    ckt.voltage_source("Vin", "in", "0",
+                       dc=Pulse(0.0, v, delay=delay, rise=1e-8))
+    ckt.resistor("R", "in", "out", r)
+    ckt.capacitor("C", "out", "0", c)
+    return ckt
+
+
+def test_rc_step_exponential():
+    r, c = 1e3, 1e-7
+    tau = r * c
+    ckt = _rc_step(r, c)
+    tr = solve_transient(ckt, 8e-4, 1e-6)
+    for k in (0.5, 1.0, 2.0, 3.0):
+        t_probe = 1e-5 + k * tau
+        expected = 1.0 - np.exp(-k)
+        got = float(np.interp(t_probe, tr.t, tr.v("out")))
+        assert got == pytest.approx(expected, abs=0.01)
+
+
+def test_initial_condition_is_dc_operating_point():
+    ckt = _rc_step()
+    tr = solve_transient(ckt, 1e-5, 1e-6)
+    assert tr.v("out")[0] == pytest.approx(0.0, abs=1e-9)
+
+
+@given(tau_steps=st.integers(20, 200))
+@settings(max_examples=20, deadline=None)
+def test_rc_step_accuracy_improves_with_resolution(tau_steps):
+    """Trapezoidal integration stays accurate across step sizes."""
+    r, c = 1e3, 1e-7
+    tau = r * c
+    dt = tau / tau_steps
+    ckt = _rc_step(r, c, delay=0.0)
+    tr = solve_transient(ckt, 3 * tau, dt)
+    got = float(np.interp(tau, tr.t, tr.v("out")))
+    assert got == pytest.approx(1.0 - np.exp(-1.0), abs=0.02)
+
+
+def test_rl_current_ramp():
+    """Inductor current rises exponentially toward V/R."""
+    ckt = Circuit()
+    ckt.voltage_source("Vin", "in", "0", dc=Pulse(0.0, 1.0, delay=0.0,
+                                                  rise=1e-9))
+    ckt.resistor("R", "in", "a", 100.0)
+    ckt.inductor("L", "a", "0", 1e-3)
+    tau = 1e-3 / 100.0
+    tr = solve_transient(ckt, 5 * tau, tau / 50)
+    i = tr.branch_current("L")
+    got = float(np.interp(tau, tr.t, i))
+    assert got == pytest.approx((1.0 / 100.0) * (1 - np.exp(-1)), rel=0.03)
+
+
+def test_sine_source_amplitude_preserved():
+    """A through-wire sine keeps its amplitude and frequency."""
+    ckt = Circuit()
+    ckt.voltage_source("Vin", "in", "0", dc=Sine(0.0, 1.0, 1e3))
+    ckt.resistor("R", "in", "out", 1.0)
+    ckt.resistor("RL", "out", "0", 1e6)
+    tr = solve_transient(ckt, 2e-3, 1e-6)
+    out = tr.v("out")
+    assert out.max() == pytest.approx(1.0, abs=0.01)
+    assert out.min() == pytest.approx(-1.0, abs=0.01)
+    # Zero crossings every half period.
+    crossings = np.sum(np.diff(np.sign(out)) != 0)
+    assert 3 <= crossings <= 5
+
+
+def test_pwl_waveform_followed():
+    ckt = Circuit()
+    ckt.voltage_source("Vin", "in", "0",
+                       dc=Pwl([0.0, 1e-3, 2e-3], [0.0, 2.0, -1.0]))
+    ckt.resistor("R", "in", "0", 1e3)
+    tr = solve_transient(ckt, 2e-3, 5e-5)
+    assert float(np.interp(0.5e-3, tr.t, tr.v("in"))) == pytest.approx(
+        1.0, abs=1e-6)
+    assert tr.v("in")[-1] == pytest.approx(-1.0, abs=1e-6)
+
+
+def test_backward_euler_method_selectable():
+    ckt = _rc_step()
+    tr = solve_transient(ckt, 4e-4, 2e-6, method="be")
+    got = float(np.interp(1e-5 + 1e-4, tr.t, tr.v("out")))
+    assert got == pytest.approx(1 - np.exp(-1), abs=0.03)
+
+
+def test_unknown_method_rejected():
+    ckt = _rc_step()
+    with pytest.raises(ConvergenceError, match="unknown integration"):
+        solve_transient(ckt, 1e-4, 1e-6, method="gear2")
+
+
+def test_nonlinear_transient_diode_rectifier():
+    """A half-wave rectifier clips the negative half cycle."""
+    ckt = Circuit()
+    ckt.voltage_source("Vin", "in", "0", dc=Sine(0.0, 5.0, 1e3))
+    ckt.diode("D1", "in", "out")
+    ckt.resistor("RL", "out", "0", 1e3)
+    tr = solve_transient(ckt, 2e-3, 2e-6)
+    out = tr.v("out")
+    assert out.max() > 3.5          # forward peak minus diode drop
+    assert out.min() > -0.1         # reverse half clipped near zero
+
+
+def test_lc_tank_rings_at_resonance():
+    """A lightly loaded LC tank rings at f0 (trapezoidal keeps energy).
+
+    The 100 kOhm source resistor leaves the parallel tank with
+    Q = R * sqrt(C/L) = 100, so the amplitude barely decays over the
+    ten simulated periods and the zero-crossing count pins f0.
+    """
+    ckt = Circuit()
+    ckt.voltage_source("Vexc", "in", "0",
+                       dc=Pulse(1.0, 0.0, delay=1e-7, rise=1e-9))
+    ckt.resistor("Rsrc", "in", "a", 1e5)
+    ckt.inductor("L", "a", "0", 1e-3)
+    ckt.capacitor("C", "a", "0", 1e-9)
+    f0 = 1.0 / (2 * np.pi * np.sqrt(1e-3 * 1e-9))
+    tr = solve_transient(ckt, 10.0 / f0, 1.0 / (f0 * 80))
+    v = tr.v("a")
+    crossings = np.sum(np.diff(np.sign(v[tr.t > 2e-7])) != 0)
+    assert crossings == pytest.approx(20, abs=3)
+    # Light damping: the last-period amplitude stays above 70 %.
+    last = np.abs(v[tr.t > 8.0 / f0]).max()
+    first = np.abs(v).max()
+    assert last > 0.7 * first

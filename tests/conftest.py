@@ -1,0 +1,29 @@
+"""Shared pytest fixtures (helpers live in tests/synthetic.py)."""
+
+import pytest
+
+from tests.synthetic import make_synthetic_dataset
+
+
+@pytest.fixture
+def synthetic_train():
+    """400-instance synthetic training set (redundant specs)."""
+    return make_synthetic_dataset(n=400, seed=1)
+
+
+@pytest.fixture
+def synthetic_test():
+    """200-instance synthetic held-out set from the same DUT."""
+    return make_synthetic_dataset(n=200, seed=2)
+
+
+@pytest.fixture
+def noisy_train():
+    """Training set whose spec redundancy is only approximate."""
+    return make_synthetic_dataset(n=400, noise=0.15, seed=3)
+
+
+@pytest.fixture
+def noisy_test():
+    """Held-out counterpart of noisy_train."""
+    return make_synthetic_dataset(n=200, noise=0.15, seed=4)

@@ -1,0 +1,110 @@
+"""Distribution-based guard band tests (paper future work)."""
+
+import numpy as np
+import pytest
+
+from repro.core.guardband import (
+    GuardBandedClassifier, distribution_guard_deltas,
+)
+from repro.core.metrics import GUARD
+from repro.errors import CompactionError
+from repro.learn import SVC
+
+from tests.synthetic import make_synthetic_dataset
+
+
+def _fixed_factory():
+    return SVC(C=50.0, gamma="scale")
+
+
+class TestDistributionGuardDeltas:
+    def test_returns_delta_per_spec(self, synthetic_train):
+        deltas = distribution_guard_deltas(synthetic_train,
+                                           target_fraction=0.05)
+        assert set(deltas) == set(synthetic_train.names)
+        assert all(0.0 < d <= 0.2 for d in deltas.values())
+
+    def test_wider_target_wider_bands(self, synthetic_train):
+        narrow = distribution_guard_deltas(synthetic_train, 0.02)
+        wide = distribution_guard_deltas(synthetic_train, 0.20)
+        for name in synthetic_train.names:
+            assert wide[name] >= narrow[name]
+
+    def test_bands_cover_target_fraction(self, synthetic_train):
+        """Each per-spec band contains roughly the target share."""
+        target = 0.10
+        deltas = distribution_guard_deltas(
+            synthetic_train, target, min_delta=0.0, max_delta=1.0)
+        Z = synthetic_train.normalized_values()
+        for j, name in enumerate(synthetic_train.names):
+            d = np.minimum(np.abs(Z[:, j]), np.abs(Z[:, j] - 1.0))
+            covered = np.mean(d <= deltas[name])
+            assert covered == pytest.approx(target, abs=0.05)
+
+    def test_spec_far_from_boundary_gets_min_delta(self):
+        """A spec whose population never approaches its limits clamps."""
+        ds = make_synthetic_dataset(n=300, range_width=50.0)
+        deltas = distribution_guard_deltas(ds, 0.05, min_delta=0.01)
+        # Huge ranges: everything sits mid-range, so the quantile is
+        # large and the clamp at max_delta applies instead; verify the
+        # clamping bounds hold either way.
+        assert all(0.01 <= d <= 0.2 for d in deltas.values())
+
+    def test_validation(self, synthetic_train):
+        with pytest.raises(CompactionError):
+            distribution_guard_deltas(synthetic_train, 0.0)
+        with pytest.raises(CompactionError):
+            distribution_guard_deltas(synthetic_train, 1.0)
+
+
+class TestPerSpecGuardBand:
+    def test_dict_delta_accepted_and_used(self, synthetic_train):
+        deltas = {name: 0.05 for name in synthetic_train.names}
+        model = GuardBandedClassifier(
+            synthetic_train.names[:4], delta=deltas,
+            model_factory=_fixed_factory)
+        model.fit(synthetic_train)
+        pred = model.predict_dataset(synthetic_train)
+        assert set(np.unique(pred)) <= {-1, 0, 1}
+
+    def test_dict_matches_equivalent_scalar(self, synthetic_train):
+        scalar = GuardBandedClassifier(
+            synthetic_train.names[:4], delta=0.05,
+            model_factory=_fixed_factory).fit(synthetic_train)
+        uniform = GuardBandedClassifier(
+            synthetic_train.names[:4],
+            delta={n: 0.05 for n in synthetic_train.names},
+            model_factory=_fixed_factory).fit(synthetic_train)
+        a = scalar.predict_dataset(synthetic_train)
+        b = uniform.predict_dataset(synthetic_train)
+        assert np.array_equal(a, b)
+
+    def test_zero_dict_never_guards(self, synthetic_train):
+        model = GuardBandedClassifier(
+            synthetic_train.names[:4],
+            delta={n: 0.0 for n in synthetic_train.names},
+            model_factory=_fixed_factory).fit(synthetic_train)
+        assert GUARD not in model.predict_dataset(synthetic_train)
+
+    def test_missing_spec_in_dict_rejected(self, synthetic_train):
+        model = GuardBandedClassifier(
+            synthetic_train.names[:4], delta={"s0": 0.05},
+            model_factory=_fixed_factory)
+        with pytest.raises(CompactionError, match="no guard-band delta"):
+            model.fit(synthetic_train)
+
+    def test_negative_dict_delta_rejected(self):
+        with pytest.raises(CompactionError):
+            GuardBandedClassifier(["s0"], delta={"s0": -0.1})
+
+    def test_distribution_deltas_plug_into_classifier(self,
+                                                      synthetic_train):
+        deltas = distribution_guard_deltas(synthetic_train, 0.05)
+        model = GuardBandedClassifier(
+            synthetic_train.names[:5], delta=deltas,
+            model_factory=_fixed_factory).fit(synthetic_train)
+        pred = model.predict_dataset(synthetic_train)
+        confident = pred != GUARD
+        # Confident predictions stay nearly error free.
+        errors = np.mean(pred[confident] != synthetic_train.labels[confident])
+        assert errors < 0.05

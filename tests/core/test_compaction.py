@@ -1,0 +1,150 @@
+"""Greedy test-set compaction loop tests (paper Fig. 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.compaction import TestCompactor as Compactor
+from repro.core.grid import GridCompactor
+from repro.core.metrics import GUARD
+from repro.core.ordering import RandomOrder
+from repro.errors import CompactionError
+from repro.learn import SVC
+
+from tests.synthetic import make_synthetic_dataset
+
+
+def _fixed_factory():
+    return SVC(C=50.0, gamma="scale")
+
+
+def _compactor(**kw):
+    kw.setdefault("model_factory", _fixed_factory)
+    kw.setdefault("tolerance", 0.02)
+    kw.setdefault("guard_band", 0.05)
+    return Compactor(**kw)
+
+
+class TestGreedyLoop:
+    def test_redundant_specs_eliminated(self, synthetic_train,
+                                        synthetic_test):
+        """6 specs from 3 latent dims: at least one is redundant."""
+        result = _compactor().run(synthetic_train, synthetic_test)
+        assert len(result.eliminated) >= 1
+        assert set(result.kept) | set(result.eliminated) == \
+            set(synthetic_train.names)
+        assert set(result.kept) & set(result.eliminated) == set()
+
+    def test_final_error_within_tolerance(self, synthetic_train,
+                                          synthetic_test):
+        result = _compactor().run(synthetic_train, synthetic_test)
+        assert result.final_report.error_rate <= 0.02 + 1e-9
+
+    def test_zero_tolerance_demands_perfection(self, noisy_train,
+                                               noisy_test):
+        """Noisy redundancy + zero tolerance: very little elimination."""
+        strict = _compactor(tolerance=0.0).run(noisy_train, noisy_test)
+        loose = _compactor(tolerance=0.10).run(noisy_train, noisy_test)
+        assert len(strict.eliminated) <= len(loose.eliminated)
+
+    def test_steps_recorded_for_every_examined_test(self, synthetic_train,
+                                                    synthetic_test):
+        result = _compactor().run(synthetic_train, synthetic_test)
+        examined = [s.test_name for s in result.steps]
+        assert examined == list(result.order)[:len(examined)]
+        for step in result.steps:
+            assert step.report.n_total == len(synthetic_test)
+            if step.eliminated:
+                assert step.test_name in step.eliminated_so_far
+
+    def test_rejected_test_restored(self, noisy_train, noisy_test):
+        result = _compactor(tolerance=0.005).run(noisy_train, noisy_test)
+        for step in result.steps:
+            if not step.eliminated:
+                assert step.test_name in result.kept
+
+    def test_order_strategy_used(self, synthetic_train, synthetic_test):
+        order = RandomOrder(seed=3)
+        result = _compactor(order=order).run(synthetic_train,
+                                             synthetic_test)
+        assert result.order == order.order(synthetic_train)
+
+    def test_explicit_order_list(self, synthetic_train, synthetic_test):
+        names = list(reversed(synthetic_train.names))
+        result = _compactor(order=names).run(synthetic_train,
+                                             synthetic_test)
+        assert result.order == tuple(names)
+
+    def test_min_kept_respected(self, synthetic_train, synthetic_test):
+        result = _compactor(tolerance=1.0, min_kept=4).run(
+            synthetic_train, synthetic_test)
+        assert len(result.kept) >= 4
+
+    def test_full_tolerance_eliminates_down_to_min(self, synthetic_train,
+                                                   synthetic_test):
+        result = _compactor(tolerance=1.0, min_kept=1).run(
+            synthetic_train, synthetic_test)
+        assert len(result.kept) == 1
+
+    def test_grid_compaction_variant_still_works(self, synthetic_train,
+                                                 synthetic_test):
+        result = _compactor(grid_compactor=GridCompactor(6)).run(
+            synthetic_train, synthetic_test)
+        assert result.final_report.error_rate <= 0.05
+
+    def test_count_guard_as_error_is_stricter(self, synthetic_train,
+                                              synthetic_test):
+        plain = _compactor(tolerance=0.02).run(synthetic_train,
+                                               synthetic_test)
+        strict = _compactor(tolerance=0.02, count_guard_as_error=True).run(
+            synthetic_train, synthetic_test)
+        assert len(strict.eliminated) <= len(plain.eliminated)
+
+    def test_history_table_shape(self, synthetic_train, synthetic_test):
+        result = _compactor().run(synthetic_train, synthetic_test)
+        rows = result.history_table()
+        assert len(rows) == len(result.steps)
+        for row in rows:
+            assert 0.0 <= row["yield_loss_pct"] <= 100.0
+            assert 0.0 <= row["guard_pct"] <= 100.0
+
+    def test_summary_mentions_counts(self, synthetic_train,
+                                     synthetic_test):
+        result = _compactor().run(synthetic_train, synthetic_test)
+        text = result.summary()
+        assert "eliminated" in text and "kept" in text
+        assert 0.0 <= result.compaction_ratio <= 1.0
+
+
+class TestEvaluateSubset:
+    def test_empty_elimination_is_error_free(self, synthetic_train,
+                                             synthetic_test):
+        model, report = _compactor().evaluate_subset(
+            synthetic_train, synthetic_test, [])
+        assert report.error_rate == 0.0
+
+    def test_block_elimination(self, synthetic_train, synthetic_test):
+        model, report = _compactor().evaluate_subset(
+            synthetic_train, synthetic_test, ["s4", "s5"])
+        assert model.feature_names == ("s0", "s1", "s2", "s3")
+        assert report.n_total == len(synthetic_test)
+
+    def test_cannot_eliminate_everything(self, synthetic_train,
+                                         synthetic_test):
+        with pytest.raises(CompactionError):
+            _compactor().evaluate_subset(
+                synthetic_train, synthetic_test, list(synthetic_train.names))
+
+
+class TestValidation:
+    def test_mismatched_specs_rejected(self, synthetic_train):
+        other = make_synthetic_dataset(n=50, n_specs=5)
+        with pytest.raises(CompactionError, match="share"):
+            _compactor().run(synthetic_train, other)
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(CompactionError):
+            Compactor(tolerance=-0.1)
+
+    def test_min_kept_validated(self):
+        with pytest.raises(CompactionError):
+            Compactor(min_kept=0)

@@ -1,0 +1,69 @@
+"""Test-cost model tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.costmodel import TestCostModel as CostModel
+from repro.errors import CompactionError
+
+
+class TestTestCostModel:
+    def test_uniform_costs(self):
+        model = CostModel.uniform(["a", "b", "c"], cost=2.0)
+        assert model.full_cost() == pytest.approx(6.0)
+        assert model.cost(["a"]) == pytest.approx(2.0)
+        assert model.reduction(["a"]) == pytest.approx(2 / 3)
+
+    def test_group_fixture_cost_paid_once(self):
+        model = CostModel(
+            {"a1": 1.0, "a2": 1.0, "b1": 1.0},
+            groups={"a1": "hot", "a2": "hot", "b1": "room"},
+            group_costs={"hot": 10.0, "room": 1.0})
+        # Applying both hot tests pays the hot soak once.
+        assert model.cost(["a1", "a2"]) == pytest.approx(12.0)
+        assert model.cost(["a1"]) == pytest.approx(11.0)
+        assert model.cost(["b1"]) == pytest.approx(2.0)
+
+    def test_dropping_a_group_saves_its_fixture(self):
+        model = CostModel(
+            {"h": 1.0, "c": 1.0, "r": 1.0},
+            groups={"h": "hot", "c": "cold", "r": "room"},
+            group_costs={"hot": 20.0, "cold": 20.0, "room": 1.0})
+        assert model.full_cost() == pytest.approx(44.0)
+        # Eliminating hot and cold: only room remains.
+        assert model.reduction(["r"]) == pytest.approx(1.0 - 2.0 / 44.0)
+        assert model.reduction(["r"]) > 0.5  # the paper's headline claim
+
+    def test_empty_applied_set_costs_nothing(self):
+        model = CostModel.uniform(["a", "b"])
+        assert model.cost([]) == 0.0
+        assert model.reduction([]) == pytest.approx(1.0)
+
+    @given(kept=st.sets(st.sampled_from(["a", "b", "c", "d"])))
+    @settings(max_examples=30, deadline=None)
+    def test_reduction_bounds(self, kept):
+        model = CostModel.uniform(["a", "b", "c", "d"])
+        r = model.reduction(sorted(kept))
+        assert 0.0 <= r <= 1.0
+
+    def test_monotonicity(self):
+        """Adding a test to the applied set never lowers the cost."""
+        model = CostModel(
+            {"a": 1.0, "b": 2.0, "c": 3.0},
+            groups={"a": "g"}, group_costs={"g": 5.0})
+        assert model.cost(["b"]) <= model.cost(["a", "b"])
+        assert model.cost(["a", "b"]) <= model.cost(["a", "b", "c"])
+
+    def test_validation(self):
+        with pytest.raises(CompactionError):
+            CostModel({})
+        with pytest.raises(CompactionError, match="negative"):
+            CostModel({"a": -1.0})
+        with pytest.raises(CompactionError, match="unknown tests"):
+            CostModel({"a": 1.0}, groups={"b": "g"},
+                          group_costs={"g": 1.0})
+        with pytest.raises(CompactionError, match="no cost entry"):
+            CostModel({"a": 1.0}, groups={"a": "g"}, group_costs={})
+        model = CostModel.uniform(["a"])
+        with pytest.raises(CompactionError, match="unknown test"):
+            model.cost(["zz"])

@@ -1,0 +1,99 @@
+"""Grid training-data compaction tests (paper Section 4.3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.grid import GridCompactor
+from repro.core.specs import BAD, GOOD
+from repro.errors import CompactionError
+
+
+def _clustered_data(seed=0, n=300):
+    """Two well-separated clusters -> mostly pure cells."""
+    rng = np.random.default_rng(seed)
+    X_good = rng.uniform(0.1, 0.4, (n // 2, 2))
+    X_bad = rng.uniform(0.6, 0.9, (n // 2, 2))
+    X = np.vstack([X_good, X_bad])
+    y = np.r_[np.full(n // 2, GOOD), np.full(n // 2, BAD)]
+    return X, y
+
+
+class TestGridCompactor:
+    def test_pure_cells_merge_to_centers(self):
+        X, y = _clustered_data()
+        Xc, yc, info = GridCompactor(resolution=4).compact(X, y)
+        assert Xc.shape[0] < X.shape[0]
+        assert info["compression"] < 0.5
+        assert info["n_mixed_cells"] + info["n_pure_cells"] == info["n_cells"]
+
+    def test_mixed_cells_keep_raw_instances(self):
+        # Everything in one cell, both classes present.
+        X = np.array([[0.1, 0.1], [0.2, 0.2], [0.15, 0.12]])
+        y = np.array([GOOD, BAD, GOOD])
+        Xc, yc, info = GridCompactor(resolution=1).compact(X, y)
+        assert Xc.shape[0] == 3
+        assert info["n_mixed_cells"] == 1
+
+    def test_single_pure_cell_becomes_one_center(self):
+        X = np.array([[0.1, 0.1], [0.2, 0.2]])
+        y = np.array([GOOD, GOOD])
+        Xc, yc, _ = GridCompactor(resolution=1).compact(X, y)
+        assert Xc.shape[0] == 1
+        assert yc[0] == GOOD
+        assert np.allclose(Xc[0], [0.5, 0.5])  # cell center
+
+    def test_out_of_range_values_handled(self):
+        X = np.array([[-0.5, 0.5], [1.5, 0.5]])
+        y = np.array([BAD, BAD])
+        Xc, yc, info = GridCompactor(resolution=4).compact(X, y)
+        assert Xc.shape[0] == 2  # two distinct outer cells, both pure
+        assert np.all(yc == BAD)
+
+    @given(seed=st.integers(0, 50), res=st.integers(1, 10))
+    @settings(max_examples=30, deadline=None)
+    def test_compaction_invariants(self, seed, res):
+        """Output never exceeds input; labels stay in {-1, +1};
+        class presence is preserved."""
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(5, 120))
+        X = rng.uniform(-0.2, 1.2, (n, 3))
+        y = rng.choice([GOOD, BAD], n)
+        Xc, yc, info = GridCompactor(resolution=res).compact(X, y)
+        assert Xc.shape[0] <= n
+        assert set(np.unique(yc)) <= {GOOD, BAD}
+        # Classes present in the input remain present in the output.
+        for cls in np.unique(y):
+            assert cls in yc
+        assert 0.0 < info["compression"] <= 1.0
+
+    @given(seed=st.integers(0, 30))
+    @settings(max_examples=20, deadline=None)
+    def test_compacted_labels_consistent_per_cell(self, seed):
+        """A center instance label equals the label of its source cell."""
+        rng = np.random.default_rng(seed)
+        X = rng.uniform(0, 1, (60, 2))
+        y = np.where(X[:, 0] < 0.5, GOOD, BAD)  # axis-aligned split
+        grid = GridCompactor(resolution=2)
+        Xc, yc, info = grid.compact(X, y)
+        # resolution 2 aligns with the split: every cell is pure.
+        assert info["n_mixed_cells"] == 0
+        assert np.array_equal(yc, np.where(Xc[:, 0] < 0.5, GOOD, BAD))
+
+    def test_cell_indices_and_centers_inverse(self):
+        grid = GridCompactor(resolution=8)
+        cells = grid.cell_indices(np.array([[0.0, 0.99], [0.5, 0.5]]))
+        assert cells[0].tolist() == [0, 7]
+        center = grid.cell_center(np.array([0, 7]))
+        assert grid.cell_indices(center[None, :])[0].tolist() == [0, 7]
+
+    def test_validation(self):
+        with pytest.raises(CompactionError):
+            GridCompactor(0)
+        grid = GridCompactor(4)
+        with pytest.raises(CompactionError):
+            grid.compact(np.zeros((0, 2)), np.zeros(0))
+        with pytest.raises(CompactionError):
+            grid.compact(np.zeros((3, 2)), np.array([1, 1]))
+        with pytest.raises(CompactionError):
+            grid.compact(np.zeros((2, 2)), np.array([0, 1]))

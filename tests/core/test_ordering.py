@@ -1,0 +1,97 @@
+"""Test-ordering strategy tests (paper Section 3.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.ordering import (
+    ClassificationPowerOrder,
+    ClusterOrder,
+    FunctionalOrder,
+    RandomOrder,
+)
+from repro.core.specs import Specification, SpecificationSet
+from repro.errors import CompactionError
+from repro.process.dataset import SpecDataset
+
+from tests.synthetic import make_synthetic_dataset
+
+
+class TestFunctionalOrder:
+    def test_passes_through_user_order(self, synthetic_train):
+        names = list(reversed(synthetic_train.names))
+        order = FunctionalOrder(names).order(synthetic_train)
+        assert order == tuple(names)
+
+    def test_rejects_non_permutation(self, synthetic_train):
+        with pytest.raises(CompactionError, match="permutation"):
+            FunctionalOrder(["s0", "s1"]).order(synthetic_train)
+        bad = list(synthetic_train.names[:-1]) + ["s0"]
+        with pytest.raises(CompactionError, match="permutation"):
+            FunctionalOrder(bad).order(synthetic_train)
+
+
+class TestRandomOrder:
+    def test_is_permutation_and_deterministic(self, synthetic_train):
+        a = RandomOrder(seed=5).order(synthetic_train)
+        b = RandomOrder(seed=5).order(synthetic_train)
+        c = RandomOrder(seed=6).order(synthetic_train)
+        assert a == b
+        assert sorted(a) == sorted(synthetic_train.names)
+        assert a != c or len(a) <= 2  # different seed, different order
+
+
+class TestClassificationPowerOrder:
+    def _dataset(self):
+        """Spec 'only' uniquely rejects 10 devices; 'never' rejects none."""
+        specs = SpecificationSet([
+            Specification("never", "u", 0.0, -100.0, 100.0),
+            Specification("only", "u", 0.0, -1.0, 1.0),
+        ])
+        rng = np.random.default_rng(0)
+        values = np.zeros((50, 2))
+        values[:, 0] = rng.normal(0, 1.0, 50)     # always in range
+        values[:, 1] = rng.normal(0, 1.0, 50)     # sometimes out
+        return SpecDataset(specs, values)
+
+    def test_weak_spec_examined_first(self):
+        ds = self._dataset()
+        order = ClassificationPowerOrder().order(ds)
+        assert order[0] == "never"
+        assert order[-1] == "only"
+
+    def test_always_returns_permutation(self, synthetic_train):
+        order = ClassificationPowerOrder().order(synthetic_train)
+        assert sorted(order) == sorted(synthetic_train.names)
+
+
+class TestClusterOrder:
+    def _correlated_dataset(self):
+        """s0 and s1 duplicate each other; s2 independent."""
+        specs = SpecificationSet([
+            Specification("s0", "u", 0.0, -2.0, 2.0),
+            Specification("s1", "u", 0.0, -4.0, 4.0),
+            Specification("s2", "u", 0.0, -2.0, 2.0),
+        ])
+        rng = np.random.default_rng(1)
+        a = rng.normal(0, 1, 200)
+        b = rng.normal(0, 1, 200)
+        values = np.column_stack([a, 2.0 * a, b])
+        return SpecDataset(specs, values)
+
+    def test_cluster_members_before_representatives(self):
+        ds = self._correlated_dataset()
+        order = ClusterOrder(threshold=0.9).order(ds)
+        # One of the correlated pair comes first; the independent spec
+        # and the pair's representative come last.
+        assert order[0] in ("s0", "s1")
+        assert set(order[-2:]) == {"s2"} | ({"s0", "s1"} - {order[0]})
+
+    def test_no_correlation_all_representatives(self, synthetic_train):
+        order = ClusterOrder(threshold=0.999).order(synthetic_train)
+        assert sorted(order) == sorted(synthetic_train.names)
+
+    def test_threshold_validation(self):
+        with pytest.raises(CompactionError):
+            ClusterOrder(threshold=0.0)
+        with pytest.raises(CompactionError):
+            ClusterOrder(threshold=1.5)

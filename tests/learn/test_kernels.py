@@ -1,0 +1,98 @@
+"""Kernel function tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.errors import LearningError
+from repro.learn.kernels import (
+    kernel_function, resolve_gamma, squared_distances,
+)
+
+
+def _matrix(rows, cols=3):
+    return arrays(np.float64, (rows, cols),
+                  elements=st.floats(-5, 5, allow_nan=False))
+
+
+class TestSquaredDistances:
+    def test_simple_case(self):
+        A = np.array([[0.0, 0.0], [1.0, 0.0]])
+        B = np.array([[0.0, 1.0]])
+        d2 = squared_distances(A, B)
+        assert d2[0, 0] == pytest.approx(1.0)
+        assert d2[1, 0] == pytest.approx(2.0)
+
+    @given(A=_matrix(4))
+    @settings(max_examples=30, deadline=None)
+    def test_self_distance_zero_diagonal(self, A):
+        d2 = squared_distances(A, A)
+        assert np.allclose(np.diagonal(d2), 0.0, atol=1e-9)
+        assert np.all(d2 >= 0.0)
+
+    @given(A=_matrix(3), B=_matrix(5))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_bruteforce(self, A, B):
+        d2 = squared_distances(A, B)
+        brute = np.array([[np.sum((a - b) ** 2) for b in B] for a in A])
+        assert np.allclose(d2, brute, atol=1e-7)
+
+
+class TestKernels:
+    def test_linear_is_dot_product(self):
+        k = kernel_function("linear")
+        A = np.array([[1.0, 2.0]])
+        B = np.array([[3.0, 4.0]])
+        assert k(A, B)[0, 0] == pytest.approx(11.0)
+
+    def test_rbf_bounds_and_identity(self):
+        k = kernel_function("rbf", gamma=0.7)
+        A = np.random.default_rng(0).normal(size=(6, 3))
+        K = k(A, A)
+        assert np.allclose(np.diagonal(K), 1.0)
+        assert np.all((K > 0.0) & (K <= 1.0 + 1e-12))
+
+    @given(gamma=st.floats(0.01, 5.0))
+    @settings(max_examples=30, deadline=None)
+    def test_rbf_gram_positive_semidefinite(self, gamma):
+        A = np.random.default_rng(1).normal(size=(8, 2))
+        K = kernel_function("rbf", gamma=gamma)(A, A)
+        eigs = np.linalg.eigvalsh(K)
+        assert eigs.min() > -1e-9
+
+    def test_poly_kernel(self):
+        k = kernel_function("poly", gamma=1.0, degree=2, coef0=1.0)
+        A = np.array([[1.0, 0.0]])
+        assert k(A, A)[0, 0] == pytest.approx(4.0)  # (1*1 + 1)^2
+
+    def test_sigmoid_kernel_bounded(self):
+        k = kernel_function("sigmoid", gamma=0.5, coef0=0.0)
+        A = np.random.default_rng(2).normal(size=(5, 4))
+        K = k(A, A)
+        assert np.all(np.abs(K) <= 1.0)
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(LearningError, match="unknown kernel"):
+            kernel_function("wavelet")
+
+
+class TestResolveGamma:
+    def test_scale_uses_variance(self):
+        X = np.array([[0.0, 0.0], [2.0, 2.0]])
+        expected = 1.0 / (2 * X.var())
+        assert resolve_gamma("scale", X) == pytest.approx(expected)
+
+    def test_auto_uses_feature_count(self):
+        X = np.zeros((3, 4))
+        assert resolve_gamma("auto", X) == pytest.approx(0.25)
+
+    def test_scale_on_constant_data(self):
+        X = np.ones((5, 2))
+        assert resolve_gamma("scale", X) == pytest.approx(0.5)
+
+    def test_numeric_passthrough_and_validation(self):
+        X = np.zeros((2, 2))
+        assert resolve_gamma(1.5, X) == 1.5
+        with pytest.raises(LearningError, match="positive"):
+            resolve_gamma(-1.0, X)

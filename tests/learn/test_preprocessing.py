@@ -1,0 +1,90 @@
+"""Normalization/scaling tests (paper Section 4.3 behaviour)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.specs import Specification, SpecificationSet
+from repro.errors import LearningError
+from repro.learn import RangeNormalizer, StandardScaler
+
+
+class TestRangeNormalizer:
+    def test_maps_range_onto_unit_interval(self):
+        norm = RangeNormalizer([10.0], [20.0])
+        assert norm.transform(np.array([[10.0]]))[0, 0] == 0.0
+        assert norm.transform(np.array([[20.0]]))[0, 0] == 1.0
+        assert norm.transform(np.array([[15.0]]))[0, 0] == 0.5
+
+    def test_out_of_range_values_leave_unit_interval(self):
+        norm = RangeNormalizer([0.0], [1.0])
+        assert norm.transform(np.array([[-0.5]]))[0, 0] == -0.5
+        assert norm.transform(np.array([[2.0]]))[0, 0] == 2.0
+
+    @given(X=arrays(np.float64, (7, 3),
+                    elements=st.floats(-100, 100, allow_nan=False)))
+    @settings(max_examples=40, deadline=None)
+    def test_round_trip_property(self, X):
+        norm = RangeNormalizer([-150.0, -150.0, -150.0],
+                               [150.0, 150.0, 150.0])
+        back = norm.inverse_transform(norm.transform(X))
+        assert np.allclose(back, X, atol=1e-9)
+
+    def test_from_specifications(self):
+        specs = SpecificationSet([
+            Specification("a", "u", 5.0, 0.0, 10.0),
+            Specification("b", "u", 1.0, -1.0, 3.0),
+        ])
+        norm = RangeNormalizer.from_specifications(specs)
+        out = norm.transform(np.array([[5.0, 1.0]]))
+        assert np.allclose(out, [[0.5, 0.5]])
+
+    def test_from_data_handles_constant_columns(self):
+        X = np.array([[1.0, 7.0], [2.0, 7.0]])
+        norm = RangeNormalizer.from_data(X)
+        out = norm.transform(X)
+        assert np.all(np.isfinite(out))
+
+    def test_one_dimensional_input(self):
+        norm = RangeNormalizer([0.0, 0.0], [2.0, 4.0])
+        out = norm.transform(np.array([1.0, 1.0]))
+        assert out.shape == (2,)
+        assert np.allclose(out, [0.5, 0.25])
+
+    def test_subset_selects_columns(self):
+        norm = RangeNormalizer([0.0, 10.0, 20.0], [1.0, 11.0, 21.0])
+        sub = norm.subset([2, 0])
+        assert np.allclose(sub.lows, [20.0, 0.0])
+
+    def test_validation(self):
+        with pytest.raises(LearningError):
+            RangeNormalizer([1.0], [1.0])
+        norm = RangeNormalizer([0.0], [1.0])
+        with pytest.raises(LearningError, match="columns"):
+            norm.transform(np.zeros((2, 3)))
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_std(self):
+        X = np.random.default_rng(0).normal(3.0, 2.0, (200, 4))
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(Z.std(axis=0), 1.0, atol=1e-9)
+
+    def test_constant_column_safe(self):
+        X = np.ones((10, 2))
+        Z = StandardScaler().fit_transform(X)
+        assert np.all(np.isfinite(Z))
+
+    @given(X=arrays(np.float64, (9, 2),
+                    elements=st.floats(-50, 50, allow_nan=False)))
+    @settings(max_examples=40, deadline=None)
+    def test_round_trip(self, X):
+        scaler = StandardScaler().fit(X)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(X)),
+                           X, atol=1e-8)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(LearningError, match="not fitted"):
+            StandardScaler().transform(np.zeros((1, 1)))

@@ -1,0 +1,64 @@
+"""SMO kernel-column-cache path tests (large-problem mode)."""
+
+import numpy as np
+import pytest
+
+from repro.learn import SVC
+from repro.learn.kernels import kernel_function
+from repro.learn import smo as smo_module
+from repro.learn.smo import _ColumnCache, solve_smo
+
+
+def _blobs(n=80, seed=0):
+    rng = np.random.default_rng(seed)
+    X1 = rng.normal([2, 0], 0.6, (n // 2, 2))
+    X2 = rng.normal([-2, 0], 0.6, (n // 2, 2))
+    return np.vstack([X1, X2]), np.r_[np.ones(n // 2), -np.ones(n // 2)]
+
+
+class TestColumnCache:
+    def test_columns_match_direct_kernel(self):
+        X, _ = _blobs(20)
+        kernel = kernel_function("rbf", gamma=1.0)
+        cache = _ColumnCache(kernel, X, max_columns=4)
+        K = kernel(X, X)
+        for i in (0, 5, 19):
+            assert np.allclose(cache.column(i), K[i])
+
+    def test_eviction_keeps_results_correct(self):
+        X, _ = _blobs(30)
+        kernel = kernel_function("rbf", gamma=0.5)
+        cache = _ColumnCache(kernel, X, max_columns=2)
+        K = kernel(X, X)
+        # Touch more columns than the cache holds, then re-read.
+        for i in range(10):
+            cache.column(i)
+        assert np.allclose(cache.column(0), K[0])
+        assert len(cache._columns) <= 2
+
+    def test_diag_matches_kernel(self):
+        X, _ = _blobs(16)
+        kernel = kernel_function("rbf", gamma=1.0)
+        cache = _ColumnCache(kernel, X, max_columns=4)
+        assert np.allclose(cache.diag(), np.ones(len(X)))
+
+
+class TestCacheModeEquivalence:
+    def test_same_solution_as_precomputed(self, monkeypatch):
+        """Forcing the column-cache path reproduces the dense result."""
+        X, y = _blobs(100, seed=3)
+        kernel = kernel_function("rbf", gamma=1.0)
+        dense = solve_smo(kernel, X, y, C=10.0)
+        monkeypatch.setattr(smo_module, "PRECOMPUTE_LIMIT", 10)
+        cached = solve_smo(kernel, X, y, C=10.0, cache_columns=16)
+        # Same decision function on the training points.
+        K = kernel(X, X)
+        f_dense = K @ (dense.alpha * y) + dense.bias
+        f_cached = K @ (cached.alpha * y) + cached.bias
+        assert np.array_equal(np.sign(f_dense), np.sign(f_cached))
+
+    def test_svc_accuracy_unchanged_in_cache_mode(self, monkeypatch):
+        X, y = _blobs(120, seed=5)
+        monkeypatch.setattr(smo_module, "PRECOMPUTE_LIMIT", 10)
+        model = SVC(C=10.0, gamma=1.0).fit(X, y)
+        assert model.score(X, y) == 1.0

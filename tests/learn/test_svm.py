@@ -1,0 +1,134 @@
+"""SVC and SMO solver tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import LearningError
+from repro.learn import SVC
+from repro.learn.smo import solve_smo
+from repro.learn.kernels import kernel_function
+
+
+def _blobs(n=60, separation=4.0, seed=0):
+    rng = np.random.default_rng(seed)
+    X1 = rng.normal([separation / 2, 0], 0.5, (n // 2, 2))
+    X2 = rng.normal([-separation / 2, 0], 0.5, (n - n // 2, 2))
+    X = np.vstack([X1, X2])
+    y = np.r_[np.ones(n // 2), -np.ones(n - n // 2)]
+    return X, y
+
+
+class TestSmo:
+    def test_separable_problem_zero_training_error(self):
+        X, y = _blobs()
+        kernel = kernel_function("rbf", gamma=1.0)
+        result = solve_smo(kernel, X, y, C=10.0)
+        assert result.converged
+        f = kernel(X, X) @ (result.alpha * y) + result.bias
+        assert np.all(np.sign(f) == y)
+
+    def test_dual_constraint_satisfied(self):
+        X, y = _blobs(seed=3)
+        kernel = kernel_function("rbf", gamma=1.0)
+        result = solve_smo(kernel, X, y, C=5.0)
+        assert abs(np.sum(result.alpha * y)) < 1e-8
+        assert np.all(result.alpha >= -1e-12)
+        assert np.all(result.alpha <= 5.0 + 1e-12)
+
+    @given(C=st.floats(0.1, 100.0))
+    @settings(max_examples=20, deadline=None)
+    def test_box_constraint_property(self, C):
+        X, y = _blobs(n=40, separation=1.0, seed=7)
+        kernel = kernel_function("rbf", gamma=1.0)
+        result = solve_smo(kernel, X, y, C=C)
+        assert np.all(result.alpha >= -1e-12)
+        assert np.all(result.alpha <= C + 1e-10)
+        assert abs(np.sum(result.alpha * y)) < 1e-8
+
+    def test_invalid_inputs(self):
+        X, y = _blobs(n=10)
+        kernel = kernel_function("linear")
+        with pytest.raises(LearningError, match="positive"):
+            solve_smo(kernel, X, y, C=-1.0)
+        with pytest.raises(LearningError, match="-1/\\+1"):
+            solve_smo(kernel, X, np.arange(10.0), C=1.0)
+
+
+class TestSvc:
+    def test_fit_predict_separable(self):
+        X, y = _blobs()
+        model = SVC().fit(X, y)
+        assert model.score(X, y) == 1.0
+        assert set(np.unique(model.predict(X))) <= {-1, 1}
+
+    def test_generalization_on_circle(self):
+        rng = np.random.default_rng(5)
+        X = rng.uniform(-2, 2, (400, 2))
+        y = np.where(np.hypot(X[:, 0], X[:, 1]) < 1.2, 1.0, -1.0)
+        model = SVC(C=10.0, gamma=2.0).fit(X, y)
+        Xt = rng.uniform(-2, 2, (300, 2))
+        yt = np.where(np.hypot(Xt[:, 0], Xt[:, 1]) < 1.2, 1.0, -1.0)
+        assert model.score(Xt, yt) > 0.93
+
+    def test_linear_kernel_on_linear_boundary(self):
+        rng = np.random.default_rng(6)
+        X = rng.normal(size=(200, 3))
+        y = np.where(X @ np.array([1.0, -2.0, 0.5]) > 0, 1.0, -1.0)
+        model = SVC(kernel="linear", C=10.0).fit(X, y)
+        assert model.score(X, y) > 0.97
+
+    def test_decision_function_sign_matches_predict(self):
+        X, y = _blobs(seed=9)
+        model = SVC().fit(X, y)
+        scores = model.decision_function(X)
+        assert np.array_equal(np.where(scores >= 0, 1, -1),
+                              model.predict(X))
+
+    def test_single_class_degenerates_to_constant(self):
+        X = np.random.default_rng(0).normal(size=(20, 2))
+        model = SVC().fit(X, np.ones(20))
+        assert np.all(model.predict(np.random.normal(size=(5, 2))) == 1)
+        model2 = SVC().fit(X, -np.ones(20))
+        assert np.all(model2.predict(X) == -1)
+
+    def test_single_row_prediction(self):
+        X, y = _blobs()
+        model = SVC().fit(X, y)
+        one = model.predict(X[0])
+        assert one.shape == (1,)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(LearningError, match="not fitted"):
+            SVC().predict(np.zeros((1, 2)))
+
+    def test_feature_count_mismatch_raises(self):
+        X, y = _blobs()
+        model = SVC().fit(X, y)
+        with pytest.raises(LearningError, match="features"):
+            model.predict(np.zeros((1, 5)))
+
+    def test_label_validation(self):
+        X = np.zeros((4, 2))
+        with pytest.raises(LearningError, match="-1/\\+1"):
+            SVC().fit(X, np.array([0, 1, 2, 3]))
+
+    def test_clone_copies_hyperparameters(self):
+        model = SVC(C=3.0, kernel="poly", degree=4)
+        clone = model.clone()
+        assert clone.get_params() == model.get_params()
+        assert clone is not model
+
+    def test_error_rate_complement_of_score(self):
+        X, y = _blobs(seed=11)
+        model = SVC().fit(X, y)
+        assert model.error_rate(X, y) == pytest.approx(
+            1.0 - model.score(X, y))
+
+    @given(seed=st.integers(0, 50))
+    @settings(max_examples=15, deadline=None)
+    def test_training_labels_respected_when_separable(self, seed):
+        """Well-separated data is always fit perfectly."""
+        X, y = _blobs(n=30, separation=6.0, seed=seed)
+        model = SVC(C=100.0, gamma=1.0).fit(X, y)
+        assert model.score(X, y) == 1.0

@@ -1,0 +1,49 @@
+"""Electrical-equivalent accelerometer simulation tests."""
+
+import numpy as np
+import pytest
+
+from repro.mems import AccelerometerGeometry, build_equivalent_circuit, \
+    frequency_response
+from repro.mems import mechanics as M
+
+
+class TestEquivalentCircuit:
+    def test_lumped_values_match_mechanics(self):
+        g = AccelerometerGeometry()
+        ckt, lumped = build_equivalent_circuit(g, 27.0)
+        assert lumped["m"] == pytest.approx(M.effective_mass(g))
+        assert lumped["k"] == pytest.approx(M.spring_constant(g, 27.0))
+        assert lumped["c"] == pytest.approx(
+            M.damping_coefficient(g, 27.0))
+        assert ckt.device("Lmass").inductance == lumped["m"]
+        assert ckt.device("Ckinv").capacitance == pytest.approx(
+            1.0 / lumped["k"])
+
+    def test_response_matches_analytic_transfer(self):
+        """AC-simulated |x(f)| equals 1/|k - w^2 m + j w c|."""
+        g = AccelerometerGeometry()
+        freqs = np.logspace(2.5, 4.5, 101)
+        sim = frequency_response(g, freqs, 27.0)
+        m = M.effective_mass(g)
+        c = M.damping_coefficient(g, 27.0)
+        k = M.spring_constant(g, 27.0)
+        w = 2 * np.pi * freqs
+        analytic = 1.0 / np.abs(k - m * w ** 2 + 1j * w * c)
+        assert np.allclose(sim, analytic, rtol=1e-6)
+
+    def test_static_compliance(self):
+        g = AccelerometerGeometry()
+        resp = frequency_response(g, [1.0], 27.0)
+        assert resp[0] == pytest.approx(
+            1.0 / M.spring_constant(g, 27.0), rel=1e-4)
+
+    def test_resonant_peak_location(self):
+        g = AccelerometerGeometry()
+        f0 = M.resonant_frequency(g)
+        freqs = np.linspace(0.5 * f0, 1.5 * f0, 401)
+        resp = frequency_response(g, freqs, 27.0)
+        q = M.quality_factor_analytic(g)
+        f_peak_expected = f0 * np.sqrt(1 - 1 / (2 * q * q))
+        f_peak = freqs[np.argmax(resp)]
+        assert f_peak == pytest.approx(f_peak_expected, rel=0.01)

@@ -1,0 +1,105 @@
+"""MEMS mechanics tests: scaling laws and temperature physics."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mems import AccelerometerGeometry
+from repro.mems import mechanics as M
+
+
+class TestScalingLaws:
+    def test_stiffness_cubic_in_width(self):
+        g = AccelerometerGeometry()
+        wide = AccelerometerGeometry(beam_width=g.beam_width * 2)
+        ratio = M.spring_constant(wide) / M.spring_constant(g)
+        assert ratio == pytest.approx(8.0, rel=0.02)
+
+    def test_stiffness_inverse_cubic_in_length(self):
+        g = AccelerometerGeometry()
+        long = AccelerometerGeometry(beam_length=g.beam_length * 2)
+        ratio = M.spring_constant(long) / M.spring_constant(g)
+        assert ratio == pytest.approx(1 / 8.0, rel=0.05)
+
+    def test_mass_scales_with_plate_area(self):
+        g = AccelerometerGeometry()
+        big = AccelerometerGeometry(mass_length=g.mass_length * 2)
+        assert M.effective_mass(big) > 1.8 * M.effective_mass(g)
+
+    @given(scale=st.floats(0.7, 1.4))
+    @settings(max_examples=30, deadline=None)
+    def test_resonance_from_k_and_m(self, scale):
+        """f0 always equals sqrt(k/m)/2pi regardless of geometry."""
+        g = AccelerometerGeometry(beam_length=210e-6 * scale)
+        f0 = M.resonant_frequency(g)
+        expected = math.sqrt(
+            M.spring_constant(g) / M.effective_mass(g)) / (2 * math.pi)
+        assert f0 == pytest.approx(expected, rel=1e-12)
+
+    def test_angle_misalignment_stiffens(self):
+        straight = AccelerometerGeometry(spring_angle_deg=0.0)
+        tilted = AccelerometerGeometry(spring_angle_deg=3.0)
+        assert M.spring_constant(tilted) > M.spring_constant(straight)
+        # Symmetric in the angle sign.
+        tilted_neg = AccelerometerGeometry(spring_angle_deg=-3.0)
+        assert M.spring_constant(tilted_neg) == pytest.approx(
+            M.spring_constant(tilted), rel=1e-9)
+
+
+class TestTemperaturePhysics:
+    def test_hot_die_stiffens_cold_die_softens(self):
+        """Anchor motion: expansion tensions the beams (paper's model)."""
+        g = AccelerometerGeometry()
+        k_cold = M.spring_constant(g, -40.0)
+        k_room = M.spring_constant(g, 27.0)
+        k_hot = M.spring_constant(g, 80.0)
+        assert k_cold < k_room < k_hot
+
+    def test_anchor_displacement_sign(self):
+        g = AccelerometerGeometry()
+        assert M.anchor_displacement(g, 80.0) > 0
+        assert M.anchor_displacement(g, -40.0) < 0
+        assert M.anchor_displacement(g, M.T_ROOM) == 0.0
+
+    def test_viscosity_increases_with_temperature(self):
+        assert M.viscosity(80.0) > M.viscosity(27.0) > M.viscosity(-40.0)
+
+    def test_quality_factor_drops_when_hot(self):
+        g = AccelerometerGeometry()
+        assert (M.quality_factor_analytic(g, 80.0)
+                < M.quality_factor_analytic(g, 27.0)
+                < M.quality_factor_analytic(g, -40.0))
+
+    def test_youngs_modulus_softens_with_temperature(self):
+        assert M.youngs_modulus(80.0) < M.youngs_modulus(27.0)
+
+    def test_nominal_q_near_two(self):
+        q = M.quality_factor_analytic(AccelerometerGeometry())
+        assert q == pytest.approx(2.0, rel=0.1)
+
+    def test_nominal_f0_in_range(self):
+        f0 = M.resonant_frequency(AccelerometerGeometry())
+        assert 4.5e3 < f0 < 6.0e3
+
+    def test_temperature_shift_is_few_percent(self):
+        """Temperature moves k by percent, not by orders of magnitude."""
+        g = AccelerometerGeometry()
+        k_room = M.spring_constant(g, 27.0)
+        for t in (-40.0, 80.0):
+            shift = abs(M.spring_constant(g, t) - k_room) / k_room
+            assert 0.005 < shift < 0.15
+
+
+class TestSense:
+    def test_sense_capacitance_scales_with_fingers(self):
+        g = AccelerometerGeometry()
+        double = AccelerometerGeometry(n_fingers=g.n_fingers * 2)
+        assert M.sense_capacitance(double) == pytest.approx(
+            2 * M.sense_capacitance(g))
+
+    def test_sense_gain_inverse_in_gap(self):
+        g = AccelerometerGeometry()
+        wide = AccelerometerGeometry(finger_gap=g.finger_gap * 2)
+        assert M.sense_gain(wide) == pytest.approx(M.sense_gain(g) / 2)

@@ -1,0 +1,70 @@
+"""Op-amp specification-measurement tests (one real simulation)."""
+
+import numpy as np
+import pytest
+
+from repro.opamp import (
+    OPAMP_SPECIFICATIONS, OpAmpBench, OpAmpParameters, measure_opamp,
+)
+
+
+@pytest.fixture(scope="module")
+def nominal_measurements():
+    """Measure the nominal design once for the whole module (slow-ish)."""
+    return measure_opamp()
+
+
+class TestNominalMeasurements:
+    def test_all_eleven_specs_measured(self, nominal_measurements):
+        assert set(nominal_measurements) == set(OPAMP_SPECIFICATIONS.names)
+
+    def test_nominal_design_passes_every_range(self, nominal_measurements):
+        for spec in OPAMP_SPECIFICATIONS:
+            value = nominal_measurements[spec.name]
+            assert spec.contains(value), (
+                "{} = {} outside [{}, {}]".format(
+                    spec.name, value, spec.low, spec.high))
+
+    def test_values_near_recorded_nominals(self, nominal_measurements):
+        """Within 15 % of the nominals hard-coded in the spec table."""
+        for spec in OPAMP_SPECIFICATIONS:
+            if spec.name == "overshoot":
+                continue  # near-zero nominal: relative check meaningless
+            value = nominal_measurements[spec.name]
+            assert value == pytest.approx(spec.nominal, rel=0.15)
+
+    def test_gain_bandwidth_consistency(self, nominal_measurements):
+        """UGF ~ gain x BW for a dominant-pole amplifier."""
+        gbw = (nominal_measurements["gain"]
+               * nominal_measurements["bw_3db"] / 1e6)
+        assert gbw == pytest.approx(nominal_measurements["ugf"], rel=0.3)
+
+    def test_rise_time_consistent_with_slew(self, nominal_measurements):
+        """The 0.2 V small step is partially slew-limited; its 10-90 rise
+        cannot be faster than the pure-slew bound."""
+        sr = nominal_measurements["slew_rate"]  # V/us
+        bound_ns = 0.8 * 0.2 / sr * 1e3
+        assert nominal_measurements["rise_time"] >= 0.5 * bound_ns
+
+
+class TestBenchProtocol:
+    def test_sample_parameters_respects_spread(self):
+        bench = OpAmpBench(relative_spread=0.05)
+        rng = np.random.default_rng(0)
+        p = bench.sample_parameters(rng)
+        assert 0.95 <= p.w1 / OpAmpParameters().w1 <= 1.05
+
+    def test_measure_vector_aligned_with_specs(self, nominal_measurements):
+        bench = OpAmpBench()
+        row = bench.measure(OpAmpParameters())
+        assert row.shape == (len(OPAMP_SPECIFICATIONS),)
+        for i, name in enumerate(bench.specifications.names):
+            assert row[i] == pytest.approx(nominal_measurements[name],
+                                           rel=1e-9)
+
+    def test_small_dataset_generation(self):
+        bench = OpAmpBench()
+        ds = bench.generate_dataset(8, seed=123)
+        assert len(ds) == 8
+        assert ds.names == OPAMP_SPECIFICATIONS.names
+        assert np.all(np.isfinite(ds.values))

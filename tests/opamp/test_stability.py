@@ -1,0 +1,31 @@
+"""Op-amp stability diagnostic tests."""
+
+import pytest
+
+from repro.opamp import OpAmpParameters, measure_stability
+from dataclasses import replace
+
+
+class TestStability:
+    def test_nominal_phase_margin_healthy(self):
+        diag = measure_stability()
+        assert 50.0 < diag["phase_margin_deg"] < 90.0
+
+    def test_gain_margin_positive(self):
+        diag = measure_stability()
+        assert diag["gain_margin_db"] > 0.0
+
+    def test_smaller_compensation_reduces_phase_margin(self):
+        """Shrinking Cc pushes the UGF toward the second pole."""
+        nominal = measure_stability(OpAmpParameters())
+        small_cc = measure_stability(
+            replace(OpAmpParameters(), cc=OpAmpParameters().cc / 3))
+        assert (small_cc["phase_margin_deg"]
+                < nominal["phase_margin_deg"])
+
+    def test_heavier_load_reduces_phase_margin(self):
+        """More load capacitance lowers the output pole."""
+        nominal = measure_stability(OpAmpParameters())
+        heavy = measure_stability(
+            replace(OpAmpParameters(), cl=OpAmpParameters().cl * 4))
+        assert heavy["phase_margin_deg"] < nominal["phase_margin_deg"]

@@ -1,0 +1,91 @@
+"""Monte-Carlo generation loop tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConvergenceError, DatasetError
+from repro.process.montecarlo import generate_dataset
+
+from tests.synthetic import SyntheticDut
+
+
+class FlakyDut(SyntheticDut):
+    """A DUT whose simulation fails for a fraction of instances."""
+
+    def __init__(self, fail_every=5, **kw):
+        super().__init__(**kw)
+        self._counter = 0
+        self.fail_every = fail_every
+
+    def measure(self, params):
+        self._counter += 1
+        if self._counter % self.fail_every == 0:
+            raise ConvergenceError("simulated convergence failure")
+        return super().measure(params)
+
+
+class NonFiniteDut(SyntheticDut):
+    """A DUT that occasionally produces NaN measurements."""
+
+    def __init__(self, **kw):
+        super().__init__(**kw)
+        self._counter = 0
+
+    def measure(self, params):
+        self._counter += 1
+        values = super().measure(params)
+        if self._counter % 7 == 0:
+            values = values.copy()
+            values[0] = np.nan
+        return values
+
+
+class TestGenerateDataset:
+    def test_shape_and_determinism(self):
+        dut = SyntheticDut()
+        a = generate_dataset(dut, 50, seed=42)
+        b = generate_dataset(dut, 50, seed=42)
+        assert len(a) == 50
+        assert np.array_equal(a.values, b.values)
+
+    def test_different_seeds_differ(self):
+        dut = SyntheticDut()
+        a = generate_dataset(dut, 20, seed=1)
+        b = generate_dataset(dut, 20, seed=2)
+        assert not np.array_equal(a.values, b.values)
+
+    def test_resample_on_failure(self):
+        dut = FlakyDut(fail_every=5)
+        ds, report = generate_dataset(dut, 40, seed=0,
+                                      return_report=True)
+        assert len(ds) == 40
+        assert report.n_failed > 0
+        assert report.n_simulated == 40 + report.n_failed
+
+    def test_raise_mode_propagates(self):
+        dut = FlakyDut(fail_every=3)
+        with pytest.raises(ConvergenceError):
+            generate_dataset(dut, 40, seed=0, on_error="raise")
+
+    def test_non_finite_measurements_resampled(self):
+        dut = NonFiniteDut()
+        ds = generate_dataset(dut, 30, seed=0)
+        assert np.all(np.isfinite(ds.values))
+
+    def test_failure_budget_enforced(self):
+        dut = FlakyDut(fail_every=2)  # 50 % failure rate
+        with pytest.raises(DatasetError, match="aborted"):
+            generate_dataset(dut, 50, seed=0, max_failures=5)
+
+    def test_input_validation(self):
+        dut = SyntheticDut()
+        with pytest.raises(DatasetError):
+            generate_dataset(dut, 0, seed=0)
+        with pytest.raises(DatasetError):
+            generate_dataset(dut, 10, seed=0, on_error="ignore")
+
+    def test_labels_match_specifications(self):
+        dut = SyntheticDut()
+        ds = generate_dataset(dut, 60, seed=3)
+        expected = dut.specifications.labels(ds.values)
+        assert np.array_equal(ds.labels, expected)

@@ -1,0 +1,66 @@
+"""Benchmark-harness tests (caching and scale selection)."""
+
+import numpy as np
+import pytest
+
+from benchmarks import harness
+from repro.mems import MEMS_SPECIFICATIONS
+
+
+class TestScales:
+    def test_default_scale_selected(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert harness.bench_scale() == "default"
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "full")
+        assert harness.bench_scale() == "full"
+
+    def test_invalid_scale_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "gigantic")
+        with pytest.raises(ValueError):
+            harness.bench_scale()
+
+    def test_every_scale_covers_every_device(self):
+        for sizes in harness.SCALES.values():
+            assert set(sizes) == {"opamp", "mems"}
+        assert set(harness.SEEDS) == {"opamp", "mems"}
+
+
+class TestLoadPopulation:
+    def test_generates_and_caches(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(harness, "CACHE_DIR", tmp_path)
+        ds = harness.load_population("mems", 4, seed=7)
+        assert len(ds) == 4
+        assert (tmp_path / "mems_4_7.npz").exists()
+        # Second call loads from disk (byte-identical values).
+        again = harness.load_population("mems", 4, seed=7)
+        assert np.array_equal(again.values, ds.values)
+
+    def test_subsamples_larger_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(harness, "CACHE_DIR", tmp_path)
+        big = harness.load_population("mems", 6, seed=7)
+        small = harness.load_population("mems", 3, seed=7)
+        assert np.array_equal(small.values, big.values[:3])
+        # The subsample did not create its own cache file.
+        assert not (tmp_path / "mems_3_7.npz").exists()
+
+    def test_relabels_with_current_specifications(self, tmp_path,
+                                                  monkeypatch):
+        monkeypatch.setattr(harness, "CACHE_DIR", tmp_path)
+        ds = harness.load_population("mems", 3, seed=7)
+        assert ds.specifications == MEMS_SPECIFICATIONS
+
+    def test_unknown_device_rejected(self):
+        with pytest.raises(ValueError):
+            harness.load_population("flux-capacitor", 5, seed=0)
+
+
+class TestPrintTable:
+    def test_prints_all_rows(self, capsys):
+        harness.print_table("demo", ["a", "b"],
+                            [(1, 2.5), ("x", 0.125)])
+        out = capsys.readouterr().out
+        assert "demo" in out
+        assert "2.500" in out
+        assert "0.125" in out

@@ -1,0 +1,48 @@
+"""CLI smoke tests (fast subcommands only)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        sub = next(a for a in parser._actions
+                   if hasattr(a, "choices") and a.choices)
+        assert set(sub.choices) == {"table1", "table2", "fig5",
+                                    "table3", "cost"}
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults_parsed(self):
+        args = build_parser().parse_args(["fig5"])
+        assert args.train == 600
+        assert args.tolerance == 0.01
+
+    def test_table3_defaults_differ(self):
+        args = build_parser().parse_args(["table3"])
+        assert args.guard == 0.03
+        assert args.train == 1000
+
+    def test_overrides(self):
+        args = build_parser().parse_args(
+            ["fig5", "--train", "50", "--tolerance", "0.05"])
+        assert args.train == 50
+        assert args.tolerance == 0.05
+
+
+class TestFastCommands:
+    def test_table1_prints_eleven_specs(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        for name in ("gain", "slew_rate", "isc"):
+            assert name in out
+
+    def test_table2_prints_twelve_tests(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "quality_factor@-40C" in out
+        assert "bw_3db@80C" in out

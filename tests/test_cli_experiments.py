@@ -1,0 +1,22 @@
+"""CLI experiment subcommands at miniature scale (integration)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestMiniatureExperiments:
+    def test_table3_micro_run(self, capsys):
+        """The Table 3 flow end-to-end with a tiny MEMS population."""
+        assert main(["table3", "--train", "60", "--test", "40",
+                     "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "-40" in out and "both" in out
+        # Three data rows plus header.
+        assert len([l for l in out.splitlines() if l.strip()]) >= 4
+
+    def test_cost_micro_run(self, capsys):
+        assert main(["cost", "--train", "60", "--test", "40",
+                     "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "shipped" in out and "saved" in out

@@ -1,0 +1,56 @@
+"""Exception-hierarchy contract tests.
+
+Downstream code catches :class:`~repro.errors.ReproError` to handle
+any library failure uniformly (the Monte-Carlo loop depends on this to
+resample failed simulations), so the hierarchy is part of the API.
+"""
+
+import pytest
+
+from repro.errors import (
+    AnalysisError,
+    CircuitError,
+    CompactionError,
+    ConvergenceError,
+    DatasetError,
+    LearningError,
+    ReproError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc", [
+        CircuitError, ConvergenceError, AnalysisError, LearningError,
+        CompactionError, DatasetError,
+    ])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        assert issubclass(exc, Exception)
+
+    def test_convergence_error_carries_diagnostics(self):
+        err = ConvergenceError("did not converge", iterations=42,
+                               residual=1e-3)
+        assert err.iterations == 42
+        assert err.residual == 1e-3
+        assert "did not converge" in str(err)
+
+    def test_convergence_error_defaults(self):
+        import math
+
+        err = ConvergenceError("boom")
+        assert err.iterations == 0
+        assert math.isnan(err.residual)
+
+    def test_monte_carlo_catches_repro_errors_only(self):
+        """Non-library errors must propagate out of the generator."""
+        import numpy as np
+
+        from repro.process.montecarlo import generate_dataset
+        from tests.synthetic import SyntheticDut
+
+        class BuggyDut(SyntheticDut):
+            def measure(self, params):
+                raise ValueError("a programming bug, not a sim failure")
+
+        with pytest.raises(ValueError):
+            generate_dataset(BuggyDut(), 5, seed=0)

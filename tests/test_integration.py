@@ -1,0 +1,119 @@
+"""End-to-end integration tests across the whole stack.
+
+These use small real circuit simulations (op-amp and MEMS), so they
+are slower than the unit tests but verify the full pipeline:
+Monte-Carlo generation -> labeling -> compaction -> guard banding ->
+tester deployment.
+"""
+
+import numpy as np
+import pytest
+
+from repro import compact_specification_tests
+from repro.core.compaction import TestCompactor as Compactor
+from repro.core.costmodel import TestCostModel as CostModel
+from repro.core.metrics import GUARD
+from repro.learn import SVC
+from repro.mems import AccelerometerBench, TEMPERATURES, \
+    tests_at_temperature
+from repro.opamp import OpAmpBench
+from repro.tester import LookupTable, TestProgram as Program
+
+
+def _fixed_factory():
+    return SVC(C=500.0, gamma=8.0)
+
+
+@pytest.fixture(scope="module")
+def mems_data():
+    """Small real MEMS population shared by the module's tests."""
+    bench = AccelerometerBench()
+    train = bench.generate_dataset(300, seed=70)
+    test = bench.generate_dataset(200, seed=71)
+    return train, test
+
+
+@pytest.fixture(scope="module")
+def opamp_data():
+    """Small real op-amp population (slowest fixture in the suite)."""
+    bench = OpAmpBench()
+    train = bench.generate_dataset(120, seed=80)
+    test = bench.generate_dataset(80, seed=81)
+    return train, test
+
+
+class TestMemsEndToEnd:
+    def test_temperature_block_elimination(self, mems_data):
+        train, test = mems_data
+        compactor = Compactor(guard_band=0.03,
+                              model_factory=_fixed_factory)
+        eliminated = tests_at_temperature(-40) + tests_at_temperature(80)
+        model, report = compactor.evaluate_subset(train, test, eliminated)
+        # The paper's core result at reduced scale: small errors.
+        assert report.error_rate < 0.05
+        assert set(model.feature_names) == set(tests_at_temperature(27))
+
+    def test_full_tester_flow(self, mems_data):
+        train, test = mems_data
+        compactor = Compactor(guard_band=0.03,
+                              model_factory=_fixed_factory)
+        eliminated = tests_at_temperature(-40) + tests_at_temperature(80)
+        model, _ = compactor.evaluate_subset(train, test, eliminated)
+
+        costs, groups = {}, {}
+        for temp in TEMPERATURES:
+            for name in tests_at_temperature(temp):
+                costs[name] = 1.0
+                groups[name] = "{:g}C".format(temp)
+        cost_model = CostModel(costs, groups,
+                               {"-40C": 25.0, "27C": 2.0, "80C": 25.0})
+
+        lut = LookupTable(model, max_cells=100_000)
+        outcome = Program(lut, cost_model).run(test)
+        assert outcome.cost_reduction > 0.5
+        assert outcome.report.error_rate < 0.1
+
+    def test_greedy_loop_on_mems(self, mems_data):
+        train, test = mems_data
+        result = compact_specification_tests(
+            train, test, tolerance=0.03, guard_band=0.03,
+            model_factory=_fixed_factory)
+        # Twelve highly redundant tests: several must fall.
+        assert len(result.eliminated) >= 4
+        assert result.final_report.error_rate <= 0.03 + 1e-9
+
+
+class TestOpampEndToEnd:
+    def test_compaction_finds_redundancy(self, opamp_data):
+        train, test = opamp_data
+        result = compact_specification_tests(
+            train, test, tolerance=0.03, guard_band=0.05,
+            model_factory=_fixed_factory)
+        assert len(result.eliminated) >= 1
+        assert result.final_report.error_rate <= 0.03 + 1e-9
+
+    def test_no_elimination_zero_error(self, opamp_data):
+        train, test = opamp_data
+        compactor = Compactor(guard_band=0.05,
+                              model_factory=_fixed_factory)
+        _, report = compactor.evaluate_subset(train, test, [])
+        assert report.error_rate == 0.0
+
+    def test_guard_band_population_reasonable(self, opamp_data):
+        train, test = opamp_data
+        compactor = Compactor(guard_band=0.05,
+                              model_factory=_fixed_factory)
+        model, report = compactor.evaluate_subset(train, test, ["gain"])
+        # Paper Fig. 5 shows a substantial but bounded guard population.
+        assert 0.0 < report.guard_rate < 0.7
+
+
+class TestDeterminism:
+    def test_same_seed_same_compaction(self, mems_data):
+        train, test = mems_data
+        kwargs = dict(tolerance=0.03, guard_band=0.03,
+                      model_factory=_fixed_factory)
+        a = compact_specification_tests(train, test, **kwargs)
+        b = compact_specification_tests(train, test, **kwargs)
+        assert a.eliminated == b.eliminated
+        assert a.final_report == b.final_report

@@ -1,0 +1,107 @@
+"""Tester program simulation tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.costmodel import TestCostModel as CostModel
+from repro.core.guardband import GuardBandedClassifier
+from repro.core.metrics import GUARD
+from repro.core.specs import BAD, GOOD
+from repro.errors import CompactionError
+from repro.learn import SVC
+from repro.tester import LookupTable
+from repro.tester import TestProgram as Program
+
+from tests.synthetic import make_synthetic_dataset
+
+
+def _setup(delta=0.06):
+    train = make_synthetic_dataset(n=500, seed=1)
+    test = make_synthetic_dataset(n=300, seed=2)
+    kept = list(train.names[:4])
+    model = GuardBandedClassifier(
+        kept, delta=delta,
+        model_factory=lambda: SVC(C=50.0, gamma="scale"))
+    model.fit(train)
+    cost = CostModel.uniform(train.names)
+    return model, test, cost
+
+
+class TestRetestPolicies:
+    def test_full_retest_resolves_guard_devices_exactly(self):
+        model, test, cost = _setup()
+        program = Program(model, cost, retest_policy="full_retest")
+        outcome = program.run(test)
+        guard = outcome.first_pass == GUARD
+        assert np.array_equal(outcome.decisions[guard],
+                              test.labels[guard])
+        assert outcome.n_retested == int(guard.sum())
+
+    def test_accept_policy_ships_guard_devices(self):
+        model, test, cost = _setup()
+        outcome = Program(model, cost, retest_policy="accept").run(test)
+        guard = outcome.first_pass == GUARD
+        assert np.all(outcome.decisions[guard] == GOOD)
+        assert outcome.n_retested == 0
+
+    def test_reject_policy_scraps_guard_devices(self):
+        model, test, cost = _setup()
+        outcome = Program(model, cost, retest_policy="reject").run(test)
+        guard = outcome.first_pass == GUARD
+        assert np.all(outcome.decisions[guard] == BAD)
+
+    def test_policy_ordering_of_outcomes(self):
+        """accept maximizes escapes; reject maximizes yield loss."""
+        model, test, cost = _setup()
+        accept = Program(model, cost, retest_policy="accept").run(test)
+        reject = Program(model, cost, retest_policy="reject").run(test)
+        full = Program(model, cost,
+                           retest_policy="full_retest").run(test)
+        assert (accept.report.defect_escape_rate
+                >= full.report.defect_escape_rate)
+        assert (reject.report.yield_loss_rate
+                >= full.report.yield_loss_rate)
+
+    def test_invalid_policy_rejected(self):
+        model, _, cost = _setup()
+        with pytest.raises(CompactionError, match="policy"):
+            Program(model, cost, retest_policy="coin_flip")
+
+
+class TestCostAccounting:
+    def test_compacted_program_cheaper(self):
+        model, test, cost = _setup()
+        outcome = Program(model, cost).run(test)
+        assert outcome.total_cost < outcome.full_cost
+        assert 0.0 < outcome.cost_reduction < 1.0
+
+    def test_retest_adds_full_cost_per_guard_device(self):
+        model, test, cost = _setup()
+        outcome = Program(model, cost).run(test)
+        per_device = cost.cost(model.feature_names)
+        expected = (per_device * len(test)
+                    + cost.full_cost() * outcome.n_retested)
+        assert outcome.total_cost == pytest.approx(expected)
+
+    def test_no_cost_model_means_zero_costs(self):
+        model, test, _ = _setup()
+        outcome = Program(model).run(test)
+        assert outcome.total_cost == 0.0
+        assert outcome.cost_reduction == 0.0
+
+    def test_summary_mentions_key_numbers(self):
+        model, test, cost = _setup()
+        text = Program(model, cost).run(test).summary()
+        assert "shipped" in text and "retested" in text
+
+
+class TestLookupTableProgram:
+    def test_program_runs_from_lookup_table(self):
+        model, test, cost = _setup()
+        lut = LookupTable(model, max_cells=30000)
+        outcome = Program(lut, cost).run(test)
+        assert outcome.report.error_rate < 0.1
+        # The LUT path and the live-model path broadly agree.
+        live = Program(model, cost).run(test)
+        agreement = np.mean(outcome.decisions == live.decisions)
+        assert agreement > 0.9
