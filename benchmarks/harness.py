@@ -19,6 +19,7 @@ simulating.
 """
 
 import os
+import time
 from pathlib import Path
 
 import numpy as np
@@ -116,6 +117,20 @@ def print_table(title, header, rows):
             else:
                 cells.append(str(value).ljust(w))
         print("  ".join(cells))
+
+
+def wall_time(fn, *args, **kwargs):
+    """``(result, seconds)`` of one call, on the wall clock.
+
+    The speedup benchmarks compare whole alternative execution modes
+    (serial compactor vs. cache-aware engine vs. process fan-out), so
+    a single monotonic wall-clock measurement per mode is the honest
+    unit -- pytest-benchmark's statistical repetition machinery would
+    re-run multi-minute flows for digits nobody needs.
+    """
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start
 
 
 def run_once(benchmark, fn):

@@ -26,6 +26,11 @@ contribution:
 ``repro.tester``
     Deployment of a compacted test set on a tester via grid lookup
     tables, including the guard-band retest flow (paper Section 3.3).
+``repro.runtime``
+    The production runtime: subset-keyed kernel/Gram caching, SMO warm
+    starts, speculative multi-process candidate evaluation and batch
+    scheduling over many dataset pairs -- identical results to the
+    serial flow, much less wall clock.
 
 Quickstart::
 
@@ -44,6 +49,7 @@ Quickstart::
 __version__ = "1.0.0"
 
 __all__ = [
+    "CompactionEngine",
     "CompactionPipeline",
     "compact_specification_tests",
     "Specification",
@@ -53,6 +59,7 @@ __all__ = [
 ]
 
 _LAZY_EXPORTS = {
+    "CompactionEngine": ("repro.runtime.engine", "CompactionEngine"),
     "CompactionPipeline": ("repro.core.pipeline", "CompactionPipeline"),
     "compact_specification_tests": (
         "repro.core.pipeline", "compact_specification_tests"),

@@ -63,6 +63,10 @@ class CompactionResult:
     order: tuple = ()
     #: Tolerance e_T the run was configured with.
     tolerance: float = 0.0
+    #: Optional runtime counters (cache hits, speculation efficiency,
+    #: worker count) -- populated by :mod:`repro.runtime`, empty for
+    #: the plain compactor.
+    stats: dict = field(default_factory=dict)
 
     @property
     def compaction_ratio(self):
@@ -102,6 +106,43 @@ class CompactionResult:
         return rows
 
 
+class GridCompactedModel:
+    """Fits a base model on a grid-compacted training set."""
+
+    def __init__(self, base_model, grid):
+        self._model = base_model
+        self._grid = grid
+
+    def fit(self, X, y):
+        Xc, yc, _ = self._grid.compact(X, y)
+        self._model.fit(Xc, yc)
+        return self
+
+    def predict(self, X):
+        return self._model.predict(X)
+
+
+class GridCompactedFactory:
+    """Factory wrapper inserting grid compaction before every fit.
+
+    A plain module-level class (rather than a closure) so configured
+    compactors can cross process boundaries in :mod:`repro.runtime`.
+    """
+
+    def __init__(self, base, grid):
+        self._base = base
+        self._grid = grid
+
+    def tune(self, X, y):
+        if hasattr(self._base, "tune"):
+            Xc, yc, _ = self._grid.compact(X, y)
+            self._base.tune(Xc, yc)
+        return self
+
+    def __call__(self):
+        return GridCompactedModel(self._base(), self._grid)
+
+
 class TestCompactor:
     """Configurable greedy test-set compactor.
 
@@ -131,11 +172,21 @@ class TestCompactor:
     min_kept:
         Never eliminate below this many measured tests (default 1; the
         model needs at least one feature).
+    kernel_cache:
+        Optional :class:`repro.runtime.kernel_cache.GramCache` over the
+        training dataset, shared by every candidate fit (see
+        :class:`~repro.core.guardband.GuardBandedClassifier`).  Ignored
+        when a grid compactor is configured -- grid compaction rewrites
+        the training rows, so the cached Gram no longer applies.
+    warm_start:
+        Warm-start the loose guard-band model from the strict one's
+        dual solution on every fit.
     """
 
     def __init__(self, tolerance=0.01, guard_band=0.05, order=None,
                  model_factory=None, grid_compactor=None,
-                 count_guard_as_error=False, min_kept=1):
+                 count_guard_as_error=False, min_kept=1,
+                 kernel_cache=None, warm_start=False):
         if tolerance < 0:
             raise CompactionError("tolerance must be non-negative")
         if min_kept < 1:
@@ -152,6 +203,8 @@ class TestCompactor:
         self.grid_compactor = grid_compactor
         self.count_guard_as_error = bool(count_guard_as_error)
         self.min_kept = int(min_kept)
+        self.kernel_cache = kernel_cache
+        self.warm_start = bool(warm_start)
 
     # -- internals -------------------------------------------------------
     def _resolve_order(self, dataset):
@@ -163,9 +216,11 @@ class TestCompactor:
 
     def _fit_model(self, train, feature_names):
         base = self.model_factory or AutoTunedSVCFactory()
+        cache = None if self.grid_compactor is not None else self.kernel_cache
         model = GuardBandedClassifier(
             feature_names, delta=self.guard_band,
-            model_factory=self._wrapped_factory(base))
+            model_factory=self._wrapped_factory(base),
+            kernel_cache=cache, warm_start=self.warm_start)
         model.fit(train)
         return model
 
@@ -173,35 +228,7 @@ class TestCompactor:
         """Insert optional grid compaction in front of every model fit."""
         if self.grid_compactor is None:
             return base
-        grid = self.grid_compactor
-
-        class _GridCompactedModel:
-            """Fits the base model on a grid-compacted training set."""
-
-            def __init__(self):
-                self._model = base()
-
-            def fit(self, X, y):
-                Xc, yc, _ = grid.compact(X, y)
-                self._model.fit(Xc, yc)
-                return self
-
-            def predict(self, X):
-                return self._model.predict(X)
-
-        class _Factory:
-            """Factory wrapper that forwards hyperparameter tuning."""
-
-            def tune(self, X, y):
-                if hasattr(base, "tune"):
-                    Xc, yc, _ = grid.compact(X, y)
-                    base.tune(Xc, yc)
-                return self
-
-            def __call__(self):
-                return _GridCompactedModel()
-
-        return _Factory()
+        return GridCompactedFactory(base, self.grid_compactor)
 
     def _candidate_error(self, report):
         error = report.error_rate
@@ -228,6 +255,33 @@ class TestCompactor:
         return model, report
 
     # -- the greedy loop ----------------------------------------------------
+    def _greedy_loop(self, train, test, order):
+        """Examine each test in ``order``; eliminate while tolerable.
+
+        Returns ``(eliminated, steps, last_fit)`` where ``last_fit``
+        is ``(candidate, model, report)`` of the most recent accepted
+        candidate (``None`` when nothing was eliminated) -- the
+        runtime engine reuses it as the final refit.
+        """
+        eliminated = ()
+        steps = []
+        last_fit = None
+        for test_name in order:
+            if len(train.names) - len(eliminated) <= self.min_kept:
+                break
+            candidate = eliminated + (test_name,)
+            model, report = self.evaluate_subset(train, test, candidate)
+            accept = self._candidate_error(report) <= self.tolerance
+            if accept:
+                eliminated = candidate
+                last_fit = (candidate, model, report)
+            steps.append(CompactionStep(
+                test_name=test_name,
+                eliminated=accept,
+                report=report,
+                eliminated_so_far=tuple(eliminated)))
+        return eliminated, steps, last_fit
+
     def run(self, train, test):
         """Execute the paper's Fig. 2 flow.
 
@@ -248,22 +302,7 @@ class TestCompactor:
             raise CompactionError(
                 "train and test datasets must share specifications")
         order = self._resolve_order(train)
-        eliminated = []
-        steps = []
-        for test_name in order:
-            if len(train.names) - len(eliminated) <= self.min_kept:
-                break
-            candidate = eliminated + [test_name]
-            _, report = self.evaluate_subset(train, test, candidate)
-            accept = self._candidate_error(report) <= self.tolerance
-            if accept:
-                eliminated = candidate
-            steps.append(CompactionStep(
-                test_name=test_name,
-                eliminated=accept,
-                report=report,
-                eliminated_so_far=tuple(eliminated)))
-
+        eliminated, steps, _ = self._greedy_loop(train, test, order)
         kept = tuple(n for n in train.names if n not in set(eliminated))
         model, final_report = self.evaluate_subset(train, test, eliminated)
         return CompactionResult(

@@ -53,11 +53,16 @@ class AutoTunedSVCFactory:
     """
 
     def __init__(self, param_grid=None, n_splits=3, seed=0,
-                 max_tune_samples=1500):
+                 max_tune_samples=1500, n_jobs=1):
         self.param_grid = dict(param_grid or AUTO_TUNE_GRID)
         self.n_splits = int(n_splits)
         self.seed = seed
         self.max_tune_samples = int(max_tune_samples)
+        #: Worker processes for the grid search (the dominant cost of
+        #: a compaction run); results are identical at any value.
+        #: Leave at 1 inside an already-parallel engine run -- nesting
+        #: pools oversubscribes the machine.
+        self.n_jobs = int(n_jobs)
         self.best_params_ = None
 
     def tune(self, X, y):
@@ -84,7 +89,7 @@ class AutoTunedSVCFactory:
                 return self
         self.best_params_, _, _ = grid_search(
             SVC, self.param_grid, X, y, n_splits=self.n_splits,
-            seed=self.seed)
+            seed=self.seed, n_jobs=self.n_jobs)
         return self
 
     def __call__(self):
@@ -118,6 +123,17 @@ class GuardBandedClassifier:
     model_factory:
         Zero-argument callable producing an unfitted classifier with
         ``fit``/``predict`` (defaults to :func:`default_model_factory`).
+    kernel_cache:
+        Optional :class:`repro.runtime.kernel_cache.GramCache` built
+        from the *same* training dataset; the strict/loose model pair
+        then shares one precomputed Gram matrix per fit instead of
+        evaluating the kernel twice.  Models that do not understand
+        Gram views (no ``set_train_gram_view``) are unaffected.
+    warm_start:
+        When True, the loose model's SMO run is seeded from the strict
+        model's dual solution.  The two label vectors differ only on
+        guard-band devices, so the seed is near-optimal and the second
+        fit converges in a fraction of the iterations.
 
     The classifier is trained from a *full*
     :class:`~repro.process.dataset.SpecDataset` (all specifications
@@ -126,7 +142,8 @@ class GuardBandedClassifier:
     ``feature_names`` columns, as on the real tester.
     """
 
-    def __init__(self, feature_names, delta=0.05, model_factory=None):
+    def __init__(self, feature_names, delta=0.05, model_factory=None,
+                 kernel_cache=None, warm_start=False):
         self.feature_names = tuple(feature_names)
         if not self.feature_names:
             raise CompactionError(
@@ -143,6 +160,8 @@ class GuardBandedClassifier:
             self.delta = float(delta)
         # Default: cross-validated hyperparameter selection per fit.
         self.model_factory = model_factory or AutoTunedSVCFactory()
+        self.kernel_cache = kernel_cache
+        self.warm_start = bool(warm_start)
 
     def _delta_for(self, names):
         """Per-spec delta array for the given specification names."""
@@ -184,7 +203,7 @@ class GuardBandedClassifier:
             y = elim_specs.labels(elim_values)
             if hasattr(self.model_factory, "tune"):
                 self.model_factory.tune(X, y)
-            self._strict = self.model_factory().fit(X, y)
+            self._strict = self._new_model().fit(X, y)
             self._loose = self._strict
         else:
             # Strict model: eliminated ranges shrunk inward, so
@@ -194,13 +213,57 @@ class GuardBandedClassifier:
             y_loose = elim_specs.shifted(-elim_deltas).labels(elim_values)
             if hasattr(self.model_factory, "tune"):
                 self.model_factory.tune(X, y_strict)
-            self._strict = self.model_factory().fit(X, y_strict)
-            self._loose = self.model_factory().fit(X, y_loose)
+            self._strict = self._new_model().fit(X, y_strict)
+            self._loose = self._fit_loose(X, y_loose)
         return self
+
+    def _new_model(self):
+        """Build one model, attached to the shared Gram view if possible."""
+        model = self.model_factory()
+        if (self.kernel_cache is not None
+                and hasattr(model, "set_train_gram_view")):
+            model.set_train_gram_view(
+                self.kernel_cache.view(self.feature_names))
+        return model
+
+    def _fit_loose(self, X, y_loose):
+        """Fit the loose model, warm-started from the strict solution."""
+        model = self._new_model()
+        alpha0 = getattr(self._strict, "alpha_", None)
+        if self.warm_start and alpha0 is not None:
+            try:
+                return model.fit(X, y_loose, alpha_init=alpha0)
+            except TypeError:
+                pass  # model's fit() has no warm-start support
+        return model.fit(X, y_loose)
 
     def _check_fitted(self):
         if not hasattr(self, "_strict"):
             raise CompactionError("GuardBandedClassifier is not fitted")
+
+    def release_kernel_cache(self):
+        """Drop cache references (prediction never needs them).
+
+        A fitted classifier otherwise pins the whole per-run
+        :class:`~repro.runtime.kernel_cache.GramCache` (hundreds of
+        MB at paper scale) through ``kernel_cache`` and the models'
+        Gram views.  The runtime engine calls this on every model it
+        hands back.
+        """
+        self.kernel_cache = None
+        for model in (getattr(self, "_strict", None),
+                      getattr(self, "_loose", None)):
+            if model is not None and hasattr(model, "set_train_gram_view"):
+                model.set_train_gram_view(None)
+        return self
+
+    # The cache must never ride along on pickles either -- a model
+    # crossing a process boundary would otherwise serialize every
+    # cached (n, n) matrix of its worker.
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["kernel_cache"] = None
+        return state
 
     # -- prediction ---------------------------------------------------------
     def _box_pass(self, X_normalized, deltas):

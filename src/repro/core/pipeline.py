@@ -22,14 +22,21 @@ class CompactionPipeline:
     grid_resolution:
         When set, training data is grid-compacted at this resolution
         before every model fit (paper Section 4.3).
+    n_jobs:
+        When set (any non-``None`` value), the pipeline runs on the
+        :class:`repro.runtime.engine.CompactionEngine` -- Gram caching,
+        SMO warm starts and, for values other than 1, speculative
+        multi-process candidate evaluation.  ``None`` (the default)
+        keeps the plain serial compactor, byte-for-byte compatible
+        with earlier releases.
     """
 
     def __init__(self, tolerance=0.01, guard_band=0.05, order=None,
                  model_factory=None, grid_resolution=None,
-                 count_guard_as_error=False, min_kept=1):
+                 count_guard_as_error=False, min_kept=1, n_jobs=None):
         grid = (GridCompactor(grid_resolution)
                 if grid_resolution is not None else None)
-        self.compactor = TestCompactor(
+        common = dict(
             tolerance=tolerance,
             guard_band=guard_band,
             order=order,
@@ -38,10 +45,28 @@ class CompactionPipeline:
             count_guard_as_error=count_guard_as_error,
             min_kept=min_kept,
         )
+        if n_jobs is None:
+            self.compactor = TestCompactor(**common)
+        else:
+            from repro.runtime import CompactionEngine
+
+            self.compactor = CompactionEngine(n_jobs=n_jobs, **common)
 
     def run(self, train, test):
         """Run the greedy compaction; returns a ``CompactionResult``."""
         return self.compactor.run(train, test)
+
+    def run_many(self, pairs):
+        """Batch-compact ``(train, test)`` pairs (requires ``n_jobs``).
+
+        Delegates to :meth:`repro.runtime.engine.CompactionEngine.
+        run_many`; results come back in input order.
+        """
+        if not hasattr(self.compactor, "run_many"):
+            raise CompactionError(
+                "run_many needs the runtime engine; construct the "
+                "pipeline with n_jobs set (n_jobs=1 for serial)")
+        return self.compactor.run_many(pairs)
 
     def evaluate_elimination(self, train, test, eliminated):
         """Evaluate one fixed eliminated set (no greedy search).
@@ -55,7 +80,7 @@ class CompactionPipeline:
 def compact_specification_tests(train, test, tolerance=0.01,
                                 guard_band=0.05, order=None,
                                 model_factory=None, grid_resolution=None,
-                                count_guard_as_error=False):
+                                count_guard_as_error=False, n_jobs=None):
     """Compact a specification test set with statistical learning.
 
     Parameters
@@ -77,6 +102,10 @@ def compact_specification_tests(train, test, tolerance=0.01,
         Optional training-data grid compaction resolution.
     count_guard_as_error:
         Count guard-band devices toward the acceptance error.
+    n_jobs:
+        Run on the parallel cache-aware runtime engine (see
+        :class:`CompactionPipeline`); ``None`` keeps the plain serial
+        compactor.
 
     Returns
     -------
@@ -87,5 +116,5 @@ def compact_specification_tests(train, test, tolerance=0.01,
     pipeline = CompactionPipeline(
         tolerance=tolerance, guard_band=guard_band, order=order,
         model_factory=model_factory, grid_resolution=grid_resolution,
-        count_guard_as_error=count_guard_as_error)
+        count_guard_as_error=count_guard_as_error, n_jobs=n_jobs)
     return pipeline.run(train, test)

@@ -69,7 +69,28 @@ def cross_val_score(estimator, X, y, n_splits=5, seed=0):
     return np.asarray(scores)
 
 
-def grid_search(estimator_factory, param_grid, X, y, n_splits=3, seed=0):
+#: Per-process tuning context for the parallel grid search; set by the
+#: pool initializer so the (potentially large) training matrix crosses
+#: the process boundary once per worker instead of once per task.
+_GRID_CONTEXT = {}
+
+
+def _grid_search_init(estimator_factory, X, y, n_splits, seed):
+    _GRID_CONTEXT.update(estimator_factory=estimator_factory, X=X, y=y,
+                         n_splits=n_splits, seed=seed)
+
+
+def _grid_search_task(params):
+    """Score one hyperparameter configuration (pool-worker friendly)."""
+    ctx = _GRID_CONTEXT
+    estimator = ctx["estimator_factory"](**params)
+    return float(np.mean(cross_val_score(
+        estimator, ctx["X"], ctx["y"], n_splits=ctx["n_splits"],
+        seed=ctx["seed"])))
+
+
+def grid_search(estimator_factory, param_grid, X, y, n_splits=3, seed=0,
+                n_jobs=1):
     """Exhaustive hyperparameter search by cross-validated accuracy.
 
     Parameters
@@ -83,6 +104,12 @@ def grid_search(estimator_factory, param_grid, X, y, n_splits=3, seed=0):
         Training data.
     n_splits, seed:
         Cross-validation configuration.
+    n_jobs:
+        Score configurations across this many worker processes
+        (``-1`` = all CPUs).  Each configuration's cross-validation is
+        independent and deterministic, so the parallel search returns
+        exactly the serial result.  The factory and data must be
+        picklable for ``n_jobs > 1``.
 
     Returns
     -------
@@ -93,14 +120,18 @@ def grid_search(estimator_factory, param_grid, X, y, n_splits=3, seed=0):
     if not param_grid:
         raise LearningError("param_grid must not be empty")
     names = sorted(param_grid)
-    results = []
+    configs = [dict(zip(names, values))
+               for values in itertools.product(
+                   *(param_grid[n] for n in names))]
+    from repro.runtime.parallel import parallel_map
+
+    scores = parallel_map(
+        _grid_search_task, configs, n_jobs=n_jobs,
+        initializer=_grid_search_init,
+        initargs=(estimator_factory, X, y, n_splits, seed))
+    results = list(zip(configs, scores))
     best_params, best_score = None, -np.inf
-    for values in itertools.product(*(param_grid[n] for n in names)):
-        params = dict(zip(names, values))
-        estimator = estimator_factory(**params)
-        score = float(np.mean(cross_val_score(
-            estimator, X, y, n_splits=n_splits, seed=seed)))
-        results.append((params, score))
+    for params, score in results:
         if score > best_score:
             best_params, best_score = params, score
     return best_params, best_score, results

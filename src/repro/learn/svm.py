@@ -57,10 +57,30 @@ class SVC:
         self.max_iter = max_iter
         self._fitted = False
         self._constant = None
+        self._gram_view = None
+
+    def set_train_gram_view(self, view):
+        """Attach a precomputed training-Gram provider (or ``None``).
+
+        ``view`` must expose ``matches(X)`` (is this exactly the data
+        the view's Gram covers?) and ``gram(gamma)`` returning the RBF
+        Gram matrix of the rows passed to :meth:`fit` -- see
+        :class:`repro.runtime.kernel_cache.SubsetGramView`.  The view
+        is consulted only for the RBF kernel and only when
+        ``matches(X)`` confirms the training matrix, so a stale view
+        degrades to the direct computation rather than corrupting the
+        fit.
+        """
+        self._gram_view = view
+        return self
 
     # -- estimator API --------------------------------------------------------
-    def fit(self, X, y):
-        """Train on ``X`` (n x m) with labels ``y`` in {-1, +1}."""
+    def fit(self, X, y, alpha_init=None):
+        """Train on ``X`` (n x m) with labels ``y`` in {-1, +1}.
+
+        ``alpha_init`` optionally warm-starts the SMO solver from a
+        previous dual solution (see :func:`repro.learn.smo.solve_smo`).
+        """
         X = np.asarray(X, dtype=float)
         y = np.asarray(y, dtype=float).ravel()
         if X.ndim != 2 or X.shape[0] != y.shape[0]:
@@ -83,11 +103,19 @@ class SVC:
         self.gamma_ = resolve_gamma(self.gamma, X)
         self._kernel = kernel_function(self.kernel, gamma=self.gamma_,
                                        degree=self.degree, coef0=self.coef0)
+        view = self._gram_view
+        gram = None
+        if (view is not None and self.kernel == "rbf"
+                and view.matches(X)):
+            gram = view.gram(self.gamma_)
         result = solve_smo(self._kernel, X, y, self.C, tol=self.tol,
-                           max_iter=self.max_iter)
+                           max_iter=self.max_iter, gram=gram,
+                           alpha_init=alpha_init)
         self.converged_ = result.converged
         self.n_iter_ = result.iterations
         self.intercept_ = result.bias
+        #: Full-length dual vector, kept for warm-starting later fits.
+        self.alpha_ = result.alpha
 
         mask = result.alpha > SUPPORT_THRESHOLD
         self.support_ = np.flatnonzero(mask)
@@ -143,6 +171,26 @@ class SVC:
         return {"C": self.C, "kernel": self.kernel, "gamma": self.gamma,
                 "degree": self.degree, "coef0": self.coef0,
                 "tol": self.tol, "max_iter": self.max_iter}
+
+    # -- pickling -------------------------------------------------------------
+    # The kernel closure and the (potentially huge, process-local) Gram
+    # view are dropped on serialization; the kernel is rebuilt from the
+    # stored hyperparameters, so fitted models round-trip through
+    # ``pickle`` -- a requirement for crossing process boundaries in
+    # :mod:`repro.runtime`.
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state.pop("_kernel", None)
+        state["_gram_view"] = None
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self.__dict__.setdefault("_gram_view", None)
+        if self._fitted and self._constant is None and hasattr(self, "gamma_"):
+            self._kernel = kernel_function(
+                self.kernel, gamma=self.gamma_, degree=self.degree,
+                coef0=self.coef0)
 
     def __repr__(self):
         return "SVC(C={:g}, kernel={!r}, gamma={!r})".format(

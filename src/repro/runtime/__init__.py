@@ -1,0 +1,34 @@
+"""repro.runtime -- parallel, cache-aware execution of the compaction flow.
+
+The paper's greedy pruning loop retrains a guard-banded SVM pair for
+every candidate test elimination; this package is the production
+runtime around that hot path:
+
+``repro.runtime.kernel_cache``
+    Gram/squared-distance matrices cached and composed per feature
+    subset (the RBF distance decomposes per column, so candidate fits
+    share per-column building blocks).
+``repro.runtime.engine``
+    :class:`CompactionEngine` -- a drop-in ``TestCompactor`` with
+    kernel caching, SMO warm starts, speculative multi-process
+    candidate evaluation (bit-identical to serial), and the
+    :meth:`~repro.runtime.engine.CompactionEngine.run_many` batch
+    scheduler for whole dataset lots.
+``repro.runtime.parallel``
+    The process-pool plumbing (worker resolution, ordered maps,
+    serial fallbacks) everything above shares.
+"""
+
+from repro.runtime.engine import CompactionEngine, speculation_plan
+from repro.runtime.kernel_cache import GramCache, SubsetGramView
+from repro.runtime.parallel import cpu_count, parallel_map, resolve_n_jobs
+
+__all__ = [
+    "CompactionEngine",
+    "GramCache",
+    "SubsetGramView",
+    "cpu_count",
+    "parallel_map",
+    "resolve_n_jobs",
+    "speculation_plan",
+]

@@ -1,0 +1,333 @@
+"""The parallel, cache-aware compaction engine.
+
+:class:`CompactionEngine` is a drop-in :class:`~repro.core.compaction.
+TestCompactor` that makes the paper's greedy loop (Fig. 2) fast
+without changing what it computes:
+
+* **Kernel/Gram caching** -- every candidate fit trains on a column
+  subset of the same normalized training matrix, so Gram matrices are
+  built through a shared :class:`~repro.runtime.kernel_cache.GramCache`
+  keyed by the active feature subset.  The strict/loose guard-band
+  pair shares one matrix per candidate, overlapping candidate subsets
+  share per-column building blocks, and the final refit after the loop
+  reuses the last accepted candidate's model outright.
+* **Warm starts** -- the loose model's SMO run is seeded from the
+  strict model's dual solution (labels differ only on guard-band
+  devices), cutting its iteration count sharply.
+* **Speculative parallel fan-out** -- with ``n_jobs > 1`` the engine
+  evaluates upcoming candidates *before* the current decision is
+  known, along both the "rejected" and "accepted" branches of the
+  decision tree (breadth-first, nearest decisions first).  Whichever
+  way each decision resolves, the next candidate's evaluation is
+  usually already in flight; work on the wrong branch is discarded.
+  Because every evaluation is a pure function of its candidate subset
+  and decisions are consumed strictly in examination order, the
+  parallel engine returns **bit-for-bit identical results to the
+  serial engine** -- speculation changes wall-clock time, never the
+  answer.
+* **Batch scheduling** -- :meth:`CompactionEngine.run_many` compacts
+  many independent ``(train, test)`` dataset pairs (Monte-Carlo lots,
+  tolerance sweeps) through one process pool, preserving input order.
+
+Example
+-------
+::
+
+    from repro.runtime import CompactionEngine
+
+    engine = CompactionEngine(tolerance=0.01, n_jobs=4)
+    result = engine.run(train, test)           # same CompactionResult
+    results = engine.run_many([(tr1, te1), (tr2, te2)])
+"""
+
+from collections import deque
+
+from repro.core.compaction import CompactionResult, CompactionStep, \
+    TestCompactor
+from repro.errors import CompactionError
+from repro.runtime.kernel_cache import DEFAULT_MAX_BYTES, GramCache
+from repro.runtime.parallel import make_pool, resolve_n_jobs
+
+#: Per-process state for pool workers (set by the initializers below).
+_WORKER = {}
+
+
+def _init_candidate_worker(engine, train, test):
+    """Pool initializer for speculative candidate evaluation."""
+    engine._prepare_run(train)
+    _WORKER["engine"] = engine
+    _WORKER["train"] = train
+    _WORKER["test"] = test
+
+
+def _eval_candidate(candidate):
+    """Evaluate one candidate elimination inside a pool worker."""
+    engine = _WORKER["engine"]
+    model, report = engine.evaluate_subset(
+        _WORKER["train"], _WORKER["test"], candidate)
+    return report, model
+
+
+def _init_pair_worker(engine):
+    """Pool initializer for batch (run_many) workers."""
+    _WORKER["engine"] = engine
+
+
+def _run_pair(pair):
+    """Compact one (train, test) pair inside a pool worker."""
+    train, test = pair
+    return _WORKER["engine"].run(train, test)
+
+
+def speculation_plan(eliminated, next_index, order, limit, max_eliminable):
+    """Candidate subsets worth evaluating from the current loop state.
+
+    Walks the accept/reject decision tree breadth-first from the state
+    ``(eliminated, next_index)``: the certain head candidate first,
+    then both possible next candidates, and so on.  Nearer decisions
+    are listed first, so feeding the first ``limit`` entries to a pool
+    keeps every worker busy on the work most likely to be needed.
+    States the greedy loop can never reach (elimination floor hit,
+    order exhausted) produce no candidates.
+
+    Returns a list of candidate tuples; the head candidate, when the
+    loop still has one to examine, is always first.
+    """
+    plan = []
+    seen = set()
+    queue = deque([(tuple(eliminated), next_index)])
+    while queue and len(plan) < limit:
+        state_elim, i = queue.popleft()
+        if i >= len(order) or len(state_elim) >= max_eliminable:
+            continue
+        candidate = state_elim + (order[i],)
+        if candidate not in seen:
+            seen.add(candidate)
+            plan.append(candidate)
+        queue.append((state_elim, i + 1))   # branch: candidate rejected
+        queue.append((candidate, i + 1))    # branch: candidate accepted
+    return plan
+
+
+class CompactionEngine(TestCompactor):
+    """Parallel cache-aware drop-in for :class:`TestCompactor`.
+
+    Parameters (in addition to :class:`TestCompactor`'s)
+    ----------
+    n_jobs:
+        Worker processes for speculative candidate evaluation and
+        :meth:`run_many` batches.  ``1``/``None`` runs serially
+        in-process, ``-1`` uses every CPU.
+    use_kernel_cache:
+        Share Gram matrices across candidate fits through a
+        :class:`~repro.runtime.kernel_cache.GramCache` (disabled
+        automatically when a grid compactor rewrites training rows).
+    warm_start:
+        Seed each loose guard-band fit from its strict sibling.
+    cache_max_bytes:
+        Memory budget of the per-run Gram cache.
+
+    ``run`` returns exactly the :class:`CompactionResult` a serial run
+    of the same engine configuration would, with ``result.stats``
+    additionally describing what the runtime saved.
+    """
+
+    def __init__(self, tolerance=0.01, guard_band=0.05, order=None,
+                 model_factory=None, grid_compactor=None,
+                 count_guard_as_error=False, min_kept=1,
+                 n_jobs=1, use_kernel_cache=True, warm_start=True,
+                 cache_max_bytes=DEFAULT_MAX_BYTES):
+        super().__init__(
+            tolerance=tolerance, guard_band=guard_band, order=order,
+            model_factory=model_factory, grid_compactor=grid_compactor,
+            count_guard_as_error=count_guard_as_error, min_kept=min_kept,
+            warm_start=warm_start)
+        self.n_jobs = resolve_n_jobs(n_jobs)
+        self.use_kernel_cache = bool(use_kernel_cache)
+        self.cache_max_bytes = int(cache_max_bytes)
+
+    # -- run machinery ----------------------------------------------------
+    def _prepare_run(self, train):
+        """Reset per-run state: fresh Gram cache bound to ``train``."""
+        if self.use_kernel_cache and self.grid_compactor is None:
+            self.kernel_cache = GramCache.from_dataset(
+                train, max_bytes=self.cache_max_bytes)
+        else:
+            self.kernel_cache = None
+
+    def _serial_clone(self):
+        """A single-process copy of this engine for pool workers.
+
+        The clone shares configuration but not per-run state; each
+        worker builds its own Gram cache from the shipped training
+        data (bit-identical to the parent's by construction).
+        """
+        return CompactionEngine(
+            tolerance=self.tolerance, guard_band=self.guard_band,
+            order=self.order, model_factory=self.model_factory,
+            grid_compactor=self.grid_compactor,
+            count_guard_as_error=self.count_guard_as_error,
+            min_kept=self.min_kept, n_jobs=1,
+            use_kernel_cache=self.use_kernel_cache,
+            warm_start=self.warm_start,
+            cache_max_bytes=self.cache_max_bytes)
+
+    def __getstate__(self):
+        # The Gram cache is per-run, potentially huge and process-local;
+        # workers rebuild their own.
+        state = self.__dict__.copy()
+        state["kernel_cache"] = None
+        return state
+
+    # -- the greedy loop ---------------------------------------------------
+    def run(self, train, test):
+        """Execute the paper's Fig. 2 flow (see :class:`TestCompactor`).
+
+        With ``n_jobs > 1`` candidate evaluations are speculated
+        across worker processes; the returned result is identical to
+        a serial run.
+        """
+        if train.specifications != test.specifications:
+            raise CompactionError(
+                "train and test datasets must share specifications")
+        order = self._resolve_order(train)
+        self._prepare_run(train)
+        max_eliminable = len(train.names) - self.min_kept
+
+        if self.n_jobs > 1:
+            eliminated, steps, last_fit, spec_stats = self._run_parallel(
+                train, test, order, max_eliminable)
+        else:
+            # The serial engine is the base class's greedy loop, run
+            # against the shared Gram cache prepared above.
+            eliminated, steps, last_fit = self._greedy_loop(
+                train, test, order)
+            spec_stats = None
+
+        # The final refit of the plain compactor repeats the last
+        # accepted candidate's evaluation verbatim; reuse it.
+        if last_fit is not None and last_fit[0] == eliminated:
+            model, final_report = last_fit[1], last_fit[2]
+            refit_reused = True
+        else:
+            model, final_report = self.evaluate_subset(
+                train, test, eliminated)
+            refit_reused = False
+
+        stats = {
+            "n_jobs": self.n_jobs,
+            "candidates_examined": len(steps),
+            "final_refit_reused": refit_reused,
+        }
+        if self.kernel_cache is not None and self.n_jobs == 1:
+            # Parallel runs fit in pool workers against their own
+            # caches; the parent's cache sat idle, so its counters
+            # would misreport what the run saved.
+            stats["kernel_cache"] = dict(self.kernel_cache.stats)
+        if spec_stats is not None:
+            stats["speculation"] = spec_stats
+        if hasattr(model, "release_kernel_cache"):
+            model.release_kernel_cache()
+        result = CompactionResult(
+            kept=tuple(n for n in train.names
+                       if n not in set(eliminated)),
+            eliminated=tuple(eliminated),
+            model=model,
+            final_report=final_report,
+            steps=steps,
+            order=order,
+            tolerance=self.tolerance,
+            stats=stats,
+        )
+        self.kernel_cache = None  # release the per-run matrices
+        return result
+
+    def _run_parallel(self, train, test, order, max_eliminable):
+        """Greedy loop with speculative cross-process evaluation."""
+        eliminated = ()
+        steps = []
+        last_fit = None
+        pending = {}  # candidate tuple -> Future
+        window = 2 * self.n_jobs
+        submitted = consumed = discarded = 0
+        order_index = {name: i for i, name in enumerate(order)}
+        clone = self._serial_clone()
+        i = 0
+
+        def still_plausible(candidate):
+            """Could the loop still request this speculative result?
+
+            True when the realized eliminated set is a prefix of the
+            candidate's assumption and the remaining names sit at
+            strictly increasing order positions not yet examined.
+            """
+            k = len(eliminated)
+            if candidate[:k] != eliminated:
+                return False
+            positions = [order_index[name] for name in candidate[k:]]
+            return (bool(positions) and positions[0] >= i
+                    and all(b > a
+                            for a, b in zip(positions, positions[1:])))
+
+        with make_pool(self.n_jobs, initializer=_init_candidate_worker,
+                       initargs=(clone, train, test)) as pool:
+            while i < len(order):
+                if len(eliminated) >= max_eliminable:
+                    break
+                head = eliminated + (order[i],)
+                for candidate in speculation_plan(
+                        eliminated, i, order, window, max_eliminable):
+                    if candidate in pending:
+                        continue
+                    # The head decision gates all progress; everything
+                    # else only fills the window.
+                    if candidate == head or len(pending) < window:
+                        pending[candidate] = pool.submit(
+                            _eval_candidate, candidate)
+                        submitted += 1
+                report, model = pending.pop(head).result()
+                consumed += 1
+                accept = self._candidate_error(report) <= self.tolerance
+                if accept:
+                    eliminated = head
+                    last_fit = (head, model, report)
+                steps.append(CompactionStep(
+                    test_name=order[i],
+                    eliminated=accept,
+                    report=report,
+                    eliminated_so_far=tuple(eliminated)))
+                i += 1
+                for candidate in [c for c in pending
+                                  if not still_plausible(c)]:
+                    pending.pop(candidate).cancel()
+                    discarded += 1
+        spec_stats = {
+            "submitted": submitted,
+            "consumed": consumed,
+            "discarded": discarded,
+        }
+        return eliminated, steps, last_fit, spec_stats
+
+    # -- batch API ---------------------------------------------------------
+    def run_many(self, pairs, n_jobs=None):
+        """Compact many independent ``(train, test)`` pairs.
+
+        One scheduler fans the pairs out across ``n_jobs`` worker
+        processes (default: this engine's ``n_jobs``); each worker
+        runs a serial engine with its own Gram cache.  Results are
+        returned in input order.  This is the bulk entry point for
+        Monte-Carlo lots and tolerance sweeps.
+        """
+        pairs = list(pairs)
+        for pair in pairs:
+            if len(pair) != 2:
+                raise CompactionError(
+                    "run_many expects (train, test) pairs")
+        n_jobs = resolve_n_jobs(self.n_jobs if n_jobs is None else n_jobs)
+        if n_jobs <= 1 or len(pairs) <= 1:
+            return [self.run(train, test) for train, test in pairs]
+        clone = self._serial_clone()
+        with make_pool(min(n_jobs, len(pairs)),
+                       initializer=_init_pair_worker,
+                       initargs=(clone,)) as pool:
+            return list(pool.map(_run_pair, pairs))

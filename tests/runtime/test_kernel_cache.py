@@ -1,0 +1,117 @@
+"""Subset-keyed Gram cache tests (hit behavior, numerics, eviction)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CompactionError
+from repro.learn.kernels import kernel_function, squared_distances
+from repro.runtime.kernel_cache import GramCache
+
+from tests.synthetic import make_synthetic_dataset
+
+
+@pytest.fixture
+def dataset():
+    return make_synthetic_dataset(n=60, seed=5)
+
+
+@pytest.fixture
+def cache(dataset):
+    return GramCache.from_dataset(dataset)
+
+
+class TestNumerics:
+    def test_distances_match_direct_computation(self, dataset, cache):
+        names = ("s1", "s3", "s4")
+        X = dataset.normalized_values(names)
+        direct = squared_distances(X, X)
+        assert np.allclose(cache.distances(names), direct)
+
+    def test_gram_matches_rbf_kernel(self, dataset, cache):
+        names = ("s0", "s2")
+        X = dataset.normalized_values(names)
+        rbf = kernel_function("rbf", gamma=4.0)
+        assert np.allclose(cache.gram(names, 4.0), rbf(X, X))
+
+    def test_single_column_subset(self, dataset, cache):
+        X = dataset.normalized_values(("s5",))
+        assert np.allclose(cache.distances(("s5",)),
+                           squared_distances(X, X))
+
+    def test_deterministic_across_instances(self, dataset):
+        """Two caches (any history) produce bit-identical matrices."""
+        a = GramCache.from_dataset(dataset)
+        b = GramCache.from_dataset(dataset)
+        a.distances(("s0", "s1", "s2", "s3"))  # different warm-up path
+        key = ("s1", "s2", "s3")
+        assert np.array_equal(a.gram(key, 2.0), b.gram(key, 2.0))
+
+
+class TestHitBehavior:
+    def test_repeated_subset_hits(self, cache):
+        names = ("s0", "s1")
+        cache.distances(names)
+        assert cache.stats["distance_misses"] == 1
+        cache.distances(names)
+        assert cache.stats["distance_hits"] == 1
+
+    def test_subset_key_is_order_insensitive(self, cache):
+        first = cache.distances(("s2", "s0"))
+        second = cache.distances(("s0", "s2"))
+        assert cache.stats["distance_hits"] == 1
+        assert second is first
+
+    def test_columns_shared_across_subsets(self, cache):
+        cache.distances(("s0", "s1", "s2"))
+        builds = cache.stats["column_builds"]
+        cache.distances(("s1", "s2", "s3"))
+        # Only s3 is new; s1/s2 come from the per-column store.
+        assert cache.stats["column_builds"] == builds + 1
+
+    def test_gram_cached_per_gamma(self, cache):
+        names = ("s0", "s4")
+        cache.gram(names, 2.0)
+        cache.gram(names, 2.0)
+        cache.gram(names, 8.0)
+        assert cache.stats["gram_hits"] == 1
+        assert cache.stats["gram_misses"] == 2
+
+    def test_view_binds_subset(self, cache):
+        view = cache.view(("s1", "s5"))
+        assert view.n == cache.n
+        K = view.gram(1.5)
+        assert K.shape == (cache.n, cache.n)
+        assert cache.stats["gram_misses"] == 1
+
+
+class TestBudget:
+    def test_eviction_under_tiny_budget(self, dataset):
+        matrix_bytes = len(dataset) * len(dataset) * 8
+        tiny = GramCache.from_dataset(dataset, max_bytes=3 * matrix_bytes)
+        for names in (("s0", "s1"), ("s2", "s3"), ("s4", "s5"),
+                      ("s0", "s2"), ("s1", "s3")):
+            tiny.distances(names)
+        assert tiny.stats["evictions"] > 0
+        assert tiny.nbytes <= 3 * matrix_bytes
+        # Evicted subsets still compute correctly (and bit-identically).
+        fresh = GramCache.from_dataset(dataset)
+        assert np.array_equal(tiny.distances(("s0", "s1")),
+                              fresh.distances(("s0", "s1")))
+
+
+class TestValidation:
+    def test_unknown_name_rejected(self, cache):
+        with pytest.raises(CompactionError):
+            cache.distances(("s0", "nope"))
+
+    def test_duplicate_name_rejected(self, cache):
+        with pytest.raises(CompactionError):
+            cache.distances(("s0", "s0"))
+
+    def test_empty_subset_rejected(self, cache):
+        with pytest.raises(CompactionError):
+            cache.distances(())
+
+    def test_bad_gamma_rejected(self, cache):
+        with pytest.raises(CompactionError):
+            cache.gram(("s0",), 0.0)

@@ -56,6 +56,13 @@ class TestLoadPopulation:
             harness.load_population("flux-capacitor", 5, seed=0)
 
 
+class TestWallTime:
+    def test_returns_result_and_duration(self):
+        result, seconds = harness.wall_time(lambda a, b: a + b, 2, b=3)
+        assert result == 5
+        assert seconds >= 0.0
+
+
 class TestPrintTable:
     def test_prints_all_rows(self, capsys):
         harness.print_table("demo", ["a", "b"],

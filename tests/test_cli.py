@@ -11,7 +11,7 @@ class TestParser:
         sub = next(a for a in parser._actions
                    if hasattr(a, "choices") and a.choices)
         assert set(sub.choices) == {"table1", "table2", "fig5",
-                                    "table3", "cost"}
+                                    "table3", "cost", "batch"}
 
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
@@ -32,6 +32,23 @@ class TestParser:
             ["fig5", "--train", "50", "--tolerance", "0.05"])
         assert args.train == 50
         assert args.tolerance == 0.05
+
+    def test_jobs_default_serial(self):
+        for command in ("fig5", "batch"):
+            assert build_parser().parse_args([command]).jobs == 1
+
+    def test_jobs_only_on_engine_commands(self):
+        """--jobs must not be advertised where it would be a no-op."""
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table3", "--jobs", "2"])
+
+    def test_batch_options(self):
+        args = build_parser().parse_args(
+            ["batch", "--lots", "3", "--device", "mems", "--jobs", "2"])
+        assert args.lots == 3
+        assert args.device == "mems"
+        assert args.jobs == 2
+        assert args.train == 300
 
 
 class TestFastCommands:

@@ -14,8 +14,10 @@ from repro.core.compaction import TestCompactor as Compactor
 from repro.core.costmodel import TestCostModel as CostModel
 from repro.core.metrics import GUARD
 from repro.learn import SVC
-from repro.mems import AccelerometerBench, TEMPERATURES, \
-    tests_at_temperature
+# Aliased so pytest does not collect the imported helper (its name
+# matches the default "test*" function pattern).
+from repro.mems import AccelerometerBench, TEMPERATURES
+from repro.mems import tests_at_temperature as _tests_at_temperature
 from repro.opamp import OpAmpBench
 from repro.tester import LookupTable, TestProgram as Program
 
@@ -47,22 +49,22 @@ class TestMemsEndToEnd:
         train, test = mems_data
         compactor = Compactor(guard_band=0.03,
                               model_factory=_fixed_factory)
-        eliminated = tests_at_temperature(-40) + tests_at_temperature(80)
+        eliminated = _tests_at_temperature(-40) + _tests_at_temperature(80)
         model, report = compactor.evaluate_subset(train, test, eliminated)
         # The paper's core result at reduced scale: small errors.
         assert report.error_rate < 0.05
-        assert set(model.feature_names) == set(tests_at_temperature(27))
+        assert set(model.feature_names) == set(_tests_at_temperature(27))
 
     def test_full_tester_flow(self, mems_data):
         train, test = mems_data
         compactor = Compactor(guard_band=0.03,
                               model_factory=_fixed_factory)
-        eliminated = tests_at_temperature(-40) + tests_at_temperature(80)
+        eliminated = _tests_at_temperature(-40) + _tests_at_temperature(80)
         model, _ = compactor.evaluate_subset(train, test, eliminated)
 
         costs, groups = {}, {}
         for temp in TEMPERATURES:
-            for name in tests_at_temperature(temp):
+            for name in _tests_at_temperature(temp):
                 costs[name] = 1.0
                 groups[name] = "{:g}C".format(temp)
         cost_model = CostModel(costs, groups,
