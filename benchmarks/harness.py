@@ -16,6 +16,12 @@ paper scale (the cached full-size op-amp population takes ~5 minutes
 to create on a laptop).  Whenever a cached population at least as
 large as the request exists, the benchmark subsamples it instead of
 simulating.
+
+Set ``REPRO_BENCH_SIM_JOBS=N`` (``-1`` = all CPUs) to fan uncached
+population generation out across worker processes through
+:mod:`repro.runtime.simulation`; per-instance seeding keeps every
+cached population bit-identical to a serial run, so the cache remains
+valid at any worker count.
 """
 
 import os
@@ -38,6 +44,13 @@ SCALES = {
 #: Fixed generation seeds (train, test) per device.
 SEEDS = {"opamp": (1001, 2002), "mems": (7, 8)}
 
+#: Generation-scheme tag baked into cache filenames.  ``pi`` is the
+#: per-instance seed tree introduced with the parallel generation
+#: engine; files from the legacy sequential stream carried no tag, so
+#: they can never be confused with (or silently served as)
+#: per-instance populations.
+CACHE_TAG = "pi"
+
 
 def bench_scale():
     """The active scale name (``REPRO_BENCH_SCALE`` env override)."""
@@ -46,6 +59,11 @@ def bench_scale():
         raise ValueError("REPRO_BENCH_SCALE must be one of {}".format(
             sorted(SCALES)))
     return scale
+
+
+def sim_jobs():
+    """Worker processes for population generation (env override)."""
+    return int(os.environ.get("REPRO_BENCH_SIM_JOBS", "1"))
 
 
 def _make_bench(device):
@@ -61,15 +79,20 @@ def _make_bench(device):
 
 
 def _cache_path(device, n, seed):
-    return CACHE_DIR / "{}_{}_{}.npz".format(device, n, seed)
+    return CACHE_DIR / "{}_{}_{}.{}.npz".format(device, n, seed,
+                                                CACHE_TAG)
 
 
-def load_population(device, n, seed):
+def load_population(device, n, seed, n_jobs=None):
     """Load (or simulate and cache) a Monte-Carlo population.
 
     Subsamples a larger cached population with the same seed when one
-    is available; the subsample is deterministic (first ``n`` rows) so
-    results are stable across runs.
+    is available; the subsample is deterministic (first ``n`` rows,
+    which per-instance seeding makes identical to a fresh ``n``-row
+    generation) so results are stable across runs.  ``n_jobs``
+    parallelizes an uncached generation (default: the
+    ``REPRO_BENCH_SIM_JOBS`` environment override) without changing
+    any value in the cached file.
     """
     CACHE_DIR.mkdir(exist_ok=True)
     exact = _cache_path(device, n, seed)
@@ -79,28 +102,29 @@ def load_population(device, n, seed):
         return SpecDataset(bench.specifications, ds.values)
 
     # A larger cached population with the same seed can be subsampled.
-    prefix = "{}_".format(device)
-    for path in sorted(CACHE_DIR.glob(prefix + "*_{}.npz".format(seed))):
+    pattern = "{}_*_{}.{}.npz".format(device, seed, CACHE_TAG)
+    for path in sorted(CACHE_DIR.glob(pattern)):
         try:
-            cached_n = int(path.stem.split("_")[1])
+            cached_n = int(path.name.split("_")[1])
         except (IndexError, ValueError):
             continue
         if cached_n >= n:
             ds = SpecDataset.load(path)
             return SpecDataset(bench.specifications, ds.values[:n])
 
-    ds = bench.generate_dataset(n, seed=seed)
+    ds = bench.generate_dataset(
+        n, seed=seed, n_jobs=sim_jobs() if n_jobs is None else n_jobs)
     ds.save(exact)
     return ds
 
 
-def datasets(device, scale=None):
+def datasets(device, scale=None, n_jobs=None):
     """(train, test) populations for ``device`` at the active scale."""
     scale = scale or bench_scale()
     n_train, n_test = SCALES[scale][device]
     seed_train, seed_test = SEEDS[device]
-    train = load_population(device, n_train, seed_train)
-    test = load_population(device, n_test, seed_test)
+    train = load_population(device, n_train, seed_train, n_jobs=n_jobs)
+    test = load_population(device, n_test, seed_test, n_jobs=n_jobs)
     return train, test
 
 

@@ -27,10 +27,12 @@ contribution:
     Deployment of a compacted test set on a tester via grid lookup
     tables, including the guard-band retest flow (paper Section 3.3).
 ``repro.runtime``
-    The production runtime: subset-keyed kernel/Gram caching, SMO warm
-    starts, speculative multi-process candidate evaluation and batch
-    scheduling over many dataset pairs -- identical results to the
-    serial flow, much less wall clock.
+    The production runtime: deterministic multi-process Monte-Carlo
+    generation (per-instance seed streams, bit-identical at any worker
+    count), subset-keyed kernel/Gram caching, SMO warm starts,
+    speculative multi-process candidate evaluation and batch
+    scheduling over dataset lots -- identical results to the serial
+    flow, much less wall clock.
 
 Quickstart::
 

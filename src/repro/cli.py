@@ -5,20 +5,26 @@
     python -m repro.cli table1            # op-amp specification table
     python -m repro.cli table3 --train 500
     python -m repro.cli fig5 --tolerance 0.02
-    python -m repro.cli fig5 --jobs 4     # parallel runtime engine
-    python -m repro.cli cost
-    python -m repro.cli batch --lots 4 --jobs 4
+    python -m repro.cli fig5 --jobs 4     # parallel compaction engine
+    python -m repro.cli fig5 --sim-jobs 4 # parallel Monte-Carlo generation
+    python -m repro.cli cost --sim-jobs -1
+    python -m repro.cli batch --lots 4 --jobs 4 --sim-jobs 4
 
 Each subcommand simulates its Monte-Carlo populations on the fly (no
 cache) at a CLI-chosen scale, runs the corresponding experiment and
 prints the same rows the paper reports.  For the cached, asserted
 variants use ``pytest benchmarks/ --benchmark-only``.
 
-On the greedy-loop commands (``fig5``, ``batch``), ``--jobs N``
-routes compaction through the parallel cache-aware engine of
-:mod:`repro.runtime` (identical results at any worker count, less
-wall clock); ``batch`` compacts several independently simulated
-Monte-Carlo lots through one
+On the simulating commands (``fig5``, ``table3``, ``cost``,
+``batch``), ``--sim-jobs N`` fans the Monte-Carlo device simulations
+out across worker processes through
+:mod:`repro.runtime.simulation` -- per-instance seeding makes the
+populations bit-identical at any worker count; ``batch`` simulates
+all its lots through one scheduler.  On the greedy-loop commands
+(``fig5``, ``batch``), ``--jobs N`` additionally routes compaction
+through the parallel cache-aware engine of :mod:`repro.runtime`
+(identical results at any worker count, less wall clock); ``batch``
+compacts the lots through one
 :meth:`~repro.runtime.engine.CompactionEngine.run_many` scheduler.
 """
 
@@ -65,6 +71,15 @@ def cmd_table2(args):
     return 0
 
 
+def _simulate_pair(bench, args):
+    """Train/test populations through the parallel generation engine."""
+    from repro.process.montecarlo import generate_many
+
+    return generate_many(
+        [(bench, args.train, args.seed), (bench, args.test, args.seed + 1)],
+        n_jobs=args.sim_jobs)
+
+
 def cmd_fig5(args):
     """Greedy op-amp compaction trend (Fig. 5)."""
     from repro.opamp import OpAmpBench
@@ -72,8 +87,7 @@ def cmd_fig5(args):
     bench = OpAmpBench()
     print("Simulating {} + {} op-amp instances...".format(
         args.train, args.test), file=sys.stderr)
-    train = bench.generate_dataset(args.train, seed=args.seed)
-    test = bench.generate_dataset(args.test, seed=args.seed + 1)
+    train, test = _simulate_pair(bench, args)
     result = compact_specification_tests(
         train, test, tolerance=args.tolerance, guard_band=args.guard,
         n_jobs=args.jobs if args.jobs != 1 else None)
@@ -96,8 +110,7 @@ def cmd_table3(args):
     bench = AccelerometerBench()
     print("Simulating {} + {} accelerometer instances...".format(
         args.train, args.test), file=sys.stderr)
-    train = bench.generate_dataset(args.train, seed=args.seed)
-    test = bench.generate_dataset(args.test, seed=args.seed + 1)
+    train, test = _simulate_pair(bench, args)
     compactor = TestCompactor(guard_band=args.guard)
     cold = tests_at_temperature(-40)
     hot = tests_at_temperature(80)
@@ -122,8 +135,7 @@ def cmd_cost(args):
     from repro.tester import LookupTable, TestProgram
 
     bench = AccelerometerBench()
-    train = bench.generate_dataset(args.train, seed=args.seed)
-    test = bench.generate_dataset(args.test, seed=args.seed + 1)
+    train, test = _simulate_pair(bench, args)
     eliminated = tests_at_temperature(-40) + tests_at_temperature(80)
     model, _ = TestCompactor(guard_band=args.guard).evaluate_subset(
         train, test, eliminated)
@@ -144,16 +156,22 @@ def cmd_batch(args):
     """Compact several Monte-Carlo lots through one batch scheduler."""
     from repro.mems import AccelerometerBench
     from repro.opamp import OpAmpBench
+    from repro.process.montecarlo import generate_many
     from repro.runtime import CompactionEngine
 
     bench = OpAmpBench() if args.device == "opamp" else AccelerometerBench()
     print("Simulating {} lots of {} + {} {} instances...".format(
         args.lots, args.train, args.test, args.device), file=sys.stderr)
-    pairs = []
+    requests = []
     for lot in range(args.lots):
         seed = args.seed + 2 * lot
-        pairs.append((bench.generate_dataset(args.train, seed=seed),
-                      bench.generate_dataset(args.test, seed=seed + 1)))
+        requests.append((bench, args.train, seed))
+        requests.append((bench, args.test, seed + 1))
+    # One scheduler simulates every lot's instances concurrently; the
+    # per-instance seed tree keeps the datasets identical to 2*lots
+    # separate generate_dataset calls at any --sim-jobs.
+    populations = generate_many(requests, n_jobs=args.sim_jobs)
+    pairs = list(zip(populations[0::2], populations[1::2]))
 
     engine = CompactionEngine(
         tolerance=args.tolerance, guard_band=args.guard, n_jobs=args.jobs)
@@ -201,12 +219,22 @@ def build_parser():
                        help="worker processes for the runtime engine "
                             "(-1 = all CPUs; default serial)")
 
+    def add_sim_jobs(p):
+        # Only the commands that simulate Monte-Carlo populations;
+        # table1/table2 measure a single nominal instance.
+        p.add_argument("--sim-jobs", type=int, default=1,
+                       help="worker processes for Monte-Carlo "
+                            "generation (-1 = all CPUs; default "
+                            "serial; identical datasets at any count)")
+        return p
+
     add("table1", cmd_table1)
     add("table2", cmd_table2)
-    add_jobs(add("fig5", cmd_fig5))
-    add("table3", cmd_table3, guard=0.03, train=1000, test=1000)
-    add("cost", cmd_cost, guard=0.03, train=1000, test=1000)
-    batch = add("batch", cmd_batch, train=300, test=200)
+    add_jobs(add_sim_jobs(add("fig5", cmd_fig5)))
+    add_sim_jobs(add("table3", cmd_table3, guard=0.03, train=1000,
+                     test=1000))
+    add_sim_jobs(add("cost", cmd_cost, guard=0.03, train=1000, test=1000))
+    batch = add_sim_jobs(add("batch", cmd_batch, train=300, test=200))
     add_jobs(batch)
     batch.add_argument("--lots", type=int, default=4,
                        help="number of independent Monte-Carlo lots")

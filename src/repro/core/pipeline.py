@@ -56,6 +56,24 @@ class CompactionPipeline:
         """Run the greedy compaction; returns a ``CompactionResult``."""
         return self.compactor.run(train, test)
 
+    def run_simulated(self, dut, n_train, n_test, seed=0, sim_jobs=None,
+                      seed_mode="per-instance"):
+        """Paper Fig. 1 end to end: simulate the populations, then run.
+
+        The training population is generated with ``seed`` and the
+        held-out population with ``seed + 1``, both through the
+        deterministic generation engine
+        (:func:`repro.process.montecarlo.generate_many`) so the two
+        simulations share one worker pool when ``sim_jobs`` is set --
+        the result is identical at any ``sim_jobs``.
+        """
+        from repro.process.montecarlo import generate_many
+
+        train, test = generate_many(
+            [(dut, n_train, seed), (dut, n_test, seed + 1)],
+            n_jobs=sim_jobs, seed_mode=seed_mode)
+        return self.run(train, test)
+
     def run_many(self, pairs):
         """Batch-compact ``(train, test)`` pairs (requires ``n_jobs``).
 

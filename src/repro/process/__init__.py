@@ -14,7 +14,11 @@ specification list.
 
 from repro.process.dataset import SpecDataset
 from repro.process.defects import DefectInjector
-from repro.process.montecarlo import GenerationReport, generate_dataset
+from repro.process.montecarlo import (
+    GenerationReport,
+    generate_dataset,
+    generate_many,
+)
 from repro.process.variation import (
     LognormalDisturbance,
     NormalDisturbance,
@@ -27,6 +31,7 @@ __all__ = [
     "SpecDataset",
     "DefectInjector",
     "generate_dataset",
+    "generate_many",
     "GenerationReport",
     "Parameter",
     "ProcessModel",

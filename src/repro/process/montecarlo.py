@@ -3,7 +3,26 @@
 ``generate_dataset`` repeatedly: samples a process-perturbed parameter
 set, sets up and simulates the device, takes the specification
 measurements and stores them -- until the requested number of training
-instances is reached.
+instances is reached.  ``generate_many`` batches several independent
+populations (device x temperature x lot) through one scheduler.
+
+Seeding modes
+-------------
+
+``seed_mode="per-instance"`` (default)
+    Every instance slot draws from its own child stream of
+    ``numpy.random.SeedSequence(seed)`` (resamples after simulation
+    failures stay inside the slot's stream).  Results are a pure
+    function of ``(dut, seed, slot)``, so generation parallelizes
+    across processes (``n_jobs``) with **bit-identical output at any
+    worker count**, and the first ``k`` rows of an ``n``-instance run
+    equal a ``k``-instance run.  See
+    :mod:`repro.runtime.simulation` for the engine.
+``seed_mode="sequential"``
+    The legacy single shared stream: draw ``i + 1`` follows draw ``i``
+    (and every resample shifts all later draws).  Kept for back-compat
+    with seed-pinned datasets; inherently order-dependent, therefore
+    serial-only.
 
 The DUT protocol
 ----------------
@@ -20,7 +39,9 @@ Any object with these three members can be used as a device under test:
     ``specifications``.
 
 :class:`repro.opamp.OpAmpBench` and :class:`repro.mems.AccelerometerBench`
-implement it; so can user-provided devices.
+implement it; so can user-provided devices.  For parallel generation
+both members must be pure functions (workers operate on pickled DUT
+copies).
 """
 
 from dataclasses import dataclass, field
@@ -30,23 +51,65 @@ import numpy as np
 from repro.errors import DatasetError, ReproError
 from repro.process.dataset import SpecDataset
 
+#: Valid ``seed_mode`` values.
+SEED_MODES = ("per-instance", "sequential")
+
+
+def default_max_failures(n_instances):
+    """The documented default failure budget of a generation run."""
+    return max(10, n_instances // 10)
+
 
 @dataclass
 class GenerationReport:
-    """Bookkeeping for one Monte-Carlo generation run."""
+    """Bookkeeping for one Monte-Carlo generation run.
+
+    ``n_failed`` is the authoritative failure count; ``failures``
+    retains only the most recent :data:`MAX_STORED_FAILURES` messages
+    so a pathological DUT in a million-instance run cannot grow an
+    unbounded list.
+    """
 
     n_requested: int
     n_simulated: int = 0
     n_failed: int = 0
     failures: list = field(default_factory=list)
 
+    #: Cap on retained failure messages (count is never capped).
+    MAX_STORED_FAILURES = 50
+
+    def record_failure(self, message):
+        """Count one failure, keeping at most the newest messages."""
+        self.n_failed += 1
+        self.failures.append(message)
+        if len(self.failures) > self.MAX_STORED_FAILURES:
+            del self.failures[:len(self.failures)
+                              - self.MAX_STORED_FAILURES]
+
     def __str__(self):
         return ("GenerationReport(requested={}, simulated={}, failed={})"
                 .format(self.n_requested, self.n_simulated, self.n_failed))
 
 
+def _resolve_generation_mode(seed_mode, n_jobs):
+    """Validate the (seed_mode, n_jobs) combination; returns the mode."""
+    if seed_mode not in SEED_MODES:
+        raise DatasetError("seed_mode must be one of {}".format(
+            list(SEED_MODES)))
+    if seed_mode == "sequential" and n_jobs is not None:
+        from repro.runtime.parallel import resolve_n_jobs
+
+        if resolve_n_jobs(n_jobs) > 1:
+            raise DatasetError(
+                "seed_mode='sequential' replays the order-dependent "
+                "legacy stream and cannot run in parallel; use "
+                "seed_mode='per-instance' with n_jobs")
+    return seed_mode
+
+
 def generate_dataset(dut, n_instances, seed, on_error="resample",
-                     max_failures=None, return_report=False):
+                     max_failures=None, return_report=False,
+                     n_jobs=None, seed_mode="per-instance"):
     """Generate a labeled Monte-Carlo :class:`SpecDataset` for ``dut``.
 
     Parameters
@@ -57,17 +120,25 @@ def generate_dataset(dut, n_instances, seed, on_error="resample",
     n_instances:
         Number of device instances in the returned dataset.
     seed:
-        Seed for the :class:`numpy.random.Generator` driving the
-        process disturbances; generation is fully reproducible.
+        Seed for the random process disturbances; generation is fully
+        reproducible (see the seeding modes in the module docstring).
     on_error:
         ``"resample"`` (default): when a simulation fails to converge
         or a measurement cannot be extracted, record the failure and
         draw a fresh instance.  ``"raise"``: propagate the first error.
     max_failures:
-        Abort (raise) after this many failures with ``"resample"``;
-        defaults to ``max(10, n_instances // 10)``.
+        Abort (raise) at exactly this many failures with
+        ``"resample"``; defaults to ``max(10, n_instances // 10)``.
     return_report:
         When True, return ``(dataset, GenerationReport)``.
+    n_jobs:
+        Worker processes for the instance simulations (``None``/``1``
+        serial, ``-1`` one per CPU).  Requires the default
+        ``seed_mode="per-instance"``; the result is bit-identical at
+        any worker count.
+    seed_mode:
+        ``"per-instance"`` (default) or ``"sequential"`` (legacy
+        shared-stream draw order, serial-only).
 
     Returns
     -------
@@ -77,8 +148,28 @@ def generate_dataset(dut, n_instances, seed, on_error="resample",
         raise DatasetError("n_instances must be positive")
     if on_error not in ("resample", "raise"):
         raise DatasetError("on_error must be 'resample' or 'raise'")
+    _resolve_generation_mode(seed_mode, n_jobs)
+
+    if seed_mode == "per-instance":
+        from repro.runtime.simulation import generate_instances
+
+        values, report = generate_instances(
+            dut, n_instances, seed, n_jobs=n_jobs, on_error=on_error,
+            max_failures=max_failures)
+    else:
+        values, report = _generate_sequential(
+            dut, n_instances, seed, on_error, max_failures)
+
+    dataset = SpecDataset(dut.specifications, values)
+    if return_report:
+        return dataset, report
+    return dataset
+
+
+def _generate_sequential(dut, n_instances, seed, on_error, max_failures):
+    """The legacy single-stream generation loop (serial by nature)."""
     if max_failures is None:
-        max_failures = max(10, n_instances // 10)
+        max_failures = default_max_failures(n_instances)
 
     rng = np.random.default_rng(seed)
     n_specs = len(dut.specifications)
@@ -91,11 +182,10 @@ def generate_dataset(dut, n_instances, seed, on_error="resample",
         try:
             row = np.asarray(dut.measure(params), dtype=float)
         except ReproError as exc:
-            report.n_failed += 1
-            report.failures.append(str(exc))
+            report.record_failure(str(exc))
             if on_error == "raise":
                 raise
-            if report.n_failed > max_failures:
+            if report.n_failed >= max_failures:
                 raise DatasetError(
                     "Monte-Carlo generation aborted: {} simulation "
                     "failures (last: {})".format(report.n_failed, exc))
@@ -107,19 +197,73 @@ def generate_dataset(dut, n_instances, seed, on_error="resample",
                 "DUT measure() returned shape {}, expected ({},)".format(
                     row.shape, n_specs))
         if not np.all(np.isfinite(row)):
-            report.n_failed += 1
-            report.failures.append("non-finite measurement")
+            report.record_failure("non-finite measurement")
             if on_error == "raise":
                 raise DatasetError("non-finite measurement from DUT")
-            if report.n_failed > max_failures:
+            if report.n_failed >= max_failures:
                 raise DatasetError(
                     "Monte-Carlo generation aborted: too many non-finite "
                     "measurements")
             continue
         values[filled] = row
         filled += 1
+    return values, report
 
-    dataset = SpecDataset(dut.specifications, values)
-    if return_report:
-        return dataset, report
-    return dataset
+
+def generate_many(requests, n_jobs=None, on_error="resample",
+                  max_failures=None, return_reports=False,
+                  seed_mode="per-instance"):
+    """Generate several independent Monte-Carlo populations at once.
+
+    This is the lot scheduler for device x temperature x lot batches:
+    all requested populations are flattened into one pool of instance
+    simulations, so many small lots keep every worker busy.
+
+    Parameters
+    ----------
+    requests:
+        Sequence of ``(dut, n_instances, seed)`` tuples, one per
+        population.  DUTs may differ between requests.
+    n_jobs:
+        Worker processes shared across *all* populations (``None``/``1``
+        serial, ``-1`` one per CPU); output is independent of the
+        worker count.
+    on_error, max_failures:
+        As in :func:`generate_dataset`, applied to every request
+        (``max_failures`` defaults per lot from its own size).
+    return_reports:
+        When True, return ``(dataset, GenerationReport)`` pairs.
+    seed_mode:
+        ``"per-instance"`` (default) or the serial-only
+        ``"sequential"`` legacy order.
+
+    Returns
+    -------
+    list of SpecDataset (or of (SpecDataset, GenerationReport))
+        In request order.
+    """
+    requests = [tuple(request) for request in requests]
+    for request in requests:
+        if len(request) != 3:
+            raise DatasetError(
+                "generate_many expects (dut, n_instances, seed) requests")
+    if on_error not in ("resample", "raise"):
+        raise DatasetError("on_error must be 'resample' or 'raise'")
+    _resolve_generation_mode(seed_mode, n_jobs)
+
+    if seed_mode == "sequential":
+        results = [_generate_sequential(dut, n, seed, on_error,
+                                        max_failures)
+                   for dut, n, seed in requests]
+    else:
+        from repro.runtime.simulation import generate_lot_instances
+
+        results = generate_lot_instances(
+            [(dut, n, seed, max_failures) for dut, n, seed in requests],
+            n_jobs=n_jobs, on_error=on_error)
+
+    out = []
+    for (dut, _, _), (values, report) in zip(requests, results):
+        dataset = SpecDataset(dut.specifications, values)
+        out.append((dataset, report) if return_reports else dataset)
+    return out

@@ -41,12 +41,22 @@ class UniformDisturbance(Disturbance):
         return nominal * (1.0 + rng.uniform(-s, s))
 
 
+#: Smallest multiplier :class:`NormalDisturbance` may apply; keeps the
+#: perturbed value's sign and a (tiny) nonzero magnitude.
+MIN_NORMAL_MULTIPLIER = 1e-6
+
+
 @dataclass(frozen=True)
 class NormalDisturbance(Disturbance):
     """Multiplicative Gaussian disturbance: ``nominal * N(1, sigma)``.
 
     ``clip_sigmas`` truncates the distribution to avoid non-physical
-    (e.g. negative-width) samples.
+    (e.g. negative-width) samples.  Whenever the requested clip would
+    still allow a non-positive multiplier (``relative_sigma *
+    clip_sigmas >= 1``), the lower clip is tightened so that
+    ``1 + relative_sigma * z`` stays at or above
+    :data:`MIN_NORMAL_MULTIPLIER` -- the sampled value can never lose
+    the nominal's sign, for any ``relative_sigma``.
     """
 
     relative_sigma: float
@@ -54,7 +64,10 @@ class NormalDisturbance(Disturbance):
 
     def sample(self, rng, nominal):
         z = rng.normal(0.0, 1.0)
-        z = float(np.clip(z, -self.clip_sigmas, self.clip_sigmas))
+        clip_low = self.clip_sigmas
+        if self.relative_sigma * self.clip_sigmas >= 1.0:
+            clip_low = (1.0 - MIN_NORMAL_MULTIPLIER) / self.relative_sigma
+        z = float(np.clip(z, -clip_low, self.clip_sigmas))
         return nominal * (1.0 + self.relative_sigma * z)
 
 

@@ -14,6 +14,12 @@ runtime around that hot path:
     candidate evaluation (bit-identical to serial), and the
     :meth:`~repro.runtime.engine.CompactionEngine.run_many` batch
     scheduler for whole dataset lots.
+``repro.runtime.simulation``
+    The deterministic parallel Monte-Carlo generation engine:
+    per-instance ``SeedSequence`` streams fan device simulation out
+    across processes with bit-identical datasets at any worker count,
+    including the :func:`~repro.runtime.simulation.
+    generate_lot_instances` scheduler for whole lot batches.
 ``repro.runtime.parallel``
     The process-pool plumbing (worker resolution, ordered maps,
     serial fallbacks) everything above shares.
@@ -22,12 +28,20 @@ runtime around that hot path:
 from repro.runtime.engine import CompactionEngine, speculation_plan
 from repro.runtime.kernel_cache import GramCache, SubsetGramView
 from repro.runtime.parallel import cpu_count, parallel_map, resolve_n_jobs
+from repro.runtime.simulation import (
+    generate_instances,
+    generate_lot_instances,
+    instance_streams,
+)
 
 __all__ = [
     "CompactionEngine",
     "GramCache",
     "SubsetGramView",
     "cpu_count",
+    "generate_instances",
+    "generate_lot_instances",
+    "instance_streams",
     "parallel_map",
     "resolve_n_jobs",
     "speculation_plan",

@@ -1,0 +1,262 @@
+"""Deterministic parallel Monte-Carlo simulation engine.
+
+Monte-Carlo data generation (paper Fig. 1) is the dominant wall-clock
+cost of the whole flow: every op-amp instance is five real circuit
+analyses.  This module fans the per-instance simulations out across
+worker processes while guaranteeing **bit-identical datasets to a
+serial run** at any worker count.
+
+The seed tree
+-------------
+
+The guarantee rests on per-instance seeding.  A run's master seed
+builds one :class:`numpy.random.SeedSequence`, and instance slot ``i``
+draws from the ``i``-th spawned child stream::
+
+    SeedSequence(seed) --spawn--> child 0 -> rng for slot 0
+                                  child 1 -> rng for slot 1
+                                  ...
+
+Each slot's parameter draws -- including any resamples after a failed
+simulation -- stay inside the slot's own stream, so a slot's result is
+a pure function of ``(dut, seed, slot index)``:
+
+* execution order and worker count cannot change any value;
+* a failure in slot ``i`` never shifts the draws of slot ``i + 1``
+  (unlike a single shared stream, where every resample displaces all
+  later instances);
+* spawned children are keyed by index, so the first ``k`` slots of an
+  ``n``-instance run equal a ``k``-instance run outright (populations
+  can be grown or subsampled without resimulating).
+
+The legacy single-shared-stream draw order remains available as
+``seed_mode="sequential"`` in :func:`repro.process.montecarlo.
+generate_dataset` for back-compat with seed-pinned datasets; it is
+inherently order-dependent and therefore serial-only.
+
+DUT purity
+----------
+
+Parallel generation ships a pickled copy of the DUT to every worker,
+so ``sample_parameters``/``measure`` must be pure functions of their
+inputs.  Stateful wrappers (e.g. a :class:`~repro.process.defects.
+DefectInjector` counting ``n_injected``) still produce correct data,
+but their in-process counters only reflect the instances their own
+copy simulated -- run them serially when the side state matters.
+
+Entry points
+------------
+
+:func:`generate_instances` simulates one population and returns the
+raw value matrix plus a :class:`~repro.process.montecarlo.
+GenerationReport`; :func:`generate_lot_instances` flattens many
+independent lots (device x temperature x lot batches) into one slot
+pool so small lots cannot leave workers idle.  Both are wrapped by
+:func:`repro.process.montecarlo.generate_dataset` /
+:func:`~repro.process.montecarlo.generate_many`, which add the
+:class:`~repro.process.dataset.SpecDataset` packaging.
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DatasetError, ReproError
+from repro.process.montecarlo import GenerationReport, default_max_failures
+from repro.runtime.parallel import make_pool, resolve_n_jobs
+
+#: Per-process worker state (set by :func:`_init_simulation_worker`).
+_WORKER = {}
+
+
+def instance_streams(seed, n_instances):
+    """Per-slot child :class:`~numpy.random.SeedSequence` streams.
+
+    Children are keyed by spawn index, so ``instance_streams(seed, k)``
+    is always a prefix of ``instance_streams(seed, n)`` for ``k <= n``.
+    """
+    return np.random.SeedSequence(seed).spawn(n_instances)
+
+
+@dataclass
+class SlotResult:
+    """Outcome of simulating one instance slot.
+
+    ``row`` is the measured specification vector, or ``None`` when the
+    slot gave up (first error in ``"raise"`` mode, or the slot alone
+    exhausted the run's failure budget).  ``n_attempts`` counts every
+    simulation tried; ``failures`` their error messages in order;
+    ``error`` the first exception, kept so ``"raise"`` mode can
+    propagate the original error from the lowest failing slot.
+    """
+
+    row: object
+    n_attempts: int
+    failures: list
+    error: object = None
+
+
+def simulate_slot(dut, entropy, n_specs, on_error, failure_budget):
+    """Simulate one instance slot to success or until it gives up.
+
+    Resamples after failures draw from the same slot stream
+    (``entropy``), keeping the slot a pure function of its inputs.
+    ``failure_budget`` is the *run-wide* failure cap: once this slot
+    alone has failed that many times the run is doomed regardless of
+    the other slots, so it stops retrying.
+    """
+    rng = np.random.default_rng(entropy)
+    failures = []
+    attempts = 0
+    first_error = None
+    while True:
+        params = dut.sample_parameters(rng)
+        attempts += 1
+        try:
+            row = np.asarray(dut.measure(params), dtype=float)
+        except ReproError as exc:
+            failures.append(str(exc))
+            first_error = first_error or exc
+            if on_error == "raise" or len(failures) >= failure_budget:
+                return SlotResult(None, attempts, failures, first_error)
+            continue
+        if row.shape != (n_specs,):
+            raise DatasetError(
+                "DUT measure() returned shape {}, expected ({},)".format(
+                    row.shape, n_specs))
+        if not np.all(np.isfinite(row)):
+            failures.append("non-finite measurement")
+            first_error = first_error or DatasetError(
+                "non-finite measurement from DUT")
+            if on_error == "raise" or len(failures) >= failure_budget:
+                return SlotResult(None, attempts, failures, first_error)
+            continue
+        return SlotResult(row, attempts, failures, None)
+
+
+def _init_simulation_worker(duts, n_specs, on_error, budgets):
+    """Pool initializer: park the shared lot configuration per process."""
+    _WORKER["duts"] = duts
+    _WORKER["n_specs"] = n_specs
+    _WORKER["on_error"] = on_error
+    _WORKER["budgets"] = budgets
+
+
+def _simulate_slot_task(task):
+    """Simulate one ``(lot index, slot entropy)`` task in a worker."""
+    lot, entropy = task
+    return simulate_slot(_WORKER["duts"][lot], entropy,
+                         _WORKER["n_specs"][lot], _WORKER["on_error"],
+                         _WORKER["budgets"][lot])
+
+
+class _LotCollector:
+    """Accumulates one lot's slot results, strictly in slot order.
+
+    The collector is where the run-level failure semantics live:
+    failures replay in slot order and the run aborts the moment the
+    budget is met, so the abort decision (and its message) is
+    identical at any worker count.
+    """
+
+    def __init__(self, n_instances, n_specs, on_error, max_failures):
+        self._values = np.empty((n_instances, n_specs))
+        self._slot = 0
+        self._on_error = on_error
+        self._max_failures = max_failures
+        self.report = GenerationReport(n_requested=n_instances)
+
+    def add(self, result):
+        """Merge the next slot's result; raises on abort conditions."""
+        self.report.n_simulated += result.n_attempts
+        if result.error is not None and self._on_error == "raise":
+            raise result.error
+        for message in result.failures:
+            self.report.record_failure(message)
+            if self.report.n_failed >= self._max_failures:
+                raise DatasetError(
+                    "Monte-Carlo generation aborted: {} simulation "
+                    "failures (last: {})".format(self.report.n_failed,
+                                                 message))
+        self._values[self._slot] = result.row
+        self._slot += 1
+
+    def finish(self):
+        return self._values, self.report
+
+
+def generate_lot_instances(lots, n_jobs=None, on_error="resample"):
+    """Simulate many independent Monte-Carlo lots through one slot pool.
+
+    Slot results are consumed incrementally in slot order, so an abort
+    (failure budget met, or first error in ``"raise"`` mode) stops the
+    run without simulating the remaining slots: serially nothing past
+    the abort point runs at all; in parallel the queued tasks are
+    cancelled and only in-flight slots complete.
+
+    Parameters
+    ----------
+    lots:
+        Sequence of ``(dut, n_instances, seed, max_failures)`` tuples;
+        ``max_failures=None`` selects :func:`~repro.process.montecarlo.
+        default_max_failures`.
+    n_jobs:
+        Worker processes shared by *all* lots' instance slots (``None``
+        / ``1`` serial, ``-1`` one per CPU).  Results are independent
+        of the worker count.
+    on_error:
+        ``"resample"`` or ``"raise"``, applied to every lot.
+
+    Returns
+    -------
+    list of (values, GenerationReport)
+        One entry per lot, in input order.
+    """
+    lots = list(lots)
+    if on_error not in ("resample", "raise"):
+        raise DatasetError("on_error must be 'resample' or 'raise'")
+    duts, n_specs, budgets, tasks, collectors = [], [], [], [], []
+    for lot_index, (dut, n_instances, seed, max_failures) in enumerate(lots):
+        if n_instances <= 0:
+            raise DatasetError("n_instances must be positive")
+        budget = (default_max_failures(n_instances)
+                  if max_failures is None else int(max_failures))
+        duts.append(dut)
+        n_specs.append(len(dut.specifications))
+        budgets.append(budget)
+        tasks.extend((lot_index, stream)
+                     for stream in instance_streams(seed, n_instances))
+        collectors.append(_LotCollector(n_instances, n_specs[lot_index],
+                                        on_error, budget))
+
+    initargs = (tuple(duts), tuple(n_specs), on_error, tuple(budgets))
+    n_jobs = resolve_n_jobs(n_jobs)
+    if n_jobs <= 1 or len(tasks) <= 1:
+        # Lazy in-process map: an abort stops further simulation.
+        _init_simulation_worker(*initargs)
+        for task in tasks:
+            collectors[task[0]].add(_simulate_slot_task(task))
+    else:
+        pool = make_pool(min(n_jobs, len(tasks)),
+                         initializer=_init_simulation_worker,
+                         initargs=initargs)
+        try:
+            for task, result in zip(tasks,
+                                    pool.map(_simulate_slot_task, tasks)):
+                collectors[task[0]].add(result)
+        finally:
+            pool.shutdown(wait=True, cancel_futures=True)
+    return [collector.finish() for collector in collectors]
+
+
+def generate_instances(dut, n_instances, seed, n_jobs=None,
+                       on_error="resample", max_failures=None):
+    """Simulate one Monte-Carlo population with per-instance seeding.
+
+    Returns ``(values, report)``; see :func:`generate_lot_instances`
+    for the parameters and the determinism contract.
+    """
+    [(values, report)] = generate_lot_instances(
+        [(dut, n_instances, seed, max_failures)],
+        n_jobs=n_jobs, on_error=on_error)
+    return values, report

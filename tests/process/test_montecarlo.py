@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import ConvergenceError, DatasetError
-from repro.process.montecarlo import generate_dataset
+from repro.process.montecarlo import GenerationReport, generate_dataset
 
 from tests.synthetic import SyntheticDut
 
@@ -77,6 +77,14 @@ class TestGenerateDataset:
         with pytest.raises(DatasetError, match="aborted"):
             generate_dataset(dut, 50, seed=0, max_failures=5)
 
+    @pytest.mark.parametrize("seed_mode", ["per-instance", "sequential"])
+    def test_budget_aborts_at_exactly_max_failures(self, seed_mode):
+        """Regression: max_failures=3 used to abort only at failure 4."""
+        dut = FlakyDut(fail_every=2)
+        with pytest.raises(DatasetError, match="3 simulation failures"):
+            generate_dataset(dut, 50, seed=0, max_failures=3,
+                             seed_mode=seed_mode)
+
     def test_input_validation(self):
         dut = SyntheticDut()
         with pytest.raises(DatasetError):
@@ -89,3 +97,26 @@ class TestGenerateDataset:
         ds = generate_dataset(dut, 60, seed=3)
         expected = dut.specifications.labels(ds.values)
         assert np.array_equal(ds.labels, expected)
+
+
+class TestGenerationReport:
+    def test_failure_messages_bounded(self):
+        """The stored message list is capped; the count never is."""
+        report = GenerationReport(n_requested=10)
+        for i in range(GenerationReport.MAX_STORED_FAILURES + 25):
+            report.record_failure("failure {}".format(i))
+        assert report.n_failed == GenerationReport.MAX_STORED_FAILURES + 25
+        assert len(report.failures) == GenerationReport.MAX_STORED_FAILURES
+        # The newest messages survive.
+        assert report.failures[-1] == "failure {}".format(
+            GenerationReport.MAX_STORED_FAILURES + 24)
+        assert report.failures[0] == "failure 25"
+
+    def test_generation_keeps_report_bounded(self):
+        dut = FlakyDut(fail_every=2)
+        cap = GenerationReport.MAX_STORED_FAILURES
+        ds, report = generate_dataset(dut, 150, seed=0,
+                                      max_failures=10_000,
+                                      return_report=True)
+        assert report.n_failed > cap
+        assert len(report.failures) == cap

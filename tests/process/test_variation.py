@@ -43,6 +43,37 @@ class TestDisturbances:
         d = LognormalDisturbance(1.0)
         assert all(d.sample(rng, 1e-6) > 0 for _ in range(200))
 
+    def test_normal_large_sigma_never_flips_sign(self):
+        """Regression: relative_sigma=0.3 with the default 4-sigma clip
+        produced negative samples (min -0.2x nominal over 20k draws)."""
+        rng = np.random.default_rng(0)
+        d = NormalDisturbance(0.3)
+        samples = np.array([d.sample(rng, 1.0) for _ in range(20_000)])
+        assert samples.min() > 0.0
+
+    @given(sigma=st.floats(0.01, 5.0), clip=st.floats(0.5, 8.0),
+           seed=st.integers(0, 50))
+    @settings(max_examples=60, deadline=None)
+    def test_normal_multiplier_always_positive(self, sigma, clip, seed):
+        rng = np.random.default_rng(seed)
+        d = NormalDisturbance(sigma, clip_sigmas=clip)
+        samples = [d.sample(rng, 2.5) for _ in range(50)]
+        assert all(s > 0 for s in samples)
+        # The upper clip is never tightened.
+        assert max(samples) <= 2.5 * (1 + sigma * clip) + 1e-9
+
+    def test_normal_clamp_inactive_for_small_sigma(self):
+        """Draws are unchanged when the clip already keeps samples
+        positive (back-compat with seed-pinned datasets)."""
+        d = NormalDisturbance(0.05)
+        rng_new = np.random.default_rng(7)
+        rng_old = np.random.default_rng(7)
+        new = [d.sample(rng_new, 1.0) for _ in range(200)]
+        old = [1.0 * (1.0 + 0.05 * float(np.clip(rng_old.normal(0.0, 1.0),
+                                                 -4.0, 4.0)))
+               for _ in range(200)]
+        assert new == old
+
 
 class TestProcessModel:
     def _model(self):

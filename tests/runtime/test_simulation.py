@@ -1,0 +1,250 @@
+"""Determinism contract of the parallel Monte-Carlo generation engine.
+
+The engine's promise: for ``seed_mode="per-instance"`` the generated
+dataset is a pure function of ``(dut, seed, n_instances)`` --
+independent of worker count and execution order, with failures and
+resamples confined to their own instance slot -- while
+``seed_mode="sequential"`` replays the legacy shared-stream draw order
+byte for byte.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConvergenceError, DatasetError
+from repro.mems import AccelerometerBench
+from repro.opamp import OpAmpBench
+from repro.process.montecarlo import generate_dataset, generate_many
+from repro.runtime.simulation import instance_streams
+
+from tests.synthetic import SyntheticDut
+
+
+class PureFlakyDut(SyntheticDut):
+    """Fails deterministically as a pure function of the sampled params.
+
+    Unlike a call-counting flaky DUT, the failure decision depends only
+    on the instance's own draws, so it is compatible with parallel
+    generation (workers hold pickled DUT copies).
+    """
+
+    FAIL_BAND = (0.0, 0.45)
+
+    def fails_on(self, params):
+        low, high = self.FAIL_BAND
+        return low < float(params[0]) < high
+
+    def measure(self, params):
+        if self.fails_on(params):
+            raise ConvergenceError("unstable bias point")
+        return super().measure(params)
+
+
+class AlwaysFailDut(SyntheticDut):
+    def measure(self, params):
+        raise ConvergenceError("dead device")
+
+
+class CountingAlwaysFailDut(SyntheticDut):
+    def __init__(self, **kw):
+        super().__init__(**kw)
+        self.calls = 0
+
+    def measure(self, params):
+        self.calls += 1
+        raise ConvergenceError("dead device")
+
+
+class FlakyOpAmpBench(OpAmpBench):
+    """A real op-amp bench with pure, param-dependent failure injection.
+
+    Module-level (not test-local) so worker processes can unpickle it
+    under any multiprocessing start method.
+    """
+
+    def measure(self, params):
+        if params.w1 > self.nominal.w1:  # pure in the params
+            raise ConvergenceError("injected failure")
+        return super().measure(params)
+
+
+class FlakyAccelerometerBench(AccelerometerBench):
+    """A real MEMS bench with pure, geometry-dependent failures."""
+
+    def measure(self, geometry):
+        if geometry.beam_width > self.nominal.beam_width:
+            raise ConvergenceError("injected failure")
+        return super().measure(geometry)
+
+
+class TestPerInstanceDeterminism:
+    def test_serial_equals_parallel(self):
+        dut = SyntheticDut()
+        serial = generate_dataset(dut, 40, seed=42)
+        for n_jobs in (2, 3):
+            par = generate_dataset(dut, 40, seed=42, n_jobs=n_jobs)
+            assert np.array_equal(serial.values, par.values)
+            assert np.array_equal(serial.labels, par.labels)
+
+    def test_serial_equals_parallel_with_failures(self):
+        dut = PureFlakyDut()
+        serial, rs = generate_dataset(dut, 60, seed=5, max_failures=100,
+                                      return_report=True)
+        par, rp = generate_dataset(dut, 60, seed=5, max_failures=100,
+                                   n_jobs=2, return_report=True)
+        assert rs.n_failed > 0  # the injection actually fired
+        assert np.array_equal(serial.values, par.values)
+        assert (rs.n_failed, rs.n_simulated) == (rp.n_failed, rp.n_simulated)
+        assert rs.failures == rp.failures
+
+    def test_failures_stay_inside_their_slot(self):
+        """A failing slot resamples itself; neighbors are untouched."""
+        flaky = PureFlakyDut()
+        clean = SyntheticDut()
+        with_failures = generate_dataset(flaky, 60, seed=5,
+                                         max_failures=100)
+        without = generate_dataset(clean, 60, seed=5)
+        # A slot's first draw decides whether it ever failed; recompute
+        # it per slot from the seed tree.
+        failed_first = []
+        for stream in instance_streams(5, 60):
+            rng = np.random.default_rng(stream)
+            failed_first.append(flaky.fails_on(flaky.sample_parameters(rng)))
+        assert any(failed_first)
+        for slot, failed in enumerate(failed_first):
+            same = np.array_equal(with_failures.values[slot],
+                                  without.values[slot])
+            assert same != failed  # resampled iff the first draw failed
+
+    def test_prefix_property(self):
+        """The first k slots of an n-instance run equal a k-instance run."""
+        dut = SyntheticDut()
+        big = generate_dataset(dut, 32, seed=9)
+        small = generate_dataset(dut, 8, seed=9)
+        assert np.array_equal(small.values, big.values[:8])
+
+    def test_max_failures_aborts_at_exactly_k(self):
+        for n_jobs in (None, 2):
+            with pytest.raises(DatasetError,
+                               match="3 simulation failures"):
+                generate_dataset(AlwaysFailDut(), 10, seed=0,
+                                 max_failures=3, n_jobs=n_jobs)
+
+    def test_abort_stops_simulating(self):
+        """The failure budget bounds *work*, not just the outcome: a
+        serial run of a dead DUT simulates exactly max_failures times
+        however many instances were requested."""
+        dut = CountingAlwaysFailDut()
+        with pytest.raises(DatasetError, match="aborted"):
+            generate_dataset(dut, 1000, seed=0, max_failures=5)
+        assert dut.calls == 5
+
+    def test_raise_mode_propagates_from_workers(self):
+        with pytest.raises(ConvergenceError, match="dead device"):
+            generate_dataset(AlwaysFailDut(), 10, seed=0,
+                             on_error="raise", n_jobs=2)
+
+    def test_invalid_seed_mode_rejected(self):
+        with pytest.raises(DatasetError, match="seed_mode"):
+            generate_dataset(SyntheticDut(), 10, seed=0,
+                             seed_mode="per-lot")
+
+
+class TestSequentialBackCompat:
+    def test_replays_legacy_shared_stream(self):
+        """seed_mode='sequential' reproduces the historical draw order."""
+        dut = SyntheticDut()
+        rng = np.random.default_rng(42)
+        legacy = np.vstack([dut.measure(dut.sample_parameters(rng))
+                            for _ in range(50)])
+        ds = generate_dataset(dut, 50, seed=42, seed_mode="sequential")
+        assert np.array_equal(ds.values, legacy)
+
+    def test_differs_from_per_instance(self):
+        dut = SyntheticDut()
+        seq = generate_dataset(dut, 20, seed=3, seed_mode="sequential")
+        per = generate_dataset(dut, 20, seed=3)
+        assert not np.array_equal(seq.values, per.values)
+
+    def test_parallel_request_rejected(self):
+        with pytest.raises(DatasetError, match="sequential"):
+            generate_dataset(SyntheticDut(), 10, seed=0,
+                             seed_mode="sequential", n_jobs=2)
+        # n_jobs resolving to serial is fine.
+        ds = generate_dataset(SyntheticDut(), 10, seed=0,
+                              seed_mode="sequential", n_jobs=1)
+        assert len(ds) == 10
+
+
+class TestGenerateMany:
+    def test_matches_individual_runs(self):
+        dut_a = SyntheticDut(seed=99)
+        dut_b = PureFlakyDut(seed=7)
+        batch = generate_many([(dut_a, 20, 1), (dut_b, 30, 2)],
+                              max_failures=100)
+        individual = [
+            generate_dataset(dut_a, 20, seed=1),
+            generate_dataset(dut_b, 30, seed=2, max_failures=100),
+        ]
+        assert len(batch) == 2
+        for got, want in zip(batch, individual):
+            assert np.array_equal(got.values, want.values)
+
+    def test_parallel_equals_serial(self):
+        requests = [(SyntheticDut(seed=s), 15, s) for s in (1, 2, 3)]
+        serial = generate_many(requests)
+        parallel = generate_many(requests, n_jobs=2)
+        for a, b in zip(serial, parallel):
+            assert np.array_equal(a.values, b.values)
+
+    def test_reports_returned_in_order(self):
+        requests = [(SyntheticDut(), 5, 0), (SyntheticDut(), 9, 1)]
+        out = generate_many(requests, return_reports=True)
+        assert [r.n_requested for _, r in out] == [5, 9]
+        assert [len(ds) for ds, _ in out] == [5, 9]
+
+    def test_malformed_request_rejected(self):
+        with pytest.raises(DatasetError, match="requests"):
+            generate_many([(SyntheticDut(), 5)])
+
+
+@pytest.mark.slow
+class TestRealBenches:
+    """Serial/parallel byte-equality on the real circuit-level DUTs."""
+
+    def test_opamp_serial_equals_parallel(self):
+        from repro.opamp import OpAmpBench
+
+        bench = OpAmpBench()
+        serial = bench.generate_dataset(4, seed=17)
+        parallel = bench.generate_dataset(4, seed=17, n_jobs=2)
+        assert np.array_equal(serial.values, parallel.values)
+
+    def test_mems_serial_equals_parallel(self):
+        bench = AccelerometerBench()
+        serial = bench.generate_dataset(8, seed=23)
+        parallel = bench.generate_dataset(8, seed=23, n_jobs=2)
+        assert np.array_equal(serial.values, parallel.values)
+
+    def test_mems_parallel_with_failures(self):
+        bench = FlakyAccelerometerBench()
+        serial, rs = bench.generate_dataset(8, seed=29, max_failures=100,
+                                            return_report=True)
+        parallel, rp = bench.generate_dataset(8, seed=29,
+                                              max_failures=100,
+                                              n_jobs=2,
+                                              return_report=True)
+        assert rs.n_failed > 0
+        assert np.array_equal(serial.values, parallel.values)
+        assert rs.n_failed == rp.n_failed
+
+    def test_opamp_parallel_with_failures(self):
+        """Real simulations through a pure failure-injecting wrapper."""
+        bench = FlakyOpAmpBench()
+        serial, rs = bench.generate_dataset(3, seed=31, max_failures=50,
+                                            return_report=True)
+        parallel, rp = bench.generate_dataset(3, seed=31, max_failures=50,
+                                              n_jobs=2, return_report=True)
+        assert rs.n_failed > 0
+        assert np.array_equal(serial.values, parallel.values)
+        assert rs.n_failed == rp.n_failed

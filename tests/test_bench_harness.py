@@ -26,13 +26,26 @@ class TestScales:
             assert set(sizes) == {"opamp", "mems"}
         assert set(harness.SEEDS) == {"opamp", "mems"}
 
+    def test_sim_jobs_default_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SIM_JOBS", raising=False)
+        assert harness.sim_jobs() == 1
+
+    def test_sim_jobs_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SIM_JOBS", "-1")
+        assert harness.sim_jobs() == -1
+
+    def test_sim_jobs_invalid_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SIM_JOBS", "many")
+        with pytest.raises(ValueError):
+            harness.sim_jobs()
+
 
 class TestLoadPopulation:
     def test_generates_and_caches(self, tmp_path, monkeypatch):
         monkeypatch.setattr(harness, "CACHE_DIR", tmp_path)
         ds = harness.load_population("mems", 4, seed=7)
         assert len(ds) == 4
-        assert (tmp_path / "mems_4_7.npz").exists()
+        assert (tmp_path / "mems_4_7.pi.npz").exists()
         # Second call loads from disk (byte-identical values).
         again = harness.load_population("mems", 4, seed=7)
         assert np.array_equal(again.values, ds.values)
@@ -43,13 +56,31 @@ class TestLoadPopulation:
         small = harness.load_population("mems", 3, seed=7)
         assert np.array_equal(small.values, big.values[:3])
         # The subsample did not create its own cache file.
-        assert not (tmp_path / "mems_3_7.npz").exists()
+        assert not (tmp_path / "mems_3_7.pi.npz").exists()
+
+    def test_untagged_legacy_cache_ignored(self, tmp_path, monkeypatch):
+        """Pre-engine caches (sequential draw order, no tag) must never
+        be served as per-instance populations."""
+        monkeypatch.setattr(harness, "CACHE_DIR", tmp_path)
+        stale = harness.load_population("mems", 5, seed=7)
+        (tmp_path / "mems_5_7.pi.npz").rename(tmp_path / "mems_5_7.npz")
+        fresh = harness.load_population("mems", 3, seed=7)
+        assert np.array_equal(fresh.values, stale.values[:3])
+        assert (tmp_path / "mems_3_7.pi.npz").exists()
 
     def test_relabels_with_current_specifications(self, tmp_path,
                                                   monkeypatch):
         monkeypatch.setattr(harness, "CACHE_DIR", tmp_path)
         ds = harness.load_population("mems", 3, seed=7)
         assert ds.specifications == MEMS_SPECIFICATIONS
+
+    def test_parallel_generation_caches_identical_bytes(self, tmp_path,
+                                                        monkeypatch):
+        monkeypatch.setattr(harness, "CACHE_DIR", tmp_path)
+        serial = harness.load_population("mems", 5, seed=3)
+        (tmp_path / "mems_5_3.pi.npz").unlink()
+        parallel = harness.load_population("mems", 5, seed=3, n_jobs=2)
+        assert np.array_equal(serial.values, parallel.values)
 
     def test_unknown_device_rejected(self):
         with pytest.raises(ValueError):

@@ -42,6 +42,19 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["table3", "--jobs", "2"])
 
+    def test_sim_jobs_on_simulating_commands(self):
+        for command in ("fig5", "table3", "cost", "batch"):
+            args = build_parser().parse_args([command])
+            assert args.sim_jobs == 1
+            args = build_parser().parse_args([command, "--sim-jobs", "4"])
+            assert args.sim_jobs == 4
+
+    def test_sim_jobs_not_on_table_printers(self):
+        """table1/table2 measure one nominal instance: no population."""
+        for command in ("table1", "table2"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args([command, "--sim-jobs", "2"])
+
     def test_batch_options(self):
         args = build_parser().parse_args(
             ["batch", "--lots", "3", "--device", "mems", "--jobs", "2"])

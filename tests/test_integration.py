@@ -21,6 +21,11 @@ from repro.mems import tests_at_temperature as _tests_at_temperature
 from repro.opamp import OpAmpBench
 from repro.tester import LookupTable, TestProgram as Program
 
+# The module simulates real Monte-Carlo populations end to end -- the
+# slowest generation work in the suite.  `pytest -m "not slow"` skips
+# it for a fast pre-commit loop; the tier-1 command runs unfiltered.
+pytestmark = pytest.mark.slow
+
 
 def _fixed_factory():
     return SVC(C=500.0, gamma=8.0)
