@@ -1,0 +1,155 @@
+"""Experiment F1 -- streaming test-floor throughput and equivalence.
+
+Trains a compacted program on a fast synthetic device, deploys it as a
+:class:`~repro.floor.artifact.TestProgramArtifact`, and pushes a
+pre-materialized synthetic device stream through the
+:class:`~repro.floor.engine.TestFloor` in both serving modes:
+
+1. **live model** -- the batched guard-banded SVM pair;
+2. **lookup table** -- the paper Section 3.3 grid deployment.
+
+Equivalence is asserted unconditionally in every environment:
+
+* decisions are identical at every ``batch_size`` in both modes;
+* an artifact reloaded from disk dispositions identically;
+* simulated traffic through the seed-tree scheduler is identical
+  serial vs. parallel (``n_jobs=2``).
+
+The >= 100k devices/min throughput bar needs dedicated cores to be a
+fair measurement and fires only on machines with at least four CPUs
+(mirroring the other ``bench_parallel_*`` experiments); the measured
+numbers are printed everywhere.
+
+Runnable directly (``python benchmarks/bench_floor_throughput.py``) or
+through pytest-benchmark like every other experiment here.
+"""
+
+import os
+import tempfile
+
+if __name__ == "__main__":
+    # Allow `python benchmarks/bench_floor_throughput.py` without an
+    # installed package or PYTHONPATH (pytest gets these from
+    # pyproject.toml's pythonpath setting instead).
+    import pathlib
+    import sys
+
+    _root = pathlib.Path(__file__).resolve().parent.parent
+    sys.path[:0] = [str(_root), str(_root / "src")]
+
+import numpy as np
+
+from benchmarks.harness import print_table, run_once
+from repro.core.costmodel import TestCostModel as CostModel
+from repro.core.pipeline import CompactionPipeline
+from repro.floor import TestFloor as Floor
+from repro.floor import TestProgramArtifact as Artifact
+from repro.learn import SVC
+from repro.runtime import cpu_count
+
+from tests.synthetic import SyntheticDut, make_synthetic_dataset
+
+#: Training / held-out population sizes for the program build.
+N_TRAIN, N_TEST = 1500, 800
+#: Devices in the pre-materialized throughput stream.
+N_STREAM = 120_000
+#: Devices in the (slower, per-instance seeded) simulated-traffic
+#: equivalence check.
+N_SIMULATED = 2_000
+#: The acceptance bar: dispositioned devices per minute.
+THROUGHPUT_FLOOR = 100_000
+
+
+class FixedSVCFactory:
+    """Picklable fixed-hyperparameter factory (no per-fit tuning)."""
+
+    def __call__(self):
+        return SVC(C=50.0, gamma="scale")
+
+
+def _build_artifact():
+    train = make_synthetic_dataset(n=N_TRAIN, seed=1)
+    test = make_synthetic_dataset(n=N_TEST, seed=2)
+    pipeline = CompactionPipeline(tolerance=0.02, guard_band=0.06,
+                                  model_factory=FixedSVCFactory())
+    _, artifact = pipeline.deploy(
+        train, test, cost_model=CostModel.uniform(train.names),
+        device="synthetic", train_seed=1, lookup_resolution=21)
+    return artifact
+
+
+def _synthetic_stream(dut, n):
+    """A pre-materialized device stream (vectorized draw, no sim loop).
+
+    Throughput here measures *disposition*, not device simulation, so
+    the stream must be cheap: one vectorized linear map, same
+    distribution the synthetic DUT samples per instance.
+    """
+    rng = np.random.default_rng(77)
+    return rng.normal(0.0, 1.0, (n, dut.n_latent)) @ dut.map
+
+
+def run_experiment():
+    """Execute all modes; returns the printed rows as structured data."""
+    dut = SyntheticDut()
+    artifact = _build_artifact()
+    stream = _synthetic_stream(dut, N_STREAM)
+
+    rows = []
+    decisions = {}
+    throughput = {}
+    for mode, use_lookup in (("live model", False), ("lookup", True)):
+        floor = Floor(artifact, use_lookup=use_lookup)
+        report = floor.run_stream([stream], lot=mode,
+                                  keep_decisions=True)
+        decisions[mode] = report.decisions
+        throughput[mode] = report.devices_per_minute
+        rows.append((mode, report.n_devices, report.wall_seconds,
+                     report.devices_per_minute))
+
+        # Equivalence 1: batch size never changes a decision.
+        for batch_size in (1024, 65536):
+            again = floor.run_stream([stream], batch_size=batch_size,
+                                     lot=mode, keep_decisions=True)
+            assert np.array_equal(again.decisions, report.decisions), \
+                "batch_size={} changed decisions in {} mode".format(
+                    batch_size, mode)
+
+    # Equivalence 2: a reloaded artifact dispositions identically.
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "program.rtp")
+        artifact.save(path)
+        reloaded = Floor(Artifact.load(path), use_lookup=False)
+        again = reloaded.run_stream([stream], lot="reloaded",
+                                    keep_decisions=True)
+        assert np.array_equal(again.decisions, decisions["live model"])
+
+    # Equivalence 3: simulated traffic is worker-count independent.
+    floor = Floor(artifact, use_lookup=False, monitor=False)
+    serial = floor.run_simulated(dut, N_SIMULATED, seed=5,
+                                 keep_decisions=True)
+    parallel = floor.run_simulated(dut, N_SIMULATED, seed=5, n_jobs=2,
+                                   keep_decisions=True)
+    assert np.array_equal(serial.decisions, parallel.decisions)
+
+    print_table(
+        "F1: test-floor throughput ({} CPUs available)".format(
+            cpu_count()),
+        ["mode", "devices", "seconds", "devices/min"], rows)
+
+    # The throughput bar needs real cores; acceptance is a 4-core run.
+    if cpu_count() >= 4 and not os.environ.get("REPRO_BENCH_NO_SPEEDUP"):
+        best = max(throughput.values())
+        assert best >= THROUGHPUT_FLOOR, (
+            "expected >= {:,} devices/min on the synthetic stream; "
+            "got {:,.0f}".format(THROUGHPUT_FLOOR, best))
+    return rows
+
+
+def bench_floor_throughput(benchmark):
+    """pytest-benchmark entry point (records the whole comparison)."""
+    run_once(benchmark, run_experiment)
+
+
+if __name__ == "__main__":
+    run_experiment()

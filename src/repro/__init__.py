@@ -33,6 +33,13 @@ contribution:
     speculative multi-process candidate evaluation and batch
     scheduling over dataset lots -- identical results to the serial
     flow, much less wall clock.
+``repro.floor``
+    The production test floor: deployable test-program artifacts
+    (save a trained program to one versioned file, load it on any
+    floor), the streaming :class:`~repro.floor.engine.TestFloor`
+    disposition engine with pluggable retest policies, online
+    distribution-drift monitoring and per-lot yield/escape/cost/
+    throughput reporting.
 
 Quickstart::
 
@@ -57,6 +64,8 @@ __all__ = [
     "Specification",
     "SpecificationSet",
     "SpecDataset",
+    "TestFloor",
+    "TestProgramArtifact",
     "__version__",
 ]
 
@@ -68,6 +77,8 @@ _LAZY_EXPORTS = {
     "Specification": ("repro.core.specs", "Specification"),
     "SpecificationSet": ("repro.core.specs", "SpecificationSet"),
     "SpecDataset": ("repro.process.dataset", "SpecDataset"),
+    "TestFloor": ("repro.floor.engine", "TestFloor"),
+    "TestProgramArtifact": ("repro.floor.artifact", "TestProgramArtifact"),
 }
 
 

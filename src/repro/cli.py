@@ -9,6 +9,8 @@
     python -m repro.cli fig5 --sim-jobs 4 # parallel Monte-Carlo generation
     python -m repro.cli cost --sim-jobs -1
     python -m repro.cli batch --lots 4 --jobs 4 --sim-jobs 4
+    python -m repro.cli deploy --device opamp --out opamp.rtp
+    python -m repro.cli floor --artifact opamp.rtp --lots 3 --devices 500
 
 Each subcommand simulates its Monte-Carlo populations on the fly (no
 cache) at a CLI-chosen scale, runs the corresponding experiment and
@@ -26,6 +28,14 @@ through the parallel cache-aware engine of :mod:`repro.runtime`
 (identical results at any worker count, less wall clock); ``batch``
 compacts the lots through one
 :meth:`~repro.runtime.engine.CompactionEngine.run_many` scheduler.
+
+``deploy`` trains a compacted program and saves it as a versioned
+:class:`~repro.floor.artifact.TestProgramArtifact` file; ``floor``
+loads such an artifact in a fresh process and streams simulated
+production lots through the :class:`~repro.floor.engine.TestFloor`,
+reporting per-lot yield loss, defect escape, cost, throughput and
+drift alarms.  The round trip is deterministic: the same artifact and
+seeds disposition identically at any ``--batch-size``/``--sim-jobs``.
 """
 
 import argparse
@@ -80,6 +90,41 @@ def _simulate_pair(bench, args):
         n_jobs=args.sim_jobs)
 
 
+def _bench(device):
+    """Device-under-test bench for a CLI ``--device`` choice."""
+    if device == "opamp":
+        from repro.opamp import OpAmpBench
+
+        return OpAmpBench()
+    from repro.mems import AccelerometerBench
+
+    return AccelerometerBench()
+
+
+def _default_cost_model(device):
+    """Uniform costs (op-amp) or per-insertion fixture costs (MEMS).
+
+    The MEMS model reproduces the paper's Section 6 setting: every
+    measurement costs 1 unit and each temperature insertion pays a
+    fixture (soak) cost once -- 25 units hot/cold, 2 at room.
+    """
+    from repro.core.costmodel import TestCostModel
+
+    if device == "opamp":
+        from repro.opamp import OPAMP_SPECIFICATIONS
+
+        return TestCostModel.uniform(OPAMP_SPECIFICATIONS.names)
+    from repro.mems import TEMPERATURES, tests_at_temperature
+
+    costs, groups = {}, {}
+    for temp in TEMPERATURES:
+        for name in tests_at_temperature(temp):
+            costs[name] = 1.0
+            groups[name] = "{:g}C".format(temp)
+    return TestCostModel(costs, groups,
+                         {"-40C": 25.0, "27C": 2.0, "80C": 25.0})
+
+
 def cmd_fig5(args):
     """Greedy op-amp compaction trend (Fig. 5)."""
     from repro.opamp import OpAmpBench
@@ -128,10 +173,7 @@ def cmd_table3(args):
 def cmd_cost(args):
     """Accelerometer cost-reduction headline."""
     from repro.core.compaction import TestCompactor
-    from repro.core.costmodel import TestCostModel
-    from repro.mems import (
-        TEMPERATURES, AccelerometerBench, tests_at_temperature,
-    )
+    from repro.mems import AccelerometerBench, tests_at_temperature
     from repro.tester import LookupTable, TestProgram
 
     bench = AccelerometerBench()
@@ -140,13 +182,7 @@ def cmd_cost(args):
     model, _ = TestCompactor(guard_band=args.guard).evaluate_subset(
         train, test, eliminated)
 
-    costs, groups = {}, {}
-    for temp in TEMPERATURES:
-        for name in tests_at_temperature(temp):
-            costs[name] = 1.0
-            groups[name] = "{:g}C".format(temp)
-    cost_model = TestCostModel(costs, groups,
-                               {"-40C": 25.0, "27C": 2.0, "80C": 25.0})
+    cost_model = _default_cost_model("mems")
     outcome = TestProgram(LookupTable(model), cost_model).run(test)
     print(outcome.summary())
     return 0
@@ -154,12 +190,10 @@ def cmd_cost(args):
 
 def cmd_batch(args):
     """Compact several Monte-Carlo lots through one batch scheduler."""
-    from repro.mems import AccelerometerBench
-    from repro.opamp import OpAmpBench
     from repro.process.montecarlo import generate_many
     from repro.runtime import CompactionEngine
 
-    bench = OpAmpBench() if args.device == "opamp" else AccelerometerBench()
+    bench = _bench(args.device)
     print("Simulating {} lots of {} + {} {} instances...".format(
         args.lots, args.train, args.test, args.device), file=sys.stderr)
     requests = []
@@ -190,6 +224,78 @@ def cmd_batch(args):
     print("eliminated in every lot ({}): {}".format(
         len(always), ", ".join(sorted(always)) or "-"))
     return 0
+
+
+def cmd_deploy(args):
+    """Train a compacted test program and save a deployable artifact."""
+    from repro.core.pipeline import CompactionPipeline
+
+    bench = _bench(args.device)
+    print("Simulating {} + {} {} instances...".format(
+        args.train, args.test, args.device), file=sys.stderr)
+    train, test = _simulate_pair(bench, args)
+    pipeline = CompactionPipeline(
+        tolerance=args.tolerance, guard_band=args.guard,
+        n_jobs=args.jobs if args.jobs != 1 else None)
+    result, artifact = pipeline.deploy(
+        train, test, cost_model=_default_cost_model(args.device),
+        device=bench.name, train_seed=args.seed,
+        lookup_resolution=args.lookup_resolution)
+    out = args.out or "{}.rtp".format(args.device)
+    artifact.save(out)
+    print(result.summary())
+    print()
+    print(artifact.describe())
+    print("saved: {}".format(out))
+    return 0
+
+
+def cmd_floor(args):
+    """Load an artifact and stream simulated production lots through it."""
+    from repro.floor import TestFloor, TestProgramArtifact
+
+    artifact = TestProgramArtifact.load(args.artifact)
+    device = args.device or artifact.provenance.get("device")
+    aliases = {"mems-accelerometer": "mems"}
+    device = aliases.get(device, device)
+    if device not in ("opamp", "mems"):
+        print("artifact does not name a known device (provenance says "
+              "{!r}); pass --device".format(
+                  artifact.provenance.get("device")), file=sys.stderr)
+        return 2
+    bench = _bench(device)
+    floor = TestFloor(artifact, retest_policy=args.policy,
+                      batch_size=args.batch_size)
+    lots = [(args.devices, args.seed + index)
+            for index in range(args.lots)]
+    print("Streaming {} lot(s) of {} simulated {} devices...".format(
+        args.lots, args.devices, device), file=sys.stderr)
+    report = floor.run_lots(bench, lots, n_jobs=args.sim_jobs)
+    _print_rows(
+        ["lot", "devices", "YL %", "DE %", "guard %", "cost/dev",
+         "dev/min", "alarms"],
+        report.rows())
+    print()
+    for alarm in report.alarms:
+        print(alarm)
+        print("  -> {}".format(alarm.recommendation))
+    print(report.summary().splitlines()[-1])
+    return 0
+
+
+def _lookup_resolution(value):
+    """argparse type for --lookup-resolution: an int or 'auto'.
+
+    Validating at parse time fails fast -- the deploy command only
+    builds the table after minutes of simulation and training.
+    """
+    if value == "auto":
+        return value
+    try:
+        return int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            "must be an integer or 'auto', not {!r}".format(value))
 
 
 def build_parser():
@@ -240,6 +346,40 @@ def build_parser():
                        help="number of independent Monte-Carlo lots")
     batch.add_argument("--device", choices=("opamp", "mems"),
                        default="opamp")
+
+    deploy = add_sim_jobs(add("deploy", cmd_deploy))
+    add_jobs(deploy)
+    deploy.add_argument("--device", choices=("opamp", "mems"),
+                        default="opamp")
+    deploy.add_argument("--out", default=None,
+                        help="artifact path (default <device>.rtp)")
+    deploy.add_argument("--lookup-resolution", default=None,
+                        type=_lookup_resolution,
+                        help="attach a grid lookup table: an integer "
+                             "cells-per-dimension, or 'auto' (default: "
+                             "no table, live-model floor)")
+
+    # `floor` serves an existing artifact: no train/test/tolerance.
+    floor = sub.add_parser("floor", help=cmd_floor.__doc__)
+    floor.add_argument("--artifact", required=True,
+                       help="path saved by `repro deploy`")
+    floor.add_argument("--devices", type=int, default=2000,
+                       help="simulated devices per lot")
+    floor.add_argument("--lots", type=int, default=1,
+                       help="lots in the schedule (seeds are "
+                            "--seed, --seed+1, ...)")
+    floor.add_argument("--seed", type=int, default=1)
+    floor.add_argument("--policy", default="full_retest",
+                       choices=("full_retest", "accept", "reject"),
+                       help="guard-band retest policy")
+    floor.add_argument("--batch-size", type=int, default=8192,
+                       help="devices per vectorized disposition batch "
+                            "(never changes any decision)")
+    floor.add_argument("--device", choices=("opamp", "mems"),
+                       default=None,
+                       help="override the artifact's provenance device")
+    add_sim_jobs(floor)
+    floor.set_defaults(func=cmd_floor)
     return parser
 
 

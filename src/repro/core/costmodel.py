@@ -44,6 +44,10 @@ class TestCostModel:
                     "negative cost for test {!r}".format(name))
         self.groups = dict(groups or {})
         self.group_costs = dict(group_costs or {})
+        for group, cost in self.group_costs.items():
+            if cost < 0:
+                raise CompactionError(
+                    "negative cost for group {!r}".format(group))
         unknown = set(self.groups) - set(self.test_costs)
         if unknown:
             raise CompactionError(

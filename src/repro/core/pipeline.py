@@ -74,6 +74,28 @@ class CompactionPipeline:
             n_jobs=sim_jobs, seed_mode=seed_mode)
         return self.run(train, test)
 
+    def deploy(self, train, test, cost_model=None, device=None,
+               train_seed=None, generation="per-instance",
+               lookup_resolution=None, extra_provenance=None):
+        """Compact and package for the production floor.
+
+        Runs :meth:`run` and wraps the result in a
+        :class:`~repro.floor.artifact.TestProgramArtifact` (drift
+        baseline from ``train``, provenance header, optional lookup
+        table and cost model).  Returns ``(result, artifact)``; call
+        ``artifact.save(path)`` to ship it and
+        :class:`repro.floor.engine.TestFloor` to serve it.
+        """
+        from repro.floor.artifact import TestProgramArtifact
+
+        result = self.run(train, test)
+        artifact = TestProgramArtifact.from_result(
+            result, train, cost_model=cost_model, device=device,
+            train_seed=train_seed, generation=generation,
+            lookup_resolution=lookup_resolution,
+            extra_provenance=extra_provenance)
+        return result, artifact
+
     def run_many(self, pairs):
         """Batch-compact ``(train, test)`` pairs (requires ``n_jobs``).
 

@@ -40,3 +40,7 @@ class CompactionError(ReproError):
 
 class DatasetError(ReproError):
     """Inconsistent specification dataset (shape or label mismatch)."""
+
+
+class ArtifactError(ReproError):
+    """Unreadable or incompatible test-program artifact file."""

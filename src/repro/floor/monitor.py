@@ -1,0 +1,239 @@
+"""Online distribution-drift monitoring for a deployed test floor.
+
+A compacted test program is a *statistical* decision rule: its yield
+loss, defect escape and guard-band rates were validated on a training
+population, and they are only trustworthy while the incoming devices
+keep coming from that population (the convergence literature around
+loopy belief propagation makes the same point for deployed inference:
+a fixed-point decision rule holds only inside the regime it was
+derived for).  The floor therefore watches the stream itself:
+
+* **per-spec control charts** -- the rolling mean of every *measured*
+  (kept) specification against its training mean, in standard errors
+  (``z = (mean_window - mean_train) / (std_train / sqrt(n_window))``);
+* **guard-band-rate chart** -- the rolling fraction of first-pass
+  guard-band devices against the train-time rate, with binomial
+  control limits.  A drifting population typically piles up near the
+  acceptance boundary first, so the guard rate is the most sensitive
+  early-warning statistic the tester gets for free.
+
+Alarms recommend recalibration (retrain and redeploy the artifact on
+fresh data) rather than attempting any automatic correction: silently
+adapting the decision rule on the floor would invalidate the escape
+and yield-loss guarantees the program was signed off with.
+
+Everything here is deterministic: statistics depend only on the stream
+contents and the configured window, never on timing or worker count.
+"""
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.metrics import GUARD
+from repro.errors import CompactionError
+
+
+@dataclass(frozen=True)
+class DriftBaseline:
+    """Training-time reference statistics of the measured specifications.
+
+    Captured when the artifact is built (see
+    :meth:`repro.floor.artifact.TestProgramArtifact.from_result`) and
+    shipped inside it, so any floor loading the artifact monitors
+    against the exact population the program was trained on.
+    """
+
+    #: Names of the kept (measured) specifications, in order.
+    names: tuple
+    #: Per-spec training mean of the raw measurements.
+    mean: tuple
+    #: Per-spec training standard deviation (ddof=1).
+    std: tuple
+    #: First-pass guard-band rate observed at train time.
+    guard_rate: float
+    #: Training-population size the statistics were computed from.
+    n_train: int
+
+    @classmethod
+    def from_dataset(cls, dataset, kept_names, guard_rate):
+        """Compute the baseline from a training dataset.
+
+        ``guard_rate`` is supplied by the caller (the artifact builder
+        uses the held-out guard rate of the final compaction report --
+        the same estimate the program was accepted with).
+        """
+        kept_names = tuple(kept_names)
+        values = dataset.project(kept_names).values
+        if len(dataset) < 2:
+            raise CompactionError(
+                "drift baseline needs at least two training devices")
+        return cls(
+            names=kept_names,
+            mean=tuple(float(m) for m in values.mean(axis=0)),
+            std=tuple(float(s) for s in values.std(axis=0, ddof=1)),
+            guard_rate=float(guard_rate),
+            n_train=len(dataset),
+        )
+
+
+@dataclass(frozen=True)
+class DriftAlarm:
+    """One control-chart violation observed on the stream."""
+
+    #: ``"spec-mean"`` or ``"guard-rate"``.
+    kind: str
+    #: Specification name, or ``"guard-band rate"``.
+    subject: str
+    #: Windowed statistic that violated the chart.
+    observed: float
+    #: Training-time expectation of that statistic.
+    expected: float
+    #: Signed distance from expectation in control-limit sigmas.
+    z_score: float
+    #: Configured alarm threshold (sigmas).
+    threshold: float
+    #: Devices in the window the statistic was computed over.
+    window_devices: int
+
+    @property
+    def recommendation(self):
+        """What the floor operator should do about this alarm."""
+        return ("incoming population departs from the training "
+                "distribution ({}); recalibrate: retrain and redeploy "
+                "the test-program artifact on fresh devices".format(
+                    self.subject))
+
+    def __str__(self):
+        return ("DRIFT[{}] {}: observed {:.6g} vs expected {:.6g} "
+                "(z={:+.1f}, threshold {:.1f}, window {} devices)"
+                .format(self.kind, self.subject, self.observed,
+                        self.expected, self.z_score, self.threshold,
+                        self.window_devices))
+
+
+class DriftMonitor:
+    """Rolling control charts over a disposition stream.
+
+    Parameters
+    ----------
+    baseline:
+        The :class:`DriftBaseline` captured at train time.
+    z_threshold:
+        Per-spec mean-chart alarm threshold in standard errors.  The
+        default is deliberately wide: at floor-scale windows the
+        standard error is tiny, so a tight threshold would page on
+        physically irrelevant drifts.
+    guard_z_threshold:
+        Guard-rate chart threshold in binomial sigmas.
+    window_batches:
+        Number of most recent batches the rolling window spans.
+    min_devices:
+        No chart is evaluated until the window holds at least this
+        many devices (early small-sample windows are pure noise).
+    """
+
+    def __init__(self, baseline, z_threshold=6.0, guard_z_threshold=5.0,
+                 window_batches=64, min_devices=256):
+        if z_threshold <= 0 or guard_z_threshold <= 0:
+            raise CompactionError("alarm thresholds must be positive")
+        if window_batches < 1:
+            raise CompactionError("window_batches must be at least 1")
+        self.baseline = baseline
+        self.z_threshold = float(z_threshold)
+        self.guard_z_threshold = float(guard_z_threshold)
+        self.min_devices = int(min_devices)
+        self._mu0 = np.asarray(baseline.mean, dtype=float)
+        # Zero-variance training columns would make any change an
+        # infinite-z alarm; floor the scale at a tiny epsilon so the
+        # chart stays finite (and still fires on any real movement).
+        self._sigma0 = np.maximum(
+            np.asarray(baseline.std, dtype=float), 1e-12)
+        # Guard-rate control limits need 0 < p0 < 1; clamp by half a
+        # training count so a zero observed rate keeps a finite chart.
+        half = 0.5 / max(baseline.n_train, 1)
+        self._p0 = min(max(baseline.guard_rate, half), 1.0 - half)
+        self._window = deque(maxlen=int(window_batches))
+        #: Total devices observed since construction / last reset.
+        self.n_seen = 0
+
+    def reset(self):
+        """Clear the rolling window (e.g. between lots)."""
+        self._window.clear()
+        self.n_seen = 0
+
+    def update(self, kept_values, first_pass):
+        """Feed one disposition batch; returns the current alarms.
+
+        Parameters
+        ----------
+        kept_values:
+            ``(n, len(baseline.names))`` raw measurements of the kept
+            specifications for this batch.
+        first_pass:
+            The batch's first-pass predictions (+1/-1/0); only the
+            guard count is used.
+
+        Returns
+        -------
+        tuple of DriftAlarm
+            Alarms active for the *current* window (empty when the
+            window is still below ``min_devices`` or in control).
+        """
+        kept_values = np.asarray(kept_values, dtype=float)
+        if kept_values.ndim == 1:
+            kept_values = kept_values[None, :]
+        if kept_values.shape[1] != len(self.baseline.names):
+            raise CompactionError(
+                "batch has {} measured specs; baseline covers {}".format(
+                    kept_values.shape[1], len(self.baseline.names)))
+        first_pass = np.asarray(first_pass)
+        self._window.append((
+            kept_values.shape[0],
+            kept_values.sum(axis=0),
+            int(np.sum(first_pass == GUARD)),
+        ))
+        self.n_seen += kept_values.shape[0]
+        return self.alarms()
+
+    def alarms(self):
+        """Evaluate the control charts over the current window."""
+        n_window = sum(n for n, _, _ in self._window)
+        if n_window < self.min_devices:
+            return ()
+        total = np.sum([s for _, s, _ in self._window], axis=0)
+        mean_window = total / n_window
+        stderr = self._sigma0 / np.sqrt(n_window)
+        z_specs = (mean_window - self._mu0) / stderr
+
+        out = []
+        for i, name in enumerate(self.baseline.names):
+            if abs(z_specs[i]) > self.z_threshold:
+                out.append(DriftAlarm(
+                    kind="spec-mean", subject=name,
+                    observed=float(mean_window[i]),
+                    expected=float(self._mu0[i]),
+                    z_score=float(z_specs[i]),
+                    threshold=self.z_threshold,
+                    window_devices=n_window))
+
+        n_guard = sum(g for _, _, g in self._window)
+        p_window = n_guard / n_window
+        sigma_p = np.sqrt(self._p0 * (1.0 - self._p0) / n_window)
+        z_guard = (p_window - self._p0) / sigma_p
+        if abs(z_guard) > self.guard_z_threshold:
+            out.append(DriftAlarm(
+                kind="guard-rate", subject="guard-band rate",
+                observed=float(p_window),
+                expected=float(self.baseline.guard_rate),
+                z_score=float(z_guard),
+                threshold=self.guard_z_threshold,
+                window_devices=n_window))
+        return tuple(out)
+
+    def __repr__(self):
+        return ("DriftMonitor({} specs, z>{:g}, guard z>{:g}, "
+                "{} devices seen)".format(
+                    len(self.baseline.names), self.z_threshold,
+                    self.guard_z_threshold, self.n_seen))

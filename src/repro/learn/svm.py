@@ -129,8 +129,18 @@ class SVC:
         if not self._fitted:
             raise LearningError("SVC is not fitted yet")
 
-    def decision_function(self, X):
-        """Signed distance-like score; positive means class +1."""
+    def decision_function(self, X, chunk_size=None):
+        """Signed distance-like score; positive means class +1.
+
+        ``chunk_size`` bounds the ``(n, n_support)`` kernel-matrix
+        allocation by scoring at most that many rows at a time -- the
+        streaming production path of :mod:`repro.floor` dispositions
+        arbitrarily large batches at fixed memory.  Chunking computes
+        the same mathematical quantity per row; the floats can differ
+        from the unchunked path in the last ulp (BLAS accumulation
+        order depends on the matrix shape), so predicted *labels*
+        agree unless a score lies exactly on the decision threshold.
+        """
         self._check_fitted()
         X = np.asarray(X, dtype=float)
         if X.ndim == 1:
@@ -143,12 +153,21 @@ class SVC:
                     X.shape[1], self.n_features_))
         if self.support_vectors_.shape[0] == 0:
             return np.full(X.shape[0], self.intercept_)
+        if chunk_size is not None and X.shape[0] > int(chunk_size):
+            chunk_size = int(chunk_size)
+            if chunk_size < 1:
+                raise LearningError("chunk_size must be at least 1")
+            out = np.empty(X.shape[0])
+            for start in range(0, X.shape[0], chunk_size):
+                stop = start + chunk_size
+                out[start:stop] = self.decision_function(X[start:stop])
+            return out
         K = self._kernel(X, self.support_vectors_)
         return K @ self.dual_coef_ + self.intercept_
 
-    def predict(self, X):
+    def predict(self, X, chunk_size=None):
         """Predicted labels in {-1, +1} (ties resolve to +1)."""
-        scores = self.decision_function(X)
+        scores = self.decision_function(X, chunk_size=chunk_size)
         return np.where(scores >= 0.0, 1, -1)
 
     def score(self, X, y):

@@ -29,6 +29,7 @@ from repro.runtime.engine import CompactionEngine, speculation_plan
 from repro.runtime.kernel_cache import GramCache, SubsetGramView
 from repro.runtime.parallel import cpu_count, parallel_map, resolve_n_jobs
 from repro.runtime.simulation import (
+    generate_instance_batches,
     generate_instances,
     generate_lot_instances,
     instance_streams,
@@ -39,6 +40,7 @@ __all__ = [
     "GramCache",
     "SubsetGramView",
     "cpu_count",
+    "generate_instance_batches",
     "generate_instances",
     "generate_lot_instances",
     "instance_streams",

@@ -159,12 +159,17 @@ class _LotCollector:
     identical at any worker count.
     """
 
-    def __init__(self, n_instances, n_specs, on_error, max_failures):
+    def __init__(self, n_instances, n_specs, on_error, max_failures,
+                 report=None):
         self._values = np.empty((n_instances, n_specs))
         self._slot = 0
         self._on_error = on_error
         self._max_failures = max_failures
-        self.report = GenerationReport(n_requested=n_instances)
+        # A caller-provided report carries failure accounting across
+        # collectors (the batch streaming path shares one run-level
+        # budget over many per-batch collectors).
+        self.report = (GenerationReport(n_requested=n_instances)
+                       if report is None else report)
 
     def add(self, result):
         """Merge the next slot's result; raises on abort conditions."""
@@ -260,3 +265,75 @@ def generate_instances(dut, n_instances, seed, n_jobs=None,
         [(dut, n_instances, seed, max_failures)],
         n_jobs=n_jobs, on_error=on_error)
     return values, report
+
+
+def generate_instance_batches(dut, n_instances, seed, batch_size,
+                              n_jobs=None, on_error="resample",
+                              max_failures=None):
+    """Stream one Monte-Carlo population as consecutive value batches.
+
+    A generator yielding ``(batch, n_specs)`` value arrays of at most
+    ``batch_size`` rows whose concatenation is **bit-identical** to
+    :func:`generate_instances` with the same ``(dut, n_instances,
+    seed)`` -- at any ``batch_size`` and any ``n_jobs``.  Slot ``i``
+    always draws from the ``i``-th child of the run's seed tree, so
+    batch boundaries only decide *when* a row is handed out, never what
+    it contains.  The full population is never materialized, which is
+    what lets :class:`repro.floor.engine.TestFloor` push simulated
+    traffic of arbitrary length through a fixed memory footprint.
+
+    Failure accounting is run-level, exactly as in
+    :func:`generate_instances`: a shared budget of ``max_failures``
+    (default :func:`~repro.process.montecarlo.default_max_failures`)
+    spans all batches, failures replay in slot order, and the abort
+    decision is identical at any worker count.  One worker pool is
+    reused across all batches, and seed-tree children are spawned one
+    batch at a time (``SeedSequence.spawn`` numbers children by a
+    running spawn index, so consecutive per-batch spawns produce
+    exactly the slots a one-shot spawn would), keeping memory
+    proportional to ``batch_size`` rather than ``n_instances``.
+    """
+    if n_instances <= 0:
+        raise DatasetError("n_instances must be positive")
+    batch_size = int(batch_size)
+    if batch_size < 1:
+        raise DatasetError("batch_size must be positive")
+    if on_error not in ("resample", "raise"):
+        raise DatasetError("on_error must be 'resample' or 'raise'")
+    n_specs = len(dut.specifications)
+    budget = (default_max_failures(n_instances)
+              if max_failures is None else int(max_failures))
+    parent = np.random.SeedSequence(seed)
+    report = GenerationReport(n_requested=n_instances)
+
+    def batches():
+        remaining = n_instances
+        while remaining > 0:
+            chunk = parent.spawn(min(batch_size, remaining))
+            remaining -= len(chunk)
+            yield chunk, _LotCollector(len(chunk), n_specs, on_error,
+                                       budget, report=report)
+
+    n_jobs = resolve_n_jobs(n_jobs)
+    if n_jobs <= 1 or n_instances <= 1:
+        # Plain local calls: generators interleave (a consumer may
+        # alternate several streams), so the serial path must not
+        # touch the process-global _WORKER configuration.
+        for chunk, collector in batches():
+            for stream in chunk:
+                collector.add(simulate_slot(dut, stream, n_specs,
+                                            on_error, budget))
+            yield collector.finish()[0]
+        return
+
+    pool = make_pool(min(n_jobs, n_instances),
+                     initializer=_init_simulation_worker,
+                     initargs=((dut,), (n_specs,), on_error, (budget,)))
+    try:
+        for chunk, collector in batches():
+            for result in pool.map(_simulate_slot_task,
+                                   [(0, stream) for stream in chunk]):
+                collector.add(result)
+            yield collector.finish()[0]
+    finally:
+        pool.shutdown(wait=True, cancel_futures=True)

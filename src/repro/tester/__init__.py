@@ -11,9 +11,33 @@ table the tester program consults at negligible cost.
 * :mod:`repro.tester.lookup` -- the grid lookup table;
 * :mod:`repro.tester.program` -- a production test-program simulation
   including the guard-band retest flow and cost accounting.
+
+:class:`~repro.core.metrics.ClassificationReport` is re-exported here
+because every :class:`TestOutcome` carries one.
 """
 
+from repro.core.metrics import ClassificationReport
 from repro.tester.lookup import LookupTable
-from repro.tester.program import TestOutcome, TestProgram
+from repro.tester.program import (
+    RETEST_ACCEPT,
+    RETEST_FULL,
+    RETEST_REJECT,
+    TestOutcome,
+    TestProgram,
+    apply_retest_policy,
+    check_retest_policy,
+    policy_cost,
+)
 
-__all__ = ["LookupTable", "TestProgram", "TestOutcome"]
+__all__ = [
+    "ClassificationReport",
+    "LookupTable",
+    "RETEST_ACCEPT",
+    "RETEST_FULL",
+    "RETEST_REJECT",
+    "TestOutcome",
+    "TestProgram",
+    "apply_retest_policy",
+    "check_retest_policy",
+    "policy_cost",
+]

@@ -21,7 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.metrics import GUARD, evaluate_predictions
+from repro.core.metrics import GUARD, ClassificationReport, evaluate_predictions
 from repro.core.specs import BAD, GOOD
 from repro.errors import CompactionError
 
@@ -35,6 +35,58 @@ RETEST_REJECT = "reject"
 _POLICIES = (RETEST_FULL, RETEST_ACCEPT, RETEST_REJECT)
 
 
+def check_retest_policy(policy):
+    """Validate a retest-policy name; returns it unchanged."""
+    if policy not in _POLICIES:
+        raise CompactionError(
+            "retest policy must be one of {}".format(_POLICIES))
+    return policy
+
+
+def apply_retest_policy(first_pass, true_labels, policy):
+    """Resolve guard-band devices into final dispositions.
+
+    Vectorized core of the retest flow, shared by :class:`TestProgram`
+    and the streaming :class:`repro.floor.engine.TestFloor`.  With
+    ``full_retest`` the guard devices receive the complete test set, so
+    their disposition equals the ground truth; ``accept``/``reject``
+    bin them good/bad outright.
+
+    Returns ``(decisions, n_retested)``.
+    """
+    check_retest_policy(policy)
+    first_pass = np.asarray(first_pass)
+    decisions = first_pass.copy()
+    guard_mask = first_pass == GUARD
+    n_guard = int(np.sum(guard_mask))
+    if policy == RETEST_FULL:
+        decisions[guard_mask] = np.asarray(true_labels)[guard_mask]
+    elif policy == RETEST_ACCEPT:
+        decisions[guard_mask] = GOOD
+    else:
+        decisions[guard_mask] = BAD
+    return decisions, (n_guard if policy == RETEST_FULL else 0)
+
+
+def policy_cost(cost_model, kept, n_devices, n_guard, policy):
+    """Population test cost under a retest policy.
+
+    Every device pays the compacted set; with ``full_retest`` each
+    guard-band device additionally pays the complete test set.  Returns
+    ``(total_cost, full_cost)`` — the second being the cost of testing
+    the same population with the full specification set (the paper's
+    baseline).  ``cost_model=None`` yields ``(0.0, 0.0)``.
+    """
+    if cost_model is None:
+        return 0.0, 0.0
+    per_device = cost_model.cost(kept)
+    full_per_device = cost_model.full_cost()
+    total = per_device * n_devices
+    if policy == RETEST_FULL:
+        total += full_per_device * n_guard
+    return total, full_per_device * n_devices
+
+
 @dataclass
 class TestOutcome:
     """Result of running a test program over a device population."""
@@ -44,7 +96,7 @@ class TestOutcome:
     #: First-pass predictions (+1/-1/0) before the retest policy.
     first_pass: np.ndarray
     #: Final-classification report (after retest resolution).
-    report: object
+    report: ClassificationReport
     #: Number of devices sent through the retest flow.
     n_retested: int
     #: Total test cost for the population (cost-model units).
@@ -96,9 +148,7 @@ class TestProgram:
 
     def __init__(self, classifier, cost_model=None,
                  retest_policy=RETEST_FULL):
-        if retest_policy not in _POLICIES:
-            raise CompactionError(
-                "retest policy must be one of {}".format(_POLICIES))
+        check_retest_policy(retest_policy)
         self.classifier = classifier
         self.cost_model = cost_model
         self.retest_policy = retest_policy
@@ -120,33 +170,19 @@ class TestProgram:
         compacted pass).
         """
         first = self._first_pass(dataset)
-        decisions = first.copy()
-        guard_mask = first == GUARD
-        n_guard = int(np.sum(guard_mask))
-        if self.retest_policy == RETEST_FULL:
-            decisions[guard_mask] = dataset.labels[guard_mask]
-        elif self.retest_policy == RETEST_ACCEPT:
-            decisions[guard_mask] = GOOD
-        else:
-            decisions[guard_mask] = BAD
-
+        n_guard = int(np.sum(first == GUARD))
+        decisions, n_retested = apply_retest_policy(
+            first, dataset.labels, self.retest_policy)
         report = evaluate_predictions(dataset.labels, decisions)
-
-        total_cost = 0.0
-        full_cost = 0.0
-        if self.cost_model is not None:
-            per_device = self.cost_model.cost(self.kept)
-            full_per_device = self.cost_model.full_cost()
-            total_cost = per_device * len(dataset)
-            if self.retest_policy == RETEST_FULL:
-                total_cost += full_per_device * n_guard
-            full_cost = full_per_device * len(dataset)
+        total_cost, full_cost = policy_cost(
+            self.cost_model, self.kept, len(dataset), n_guard,
+            self.retest_policy)
 
         return TestOutcome(
             decisions=decisions,
             first_pass=first,
             report=report,
-            n_retested=n_guard if self.retest_policy == RETEST_FULL else 0,
+            n_retested=n_retested,
             total_cost=total_cost,
             full_cost=full_cost,
         )

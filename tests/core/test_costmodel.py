@@ -59,6 +59,14 @@ class TestTestCostModel:
             CostModel({})
         with pytest.raises(CompactionError, match="negative"):
             CostModel({"a": -1.0})
+        with pytest.raises(CompactionError, match="negative cost for group"):
+            CostModel({"a": 1.0}, groups={"a": "g"},
+                      group_costs={"g": -5.0})
+        # Even unreferenced group entries must be sane.
+        with pytest.raises(CompactionError, match="negative cost for group"):
+            CostModel({"a": 1.0}, group_costs={"unused": -0.5})
+        # Zero costs are legitimate (free tests / free fixtures).
+        CostModel({"a": 0.0}, groups={"a": "g"}, group_costs={"g": 0.0})
         with pytest.raises(CompactionError, match="unknown tests"):
             CostModel({"a": 1.0}, groups={"b": "g"},
                           group_costs={"g": 1.0})

@@ -1,0 +1,47 @@
+"""Shared fixtures for the floor tests.
+
+One synthetic compaction run feeds the whole package: the fixtures are
+package-scoped because the floor tests only *read* the artifact (the
+engine never mutates it), and recompacting per test would dominate the
+suite's runtime.
+"""
+
+import pytest
+
+from repro.core.costmodel import TestCostModel
+from repro.core.pipeline import CompactionPipeline
+from repro.floor import TestProgramArtifact
+from repro.learn import SVC
+
+from tests.synthetic import make_synthetic_dataset
+
+
+class FixedSVCFactory:
+    """Picklable fixed-hyperparameter factory (fast: no per-fit tuning)."""
+
+    def __call__(self):
+        return SVC(C=50.0, gamma="scale")
+
+
+@pytest.fixture(scope="package")
+def populations():
+    train = make_synthetic_dataset(n=400, seed=1)
+    test = make_synthetic_dataset(n=250, seed=2)
+    return train, test
+
+
+@pytest.fixture(scope="package")
+def compaction(populations):
+    train, test = populations
+    pipeline = CompactionPipeline(tolerance=0.02, guard_band=0.06,
+                                  model_factory=FixedSVCFactory())
+    return pipeline.run(train, test)
+
+
+@pytest.fixture(scope="package")
+def artifact(populations, compaction):
+    train, _ = populations
+    return TestProgramArtifact.from_result(
+        compaction, train,
+        cost_model=TestCostModel.uniform(train.names),
+        device="synthetic", train_seed=1)

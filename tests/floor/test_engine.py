@@ -1,0 +1,233 @@
+"""Streaming test-floor engine tests.
+
+The load-bearing property is the determinism contract: identical
+decisions at any batch size, any stream framing, any worker count and
+across a save/load into a fresh process.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.errors import ArtifactError, CompactionError
+from repro.floor import TestFloor as Floor
+from repro.floor import TestProgramArtifact as Artifact
+from repro.tester import RETEST_ACCEPT, RETEST_FULL, RETEST_REJECT
+from repro.tester import TestProgram as Program
+
+from tests.synthetic import SyntheticDut
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestAgainstTestProgram:
+    """The floor must disposition exactly like the batch TestProgram."""
+
+    @pytest.mark.parametrize(
+        "policy", [RETEST_FULL, RETEST_ACCEPT, RETEST_REJECT])
+    def test_decisions_and_cost_match(self, artifact, populations,
+                                      policy):
+        _, test = populations
+        program = Program(artifact.model,
+                              cost_model=artifact.cost_model,
+                              retest_policy=policy)
+        outcome = program.run(test)
+        floor = Floor(artifact, retest_policy=policy)
+        report = floor.run_dataset(test, keep_decisions=True)
+
+        assert np.array_equal(report.decisions, outcome.decisions)
+        assert report.n_retested == outcome.n_retested
+        assert report.total_cost == pytest.approx(outcome.total_cost)
+        assert report.full_cost == pytest.approx(outcome.full_cost)
+        assert report.n_yield_loss == outcome.report.n_yield_loss
+        assert report.n_defect_escape == outcome.report.n_defect_escape
+        # LotReport.n_guard counts *first-pass* guard devices; the
+        # TestOutcome report evaluates decisions after retest.
+        assert report.n_guard == int(np.sum(outcome.first_pass == 0))
+
+    def test_report_counts_are_consistent(self, artifact, populations):
+        _, test = populations
+        report = Floor(artifact).run_dataset(test)
+        assert report.n_devices == len(test)
+        assert report.n_shipped + report.n_scrapped == report.n_devices
+        assert report.wall_seconds > 0
+        assert report.devices_per_minute > 0
+
+
+class TestBatchInvariance:
+    def test_decisions_identical_at_any_batch_size(self, artifact,
+                                                   populations):
+        _, test = populations
+        floor = Floor(artifact)
+        reference = floor.run_dataset(test, keep_decisions=True)
+        for batch_size in (7, 64, 100000):
+            report = floor.run_dataset(test, batch_size=batch_size,
+                                       keep_decisions=True)
+            assert np.array_equal(report.decisions, reference.decisions)
+            assert report.total_cost == reference.total_cost
+            assert report.n_guard == reference.n_guard
+
+    def test_stream_framing_is_irrelevant(self, artifact, populations):
+        """Row-by-row, chunked and whole-array streams agree."""
+        _, test = populations
+        floor = Floor(artifact)
+        whole = floor.run_stream([test.values], batch_size=32,
+                                 keep_decisions=True)
+        by_row = floor.run_stream(iter(test.values), batch_size=32,
+                                  keep_decisions=True)
+        ragged = floor.run_stream(
+            [test.values[:10], test.values[10:11], test.values[11:200],
+             test.values[200:]],
+            batch_size=32, keep_decisions=True)
+        assert np.array_equal(whole.decisions, by_row.decisions)
+        assert np.array_equal(whole.decisions, ragged.decisions)
+
+    def test_lookup_floor_matches_lookup_program(self, artifact,
+                                                 populations):
+        _, test = populations
+        art = Artifact(
+            artifact.model, artifact.specifications,
+            cost_model=artifact.cost_model,
+            provenance=artifact.provenance).with_lookup(resolution=21)
+        floor = Floor(art)           # lookup auto-selected
+        program = Program(art.lookup, cost_model=art.cost_model)
+        report = floor.run_dataset(test, keep_decisions=True)
+        outcome = program.run(test)
+        assert np.array_equal(report.decisions, outcome.decisions)
+
+    def test_empty_stream_yields_empty_report(self, artifact):
+        report = Floor(artifact).run_stream([], keep_decisions=True)
+        assert report.n_devices == 0
+        assert report.decisions.size == 0
+        assert report.cost_per_device == 0.0
+
+
+class TestSimulatedTraffic:
+    def test_worker_count_is_irrelevant(self, artifact):
+        floor = Floor(artifact, monitor=False)
+        serial = floor.run_simulated(SyntheticDut(), 300, seed=11,
+                                     keep_decisions=True)
+        parallel = floor.run_simulated(SyntheticDut(), 300, seed=11,
+                                       n_jobs=2, keep_decisions=True)
+        assert np.array_equal(serial.decisions, parallel.decisions)
+        assert serial.total_cost == parallel.total_cost
+
+    def test_batch_size_is_irrelevant_for_simulated(self, artifact):
+        floor = Floor(artifact, monitor=False)
+        a = floor.run_simulated(SyntheticDut(), 200, seed=3,
+                                batch_size=17, keep_decisions=True)
+        b = floor.run_simulated(SyntheticDut(), 200, seed=3,
+                                batch_size=101, keep_decisions=True)
+        assert np.array_equal(a.decisions, b.decisions)
+
+    def test_matches_materialized_dataset(self, artifact):
+        """Streamed simulation equals generate_dataset + run_dataset."""
+        from repro.process.montecarlo import generate_dataset
+
+        dut = SyntheticDut()
+        floor = Floor(artifact, monitor=False)
+        streamed = floor.run_simulated(dut, 150, seed=21,
+                                       keep_decisions=True)
+        dataset = generate_dataset(dut, 150, seed=21)
+        materialized = floor.run_dataset(dataset, keep_decisions=True)
+        assert np.array_equal(streamed.decisions,
+                              materialized.decisions)
+
+    def test_run_lots_schedule(self, artifact):
+        floor = Floor(artifact, monitor=False)
+        report = floor.run_lots(SyntheticDut(), [(120, 5), (80, 6)])
+        assert len(report.lots) == 2
+        assert report.lots[0].lot == "lot0(seed=5)"
+        assert report.n_devices == 200
+        assert report.n_devices == sum(
+            lot.n_devices for lot in report.lots)
+        assert len(report.rows()) == 2
+
+    def test_fresh_process_reload_identical_decisions(self, tmp_path,
+                                                      artifact):
+        """The acceptance-criteria round trip: deploy, reload in a new
+        interpreter, disposition the same simulated stream."""
+        path = tmp_path / "program.rtp"
+        artifact.save(path)
+        floor = Floor(artifact, monitor=False)
+        local = floor.run_simulated(SyntheticDut(), 250, seed=17,
+                                    batch_size=64, keep_decisions=True)
+
+        out = tmp_path / "decisions.npy"
+        script = (
+            "import sys\n"
+            "sys.path[:0] = [{root!r}, {src!r}]\n"
+            "import numpy as np\n"
+            "from repro.floor import TestFloor\n"
+            "from tests.synthetic import SyntheticDut\n"
+            "floor = TestFloor({path!r}, monitor=False)\n"
+            "report = floor.run_simulated(SyntheticDut(), 250, seed=17,\n"
+            "                             batch_size=101,\n"
+            "                             keep_decisions=True)\n"
+            "np.save({out!r}, report.decisions)\n"
+        ).format(root=str(REPO_ROOT), src=str(REPO_ROOT / "src"),
+                 path=str(path), out=str(out))
+        subprocess.run([sys.executable, "-c", script], check=True,
+                       timeout=300)
+        fresh = np.load(out)
+        assert np.array_equal(local.decisions, fresh)
+
+
+class TestLotEndAlarms:
+    def test_transient_drift_rolls_out_of_the_report(self, artifact,
+                                                     populations):
+        """A mid-lot excursion that has left the rolling window must
+        not be reported as active at lot end."""
+        from repro.floor import DriftMonitor
+
+        _, test = populations
+        drifted = test.values.copy()
+        kept_idx = [test.specifications.index(n)
+                    for n in artifact.kept]
+        drifted[:, kept_idx] += 5.0      # far off the baseline
+        monitor = DriftMonitor(artifact.baseline, window_batches=3,
+                               min_devices=50)
+        floor = Floor(artifact, monitor=monitor)
+
+        # Drift only, never recovered: alarms at lot end.
+        report = floor.run_stream([drifted], batch_size=50)
+        assert any(a.kind == "spec-mean" for a in report.alarms)
+
+        # Drifted head, healthy tail long enough to roll the window:
+        # lot ends in control, so no active alarms.
+        mixed = np.vstack([drifted[:100], test.values, test.values])
+        report = floor.run_stream([mixed], batch_size=50)
+        assert report.alarms == ()
+
+
+class TestConfiguration:
+    def test_unknown_policy_rejected(self, artifact):
+        with pytest.raises(CompactionError, match="policy"):
+            Floor(artifact, retest_policy="coin_flip")
+
+    def test_bad_batch_size_rejected(self, artifact):
+        with pytest.raises(CompactionError, match="batch_size"):
+            Floor(artifact, batch_size=0)
+
+    def test_lookup_required_but_absent(self, artifact):
+        assert artifact.lookup is None
+        with pytest.raises(ArtifactError, match="no lookup"):
+            Floor(artifact, use_lookup=True)
+
+    def test_wrong_row_width_rejected(self, artifact):
+        floor = Floor(artifact)
+        with pytest.raises(CompactionError, match="measurements"):
+            floor.run_stream([np.zeros((4, 2))])
+
+    def test_incompatible_dut_rejected(self, artifact):
+        dut = SyntheticDut(n_specs=4)
+        floor = Floor(artifact)
+        with pytest.raises(ArtifactError):
+            floor.run_simulated(dut, 10, seed=0)
+
+    def test_repr_mentions_mode(self, artifact):
+        text = repr(Floor(artifact))
+        assert "live model" in text and "full_retest" in text

@@ -1,0 +1,74 @@
+"""Lot / floor report accounting tests."""
+
+import pytest
+
+from repro.floor import FloorReport, LotReport
+
+
+def _lot(lot="lot0", n=100, shipped=90, scrapped=10, retested=5,
+         guard=5, yl=1, de=2, cost=300.0, full=600.0, wall=0.5):
+    return LotReport(
+        lot=lot, n_devices=n, n_shipped=shipped, n_scrapped=scrapped,
+        n_retested=retested, n_guard=guard, n_yield_loss=yl,
+        n_defect_escape=de, total_cost=cost, full_cost=full,
+        wall_seconds=wall)
+
+
+class TestLotReport:
+    def test_rates(self):
+        lot = _lot()
+        assert lot.yield_loss_rate == pytest.approx(0.01)
+        assert lot.defect_escape_rate == pytest.approx(0.02)
+        assert lot.guard_rate == pytest.approx(0.05)
+        assert lot.cost_per_device == pytest.approx(3.0)
+        assert lot.cost_reduction == pytest.approx(0.5)
+        assert lot.devices_per_minute == pytest.approx(12000.0)
+
+    def test_empty_lot_has_zero_rates(self):
+        lot = _lot(n=0, shipped=0, scrapped=0, retested=0, guard=0,
+                   yl=0, de=0, cost=0.0, full=0.0)
+        assert lot.yield_loss_rate == 0.0
+        assert lot.cost_per_device == 0.0
+        assert lot.cost_reduction == 0.0
+
+    def test_summary_mentions_key_numbers(self):
+        text = _lot().summary()
+        for token in ("lot0", "shipped", "retested", "devices/min",
+                      "alarm"):
+            assert token in text
+        assert str(_lot()) == _lot().summary()
+
+
+class TestFloorReport:
+    def test_aggregates_over_lots(self):
+        report = FloorReport([
+            _lot("a", n=100, cost=300.0, full=600.0, yl=1, de=2),
+            _lot("b", n=300, shipped=280, scrapped=20, cost=900.0,
+                 full=1800.0, yl=3, de=0, wall=1.5),
+        ])
+        assert report.n_devices == 400
+        assert report.n_shipped == 370
+        assert report.yield_loss_rate == pytest.approx(4 / 400)
+        assert report.defect_escape_rate == pytest.approx(2 / 400)
+        assert report.total_cost == pytest.approx(1200.0)
+        assert report.cost_reduction == pytest.approx(0.5)
+        assert report.wall_seconds == pytest.approx(2.0)
+        assert report.devices_per_minute == pytest.approx(12000.0)
+
+    def test_rows_one_per_lot(self):
+        report = FloorReport([_lot("a"), _lot("b")])
+        rows = report.rows()
+        assert len(rows) == 2
+        assert rows[0][0] == "a"
+
+    def test_summary_has_total_line(self):
+        report = FloorReport([_lot("a"), _lot("b")])
+        lines = report.summary().splitlines()
+        assert len(lines) == 3
+        assert lines[-1].startswith("total:")
+
+    def test_empty_report(self):
+        report = FloorReport()
+        assert report.n_devices == 0
+        assert report.yield_loss_rate == 0.0
+        assert report.alarms == ()

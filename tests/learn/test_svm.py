@@ -85,6 +85,28 @@ class TestSvc:
         assert np.array_equal(np.where(scores >= 0, 1, -1),
                               model.predict(X))
 
+    def test_chunked_decision_function_matches(self):
+        """The streaming floor's memory-bounded scoring path computes
+        the same scores up to BLAS shape effects in the last ulp, and
+        the same labels."""
+        X, y = _blobs(n=80, seed=13)
+        model = SVC().fit(X, y)
+        Xq = np.random.default_rng(2).normal(size=(101, 2))
+        reference = model.decision_function(Xq)
+        for chunk in (1, 7, 100, 5000):
+            chunked = model.decision_function(Xq, chunk_size=chunk)
+            assert np.allclose(chunked, reference, rtol=0.0, atol=1e-12)
+            assert np.array_equal(np.where(chunked >= 0, 1, -1),
+                                  model.predict(Xq))
+        assert np.array_equal(model.predict(Xq, chunk_size=7),
+                              model.predict(Xq))
+
+    def test_invalid_chunk_size_rejected(self):
+        X, y = _blobs(n=30)
+        model = SVC().fit(X, y)
+        with pytest.raises(LearningError, match="chunk_size"):
+            model.decision_function(X, chunk_size=0)
+
     def test_single_class_degenerates_to_constant(self):
         X = np.random.default_rng(0).normal(size=(20, 2))
         model = SVC().fit(X, np.ones(20))

@@ -111,6 +111,43 @@ class TestSVCPickling:
         clone = pickle.loads(pickle.dumps(model))
         assert np.all(clone.predict(X) == 1)
 
+    def test_decision_function_bit_identical_after_pickle(self, problem):
+        """The artifact layer serializes fitted SVCs and must get the
+        exact same scorer back -- bit equality, not allclose."""
+        X, y = problem
+        model = SVC(C=10.0, gamma=1.0).fit(X, y)
+        clone = pickle.loads(pickle.dumps(model))
+        Xq = np.random.default_rng(9).normal(size=(200, 4))
+        assert np.array_equal(clone.decision_function(Xq),
+                              model.decision_function(Xq))
+
+    def test_gram_cache_fit_bit_identical_after_pickle(self):
+        """A model fitted through a shared-Gram view must round-trip
+        to the identical decision function (the view itself is
+        process-local and dropped on serialization)."""
+        from repro.runtime.kernel_cache import GramCache
+
+        from tests.synthetic import make_synthetic_dataset
+
+        train = make_synthetic_dataset(n=150, seed=3)
+        names = train.names[:4]
+        cache = GramCache.from_dataset(train)
+        X = train.normalized_values(names)
+        y = train.labels.astype(float)
+        model = SVC(C=50.0, gamma="scale")
+        model.set_train_gram_view(cache.view(names))
+        model.fit(X, y)
+        # The shared Gram really served this fit (no silent fallback).
+        assert cache.stats["gram_misses"] + cache.stats["gram_hits"] > 0
+
+        clone = pickle.loads(pickle.dumps(model))
+        assert clone._gram_view is None
+        Xq = np.random.default_rng(5).normal(0.5, 0.4, size=(300, 4))
+        assert np.array_equal(clone.decision_function(Xq),
+                              model.decision_function(Xq))
+        assert np.array_equal(clone.decision_function(X),
+                              model.decision_function(X))
+
     def test_gram_view_not_pickled(self, problem):
         X, y = problem
 

@@ -248,3 +248,85 @@ class TestRealBenches:
         assert rs.n_failed > 0
         assert np.array_equal(serial.values, parallel.values)
         assert rs.n_failed == rp.n_failed
+
+
+class TestInstanceBatchStreaming:
+    """generate_instance_batches: the floor's simulated-traffic feed."""
+
+    def test_concatenation_equals_one_shot(self):
+        from repro.runtime.simulation import (
+            generate_instance_batches, generate_instances,
+        )
+
+        dut = SyntheticDut()
+        reference, _ = generate_instances(dut, 50, seed=31)
+        for batch_size in (1, 7, 50, 64):
+            batches = list(generate_instance_batches(
+                dut, 50, seed=31, batch_size=batch_size))
+            assert np.array_equal(np.vstack(batches), reference)
+            assert all(len(b) <= batch_size for b in batches)
+
+    def test_parallel_equals_serial(self):
+        from repro.runtime.simulation import generate_instance_batches
+
+        dut = PureFlakyDut()
+        serial = np.vstack(list(generate_instance_batches(
+            dut, 40, seed=13, batch_size=9, max_failures=200)))
+        parallel = np.vstack(list(generate_instance_batches(
+            dut, 40, seed=13, batch_size=9, max_failures=200,
+            n_jobs=2)))
+        assert np.array_equal(serial, parallel)
+
+    def test_failure_budget_spans_batches(self):
+        """The budget is run-level: failures in early batches count
+        against later ones, exactly as in the one-shot path."""
+        from repro.runtime.simulation import generate_instance_batches
+
+        dut = CountingAlwaysFailDut()
+        stream = generate_instance_batches(dut, 100, seed=0,
+                                           batch_size=10,
+                                           max_failures=5)
+        with pytest.raises(DatasetError, match="5 simulation failures"):
+            list(stream)
+        assert dut.calls == 5
+
+    def test_raise_mode(self):
+        from repro.runtime.simulation import generate_instance_batches
+
+        stream = generate_instance_batches(AlwaysFailDut(), 10, seed=0,
+                                           batch_size=4,
+                                           on_error="raise")
+        with pytest.raises(ConvergenceError, match="dead device"):
+            list(stream)
+
+    def test_invalid_arguments_rejected(self):
+        from repro.runtime.simulation import generate_instance_batches
+
+        with pytest.raises(DatasetError, match="batch_size"):
+            list(generate_instance_batches(SyntheticDut(), 10, seed=0,
+                                           batch_size=0))
+        with pytest.raises(DatasetError, match="positive"):
+            list(generate_instance_batches(SyntheticDut(), 0, seed=0,
+                                           batch_size=4))
+
+    def test_interleaved_serial_streams_stay_independent(self):
+        """Two lazily-consumed serial streams must not clobber each
+        other's configuration between batches."""
+        from repro.runtime.simulation import (
+            generate_instance_batches, generate_instances,
+        )
+
+        dut_a = SyntheticDut(n_specs=6)
+        dut_b = SyntheticDut(n_specs=4, n_latent=2, seed=7)
+        stream_a = generate_instance_batches(dut_a, 24, seed=1,
+                                             batch_size=8)
+        stream_b = generate_instance_batches(dut_b, 24, seed=2,
+                                             batch_size=8)
+        got_a, got_b = [], []
+        for batch_a, batch_b in zip(stream_a, stream_b):
+            got_a.append(batch_a)
+            got_b.append(batch_b)
+        ref_a, _ = generate_instances(dut_a, 24, seed=1)
+        ref_b, _ = generate_instances(dut_b, 24, seed=2)
+        assert np.array_equal(np.vstack(got_a), ref_a)
+        assert np.array_equal(np.vstack(got_b), ref_b)

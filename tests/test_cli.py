@@ -11,7 +11,8 @@ class TestParser:
         sub = next(a for a in parser._actions
                    if hasattr(a, "choices") and a.choices)
         assert set(sub.choices) == {"table1", "table2", "fig5",
-                                    "table3", "cost", "batch"}
+                                    "table3", "cost", "batch",
+                                    "deploy", "floor"}
 
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
@@ -54,6 +55,55 @@ class TestParser:
         for command in ("table1", "table2"):
             with pytest.raises(SystemExit):
                 build_parser().parse_args([command, "--sim-jobs", "2"])
+
+    def test_deploy_options(self):
+        args = build_parser().parse_args(["deploy"])
+        assert args.device == "opamp"
+        assert args.out is None
+        assert args.lookup_resolution is None
+        assert args.jobs == 1 and args.sim_jobs == 1
+        args = build_parser().parse_args(
+            ["deploy", "--device", "mems", "--out", "x.rtp",
+             "--lookup-resolution", "auto", "--jobs", "2"])
+        assert args.device == "mems"
+        assert args.out == "x.rtp"
+        assert args.lookup_resolution == "auto"
+        args = build_parser().parse_args(
+            ["deploy", "--lookup-resolution", "25"])
+        assert args.lookup_resolution == 25
+
+    def test_deploy_rejects_bad_lookup_resolution_at_parse_time(self):
+        """Must fail before minutes of simulation, not after."""
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["deploy", "--lookup-resolution", "fine"])
+
+    def test_floor_options(self):
+        args = build_parser().parse_args(
+            ["floor", "--artifact", "x.rtp"])
+        assert args.artifact == "x.rtp"
+        assert args.devices == 2000
+        assert args.lots == 1
+        assert args.policy == "full_retest"
+        assert args.batch_size == 8192
+        assert args.device is None
+        assert args.sim_jobs == 1
+
+    def test_floor_requires_artifact(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["floor"])
+
+    def test_floor_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["floor", "--artifact", "x.rtp", "--policy", "flip"])
+
+    def test_floor_takes_no_training_options(self):
+        """floor serves an existing artifact: no train/tolerance."""
+        for flag in ("--train", "--tolerance"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(
+                    ["floor", "--artifact", "x.rtp", flag, "5"])
 
     def test_batch_options(self):
         args = build_parser().parse_args(

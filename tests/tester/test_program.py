@@ -68,6 +68,74 @@ class TestRetestPolicies:
             Program(model, cost, retest_policy="coin_flip")
 
 
+class _AllGuardClassifier:
+    """Stub that places every device in the guard band."""
+
+    def __init__(self, feature_names):
+        self.feature_names = tuple(feature_names)
+
+    def predict_measurements(self, values):
+        return np.zeros(np.asarray(values).shape[0], dtype=int)
+
+
+class TestRetestEdgeCases:
+    def test_zero_guard_band_devices(self):
+        """delta=0 collapses the guard band: no device is ever
+        retested and every policy produces the same outcome."""
+        model, test, cost = _setup(delta=0.0)
+        outcomes = {
+            policy: Program(model, cost, retest_policy=policy).run(test)
+            for policy in ("full_retest", "accept", "reject")}
+        for outcome in outcomes.values():
+            assert not np.any(outcome.first_pass == GUARD)
+            assert outcome.n_retested == 0
+            # No guard devices -> no retest surcharge under any policy.
+            assert outcome.total_cost == pytest.approx(
+                cost.cost(model.feature_names) * len(test))
+        reference = outcomes["full_retest"]
+        for outcome in outcomes.values():
+            assert np.array_equal(outcome.decisions, reference.decisions)
+
+    def test_all_guard_band_population(self):
+        """An all-guard first pass resolves purely by policy."""
+        test = make_synthetic_dataset(n=150, seed=4)
+        kept = list(test.names[:3])
+        stub = _AllGuardClassifier(kept)
+        cost = CostModel.uniform(test.names)
+
+        full = Program(stub, cost, retest_policy="full_retest").run(test)
+        assert full.n_retested == len(test)
+        assert np.array_equal(full.decisions, test.labels)
+        assert full.report.error_rate == 0.0
+
+        accept = Program(stub, cost, retest_policy="accept").run(test)
+        assert np.all(accept.decisions == GOOD)
+        assert accept.report.n_defect_escape == int(
+            np.sum(test.labels == BAD))
+
+        reject = Program(stub, cost, retest_policy="reject").run(test)
+        assert np.all(reject.decisions == BAD)
+        assert reject.report.n_yield_loss == int(
+            np.sum(test.labels == GOOD))
+
+    def test_all_guard_cost_accounting_per_policy(self):
+        """full_retest pays the complete set per guard device; the
+        binning policies never pay a retest surcharge."""
+        test = make_synthetic_dataset(n=80, seed=6)
+        kept = list(test.names[:3])
+        stub = _AllGuardClassifier(kept)
+        cost = CostModel.uniform(test.names, cost=2.0)
+        compacted = cost.cost(kept) * len(test)
+
+        full = Program(stub, cost, retest_policy="full_retest").run(test)
+        assert full.total_cost == pytest.approx(
+            compacted + cost.full_cost() * len(test))
+        for policy in ("accept", "reject"):
+            outcome = Program(stub, cost, retest_policy=policy).run(test)
+            assert outcome.n_retested == 0
+            assert outcome.total_cost == pytest.approx(compacted)
+
+
 class TestCostAccounting:
     def test_compacted_program_cheaper(self):
         model, test, cost = _setup()
@@ -93,6 +161,17 @@ class TestCostAccounting:
         model, test, cost = _setup()
         text = Program(model, cost).run(test).summary()
         assert "shipped" in text and "retested" in text
+
+
+class TestOutcomeTyping:
+    def test_report_is_a_classification_report(self):
+        from repro.tester import ClassificationReport, TestOutcome
+
+        model, test, cost = _setup()
+        outcome = Program(model, cost).run(test)
+        assert isinstance(outcome.report, ClassificationReport)
+        assert (TestOutcome.__annotations__["report"]
+                is ClassificationReport)
 
 
 class TestLookupTableProgram:
