@@ -1,0 +1,190 @@
+"""Experiment F2 -- floor-service throughput and served equivalence.
+
+Deploys two synthetic test programs (one lookup-table, one live-model,
+with *different* specification universes so routing bugs cannot cancel
+out), hosts them in one in-process
+:class:`~repro.service.server.FloorService`, and replays deterministic
+mixed seed-tree traffic through the HTTP load generator at two
+coalescing configurations:
+
+1. **coalesced** -- large batches, patient latency window (the
+   heavy-traffic shape);
+2. **immediate** -- small batches, near-zero latency window (the
+   interactive shape).
+
+Equivalence is asserted unconditionally in every environment: at both
+configurations and for both resident artifacts, every decision served
+over HTTP is bit-identical to an offline
+:class:`~repro.floor.engine.TestFloor` pass over the same devices
+(``REPRO_BENCH_NO_SPEEDUP=1`` keeps exactly this and skips only the
+throughput bar -- the CI "equivalence-only" mode).
+
+The measured devices/min are printed everywhere and, when
+``REPRO_BENCH_JSON`` names a path (or when run as a script), written
+as a JSON record -- the seed of the repo's service-perf trajectory
+(CI uploads it as the ``BENCH_service.json`` artifact).  The >= 50k
+devices/min served-throughput bar fires only on >= 4-CPU machines,
+mirroring the other ``bench_*`` experiments.
+
+Runnable directly (``python benchmarks/bench_service_throughput.py``)
+or through pytest-benchmark like every other experiment here.
+"""
+
+import asyncio
+import json
+import os
+import time
+
+if __name__ == "__main__":
+    # Allow `python benchmarks/bench_service_throughput.py` without an
+    # installed package or PYTHONPATH (pytest gets these from
+    # pyproject.toml's pythonpath setting instead).
+    import pathlib
+    import sys
+
+    _root = pathlib.Path(__file__).resolve().parent.parent
+    sys.path[:0] = [str(_root), str(_root / "src")]
+
+from benchmarks.harness import print_table, run_once
+from repro.core.costmodel import TestCostModel as CostModel
+from repro.core.pipeline import CompactionPipeline
+from repro.learn import SVC
+from repro.runtime import cpu_count
+from repro.service import (
+    ArtifactRegistry,
+    FloorService,
+    TrafficPlan,
+    offline_reference,
+    run_load,
+)
+
+from tests.synthetic import SyntheticDut, make_synthetic_dataset
+
+#: Training / held-out population sizes per program build.
+N_TRAIN, N_TEST = 800, 400
+#: Devices replayed per artifact per coalescing configuration.
+N_DEVICES = {"synthA": 1500, "synthB": 1000}
+#: The two coalescing configurations under test.
+CONFIGS = {
+    "coalesced": dict(max_batch_size=512, max_latency=0.02),
+    "immediate": dict(max_batch_size=16, max_latency=0.0005),
+}
+#: Served-throughput acceptance bar (devices per minute, over HTTP).
+THROUGHPUT_FLOOR = 50_000
+#: Concurrent keep-alive load-generator connections.
+N_CLIENTS = 6
+
+
+class FixedSVCFactory:
+    """Picklable fixed-hyperparameter factory (no per-fit tuning)."""
+
+    def __call__(self):
+        return SVC(C=50.0, gamma="scale")
+
+
+def _build_pair(n_specs, dut_seed, lookup_resolution=None):
+    dut = SyntheticDut(n_specs=n_specs, seed=dut_seed)
+    train = make_synthetic_dataset(n=N_TRAIN, n_specs=n_specs, seed=1,
+                                   dut_seed=dut_seed)
+    test = make_synthetic_dataset(n=N_TEST, n_specs=n_specs, seed=2,
+                                  dut_seed=dut_seed)
+    pipeline = CompactionPipeline(tolerance=0.02, guard_band=0.06,
+                                  model_factory=FixedSVCFactory())
+    _, artifact = pipeline.deploy(
+        train, test, cost_model=CostModel.uniform(train.names),
+        device="synthetic", train_seed=1,
+        lookup_resolution=lookup_resolution)
+    return dut, artifact
+
+
+def _run_config(registry, plans, config):
+    async def main():
+        service = FloorService(registry, **config)
+        await service.start("127.0.0.1", 0)
+        try:
+            return await run_load("127.0.0.1", service.port, plans,
+                                  n_clients=N_CLIENTS, max_chunk=12,
+                                  seed=3)
+        finally:
+            await service.stop()
+
+    return asyncio.run(main())
+
+
+def run_experiment():
+    """Execute both configurations; returns the structured results."""
+    pair_a = _build_pair(n_specs=6, dut_seed=99, lookup_resolution=17)
+    pair_b = _build_pair(n_specs=5, dut_seed=42)
+    registry = ArtifactRegistry()
+    registry.register("synthA", "1", pair_a[1])
+    registry.register("synthB", "1", pair_b[1])
+    plans = [
+        TrafficPlan("synthA", pair_a[0], N_DEVICES["synthA"], seed=7,
+                    reference=offline_reference(pair_a[1])),
+        TrafficPlan("synthB", pair_b[0], N_DEVICES["synthB"], seed=8,
+                    reference=offline_reference(pair_b[1])),
+    ]
+
+    rows = []
+    record = {
+        "experiment": "bench_service_throughput",
+        "unix_time": time.time(),
+        "cpus": cpu_count(),
+        "n_clients": N_CLIENTS,
+        "configs": {},
+    }
+    throughput = {}
+    for name, config in CONFIGS.items():
+        report = _run_config(registry, plans, config)
+        # The contract, asserted in every environment: served
+        # decisions are bit-identical to the offline floor for every
+        # plan at every coalescing configuration.
+        assert report.equivalent, (
+            "config {!r} served decisions differing from the offline "
+            "floor".format(name))
+        throughput[name] = report.devices_per_minute
+        rows.append((name, report.n_devices, report.n_requests,
+                     report.wall_seconds, report.devices_per_minute))
+        record["configs"][name] = {
+            "max_batch_size": config["max_batch_size"],
+            "max_latency_seconds": config["max_latency"],
+            "n_devices": report.n_devices,
+            "n_requests": report.n_requests,
+            "n_retried": report.n_retried,
+            "wall_seconds": report.wall_seconds,
+            "devices_per_minute": report.devices_per_minute,
+            "equivalent": report.equivalent,
+        }
+
+    print_table(
+        "F2: floor-service throughput over HTTP ({} CPUs available)"
+        .format(cpu_count()),
+        ["config", "devices", "requests", "seconds", "devices/min"],
+        rows)
+
+    out = os.environ.get("REPRO_BENCH_JSON")
+    if out:
+        with open(out, "w") as handle:
+            json.dump(record, handle, indent=2, sort_keys=True)
+        print("wrote {}".format(out))
+
+    # The throughput bar needs real cores; acceptance is a 4-core run.
+    if cpu_count() >= 4 and not os.environ.get("REPRO_BENCH_NO_SPEEDUP"):
+        best = max(throughput.values())
+        assert best >= THROUGHPUT_FLOOR, (
+            "expected >= {:,} served devices/min; got {:,.0f}".format(
+                THROUGHPUT_FLOOR, best))
+    return record
+
+
+def bench_service_throughput(benchmark):
+    """pytest-benchmark entry point (records the whole comparison)."""
+    run_once(benchmark, run_experiment)
+
+
+if __name__ == "__main__":
+    os.environ.setdefault(
+        "REPRO_BENCH_JSON",
+        os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                     "BENCH_service.json"))
+    run_experiment()

@@ -11,6 +11,9 @@
     python -m repro.cli batch --lots 4 --jobs 4 --sim-jobs 4
     python -m repro.cli deploy --device opamp --out opamp.rtp
     python -m repro.cli floor --artifact opamp.rtp --lots 3 --devices 500
+    python -m repro.cli serve --artifact opamp=opamp.rtp --port 8731
+    python -m repro.cli loadgen --url http://127.0.0.1:8731 \
+        --artifact opamp.rtp --device opamp --devices 200
 
 Each subcommand simulates its Monte-Carlo populations on the fly (no
 cache) at a CLI-chosen scale, runs the corresponding experiment and
@@ -36,6 +39,13 @@ production lots through the :class:`~repro.floor.engine.TestFloor`,
 reporting per-lot yield loss, defect escape, cost, throughput and
 drift alarms.  The round trip is deterministic: the same artifact and
 seeds disposition identically at any ``--batch-size``/``--sim-jobs``.
+
+``serve`` hosts a registry of deployed artifacts behind the asyncio
+HTTP/JSON floor service of :mod:`repro.service` (micro-batching,
+hot-swap, backpressure, ``/metrics``); ``loadgen`` replays
+deterministic seed-tree traffic against a running service and exits
+non-zero unless every served decision is bit-identical to an offline
+:class:`~repro.floor.engine.TestFloor` pass over the same devices.
 """
 
 import argparse
@@ -226,9 +236,31 @@ def cmd_batch(args):
     return 0
 
 
+def _fail(message):
+    """One-line error on stderr + the conventional failure exit code.
+
+    The CLI contract for operator errors (missing file, corrupt
+    artifact, unreachable service) is a clean single-line message, not
+    a traceback.
+    """
+    print("error: {}".format(message), file=sys.stderr)
+    return 2
+
+
 def cmd_deploy(args):
     """Train a compacted test program and save a deployable artifact."""
+    import os
+
     from repro.core.pipeline import CompactionPipeline
+
+    out = args.out or "{}.rtp".format(args.device)
+    # Fail on an unwritable destination *before* minutes of simulation
+    # and training, not at the final save.
+    out_dir = os.path.dirname(os.path.abspath(out))
+    if not os.path.isdir(out_dir):
+        return _fail("output directory does not exist: {}".format(out_dir))
+    if not os.access(out_dir, os.W_OK):
+        return _fail("output directory is not writable: {}".format(out_dir))
 
     bench = _bench(args.device)
     print("Simulating {} + {} {} instances...".format(
@@ -241,8 +273,10 @@ def cmd_deploy(args):
         train, test, cost_model=_default_cost_model(args.device),
         device=bench.name, train_seed=args.seed,
         lookup_resolution=args.lookup_resolution)
-    out = args.out or "{}.rtp".format(args.device)
-    artifact.save(out)
+    try:
+        artifact.save(out)
+    except OSError as exc:
+        return _fail("cannot write artifact {}: {}".format(out, exc))
     print(result.summary())
     print()
     print(artifact.describe())
@@ -252,9 +286,16 @@ def cmd_deploy(args):
 
 def cmd_floor(args):
     """Load an artifact and stream simulated production lots through it."""
+    from repro.errors import ArtifactError
     from repro.floor import TestFloor, TestProgramArtifact
 
-    artifact = TestProgramArtifact.load(args.artifact)
+    try:
+        artifact = TestProgramArtifact.load(args.artifact)
+    except ArtifactError as exc:
+        return _fail(exc)
+    except OSError as exc:
+        return _fail("cannot read artifact {}: {}".format(
+            args.artifact, exc))
     device = args.device or artifact.provenance.get("device")
     aliases = {"mems-accelerometer": "mems"}
     device = aliases.get(device, device)
@@ -263,6 +304,8 @@ def cmd_floor(args):
               "{!r}); pass --device".format(
                   artifact.provenance.get("device")), file=sys.stderr)
         return 2
+    from repro.errors import ReproError
+
     bench = _bench(device)
     floor = TestFloor(artifact, retest_policy=args.policy,
                       batch_size=args.batch_size)
@@ -270,7 +313,12 @@ def cmd_floor(args):
             for index in range(args.lots)]
     print("Streaming {} lot(s) of {} simulated {} devices...".format(
         args.lots, args.devices, device), file=sys.stderr)
-    report = floor.run_lots(bench, lots, n_jobs=args.sim_jobs)
+    try:
+        report = floor.run_lots(bench, lots, n_jobs=args.sim_jobs)
+    except ReproError as exc:
+        # e.g. an artifact trained on a different bench's ranges, or
+        # an exhausted simulation failure budget.
+        return _fail(exc)
     _print_rows(
         ["lot", "devices", "YL %", "DE %", "guard %", "cost/dev",
          "dev/min", "alarms"],
@@ -280,6 +328,109 @@ def cmd_floor(args):
         print(alarm)
         print("  -> {}".format(alarm.recommendation))
     print(report.summary().splitlines()[-1])
+    return 0
+
+
+def _artifact_spec(value):
+    """argparse type for serve --artifact: name=path or name=version=path."""
+    parts = value.split("=")
+    if len(parts) == 2:
+        name, version, path = parts[0], "1", parts[1]
+    elif len(parts) == 3:
+        name, version, path = parts
+    else:
+        raise argparse.ArgumentTypeError(
+            "must be name=path or name=version=path, not {!r}".format(value))
+    if not name or not path:
+        raise argparse.ArgumentTypeError(
+            "must be name=path or name=version=path, not {!r}".format(value))
+    return name, version, path
+
+
+def cmd_serve(args):
+    """Serve deployed artifacts over the asyncio HTTP floor service."""
+    import asyncio
+
+    from repro.errors import ReproError
+    from repro.service import ArtifactRegistry, FloorService
+
+    registry = ArtifactRegistry(max_resident=args.max_resident)
+    for name, version, path in args.artifact:
+        try:
+            registry.register(name, version, path)
+        except (ReproError, OSError) as exc:
+            return _fail(exc)
+        print("registered {}@{} from {}".format(name, version, path),
+              file=sys.stderr)
+    service = FloorService(
+        registry, retest_policy=args.policy,
+        max_batch_size=args.max_batch,
+        max_latency=args.max_latency_ms / 1000.0,
+        max_pending=args.max_pending)
+
+    async def _serve():
+        await service.start(args.host, args.port)
+        print("serving {} artifact(s) on http://{}:{}".format(
+            len(registry), args.host, service.port), file=sys.stderr,
+            flush=True)
+        try:
+            await service.serve_forever()
+        finally:
+            await service.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    except OSError as exc:
+        return _fail("cannot bind {}:{}: {}".format(
+            args.host, args.port, exc))
+    return 0
+
+
+def cmd_loadgen(args):
+    """Replay deterministic traffic against a service; verify decisions."""
+    import asyncio
+
+    from repro.errors import ArtifactError, ReproError, ServiceError
+    from repro.floor import TestProgramArtifact
+    from repro.service import (TrafficPlan, offline_reference, run_load,
+                               split_url, wait_healthy)
+
+    try:
+        host, port = split_url(args.url)
+    except ServiceError as exc:
+        return _fail(exc)
+    try:
+        artifact = TestProgramArtifact.load(args.artifact)
+    except ArtifactError as exc:
+        return _fail(exc)
+    except OSError as exc:
+        return _fail("cannot read artifact {}: {}".format(
+            args.artifact, exc))
+    plan = TrafficPlan(
+        device=args.name or args.device,
+        dut=_bench(args.device),
+        n_devices=args.devices,
+        seed=args.seed,
+        version=args.version,
+        reference=offline_reference(artifact, retest_policy=args.policy))
+
+    async def _run():
+        await wait_healthy(host, port, timeout=args.timeout)
+        return await run_load(host, port, [plan],
+                              n_clients=args.clients,
+                              max_chunk=args.max_chunk, seed=args.seed)
+
+    print("Replaying {} simulated {} devices against http://{}:{}..."
+          .format(args.devices, args.device, host, port), file=sys.stderr)
+    try:
+        report = asyncio.run(_run())
+    except (ReproError, OSError) as exc:
+        return _fail(exc)
+    print(report.summary())
+    if not report.equivalent:
+        return _fail("served decisions differ from the offline floor")
     return 0
 
 
@@ -380,6 +531,62 @@ def build_parser():
                        help="override the artifact's provenance device")
     add_sim_jobs(floor)
     floor.set_defaults(func=cmd_floor)
+
+    # `serve` hosts existing artifacts; `loadgen` drives a running
+    # service -- neither trains, so neither takes train/test options.
+    serve = sub.add_parser("serve", help=cmd_serve.__doc__)
+    serve.add_argument("--artifact", action="append", required=True,
+                       type=_artifact_spec, metavar="NAME[=VERSION]=PATH",
+                       help="artifact to register (repeatable); e.g. "
+                            "opamp=opamp.rtp or opamp=2=opamp-v2.rtp")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8731)
+    serve.add_argument("--policy", default="full_retest",
+                       choices=("full_retest", "accept", "reject"),
+                       help="guard-band retest policy for every floor")
+    serve.add_argument("--max-batch", type=int, default=512,
+                       help="rows per coalesced floor batch (size flush)")
+    serve.add_argument("--max-latency-ms", type=float, default=5.0,
+                       help="max milliseconds a queued request waits "
+                            "before a latency flush")
+    serve.add_argument("--max-pending", type=int, default=65536,
+                       help="queued-row bound; beyond it requests are "
+                            "rejected with 429 backpressure")
+    serve.add_argument("--max-resident", type=int, default=8,
+                       help="LRU bound on in-memory artifacts")
+    serve.set_defaults(func=cmd_serve)
+
+    loadgen = sub.add_parser("loadgen", help=cmd_loadgen.__doc__)
+    loadgen.add_argument("--url", required=True,
+                         help="service base URL, e.g. http://127.0.0.1:8731")
+    loadgen.add_argument("--artifact", required=True,
+                         help="artifact path for the offline reference "
+                              "floor the served decisions are checked "
+                              "against")
+    loadgen.add_argument("--device", choices=("opamp", "mems"),
+                         default="opamp",
+                         help="device bench that simulates the traffic")
+    loadgen.add_argument("--name", default=None,
+                         help="registry device key to address (default: "
+                              "--device)")
+    loadgen.add_argument("--version", default=None,
+                         help="pin an artifact version (default: newest)")
+    loadgen.add_argument("--devices", type=int, default=200,
+                         help="simulated devices to replay")
+    loadgen.add_argument("--seed", type=int, default=1,
+                         help="population + request-schedule seed")
+    loadgen.add_argument("--clients", type=int, default=4,
+                         help="concurrent keep-alive connections")
+    loadgen.add_argument("--max-chunk", type=int, default=16,
+                         help="largest devices-per-request chunk")
+    loadgen.add_argument("--policy", default="full_retest",
+                         choices=("full_retest", "accept", "reject"),
+                         help="retest policy of the offline reference "
+                              "(must match the server's)")
+    loadgen.add_argument("--timeout", type=float, default=30.0,
+                         help="seconds to wait for the service to become "
+                              "healthy")
+    loadgen.set_defaults(func=cmd_loadgen)
     return parser
 
 

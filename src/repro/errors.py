@@ -44,3 +44,21 @@ class DatasetError(ReproError):
 
 class ArtifactError(ReproError):
     """Unreadable or incompatible test-program artifact file."""
+
+
+class ServiceError(ReproError):
+    """Invalid request to the test-floor service layer."""
+
+
+class ServiceOverloadError(ServiceError):
+    """The service queue is full; the caller should back off and retry.
+
+    Maps to HTTP 429 on the service front end.
+    """
+
+
+class UnknownArtifactError(ServiceError):
+    """No active registration can serve the requested artifact key.
+
+    Maps to HTTP 404 on the service front end.
+    """

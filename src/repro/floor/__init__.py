@@ -31,11 +31,16 @@ floor`` (load artifact, stream devices, report lots).
 """
 
 from repro.floor.artifact import SCHEMA_VERSION, TestProgramArtifact
-from repro.floor.engine import DEFAULT_BATCH_SIZE, TestFloor
+from repro.floor.engine import (
+    DEFAULT_BATCH_SIZE,
+    BatchDisposition,
+    TestFloor,
+)
 from repro.floor.monitor import DriftAlarm, DriftBaseline, DriftMonitor
 from repro.floor.report import FloorReport, LotReport
 
 __all__ = [
+    "BatchDisposition",
     "DEFAULT_BATCH_SIZE",
     "DriftAlarm",
     "DriftBaseline",

@@ -38,6 +38,7 @@ over 100k devices/min on a single core
 
 import os
 import time
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -56,6 +57,62 @@ from repro.tester.program import (
 
 #: Default devices per vectorized disposition batch.
 DEFAULT_BATCH_SIZE = 8192
+
+
+def disposition_counts(decisions, first_pass, truth):
+    """The quality count fields for a set of dispositioned devices.
+
+    The single source of the ship/scrap/guard/yield-loss/escape
+    arithmetic: :meth:`BatchDisposition.counts` uses it for whole
+    batches and the service micro-batcher for per-request slices, so
+    lot reports and HTTP replies can never disagree on a definition.
+    (``n_retested`` is policy-flow state, not derivable from the
+    per-device arrays -- callers account for it separately.)
+    """
+    good = truth == GOOD
+    return dict(
+        n_devices=int(decisions.shape[0]),
+        n_shipped=int(np.sum(decisions == GOOD)),
+        n_scrapped=int(np.sum(decisions == BAD)),
+        n_guard=int(np.sum(first_pass == GUARD)),
+        n_yield_loss=int(np.sum(good & (decisions == BAD))),
+        n_defect_escape=int(np.sum(~good & (decisions == GOOD))),
+    )
+
+
+@dataclass(frozen=True)
+class BatchDisposition:
+    """Outcome of dispositioning one in-memory batch.
+
+    The per-device arrays are kept (they are computed anyway), so a
+    caller coalescing several client requests into one batch -- the
+    service micro-batcher -- can slice per-request decisions and counts
+    back out without re-running anything.
+    """
+
+    #: Final per-device dispositions (+1 ship / -1 scrap).
+    decisions: np.ndarray
+    #: First-pass classifications (+1/-1/0) before the retest policy.
+    first_pass: np.ndarray
+    #: Ground-truth labels derived from the full measurements.
+    truth: np.ndarray
+    #: Devices sent through the retest flow.
+    n_retested: int
+    #: Population cost under the compacted program + retest policy.
+    cost: float
+    #: Cost of full-specification testing of the same batch.
+    full_cost: float
+
+    @property
+    def n_devices(self):
+        return int(self.decisions.shape[0])
+
+    def counts(self):
+        """The :class:`LotReport` count fields for this batch."""
+        out = disposition_counts(self.decisions, self.first_pass,
+                                 self.truth)
+        out["n_retested"] = int(self.n_retested)
+        return out
 
 
 class TestFloor:
@@ -126,6 +183,49 @@ class TestFloor:
         if self._use_lookup:
             return np.asarray(self.artifact.lookup.classify(kept_values))
         return self.artifact.model.predict_measurements(kept_values)
+
+    def dispose(self, batch):
+        """Disposition one in-memory batch of full-specification rows.
+
+        This is the single-batch primitive everything else rides --
+        :meth:`run_stream` loops it over rebatched traffic, and the
+        service micro-batcher (:mod:`repro.service.batcher`) feeds it
+        coalesced client requests.  A disposition is a pure per-device
+        function of the artifact and the device's measurements, so
+        coalescing or splitting batches never changes a decision.
+
+        Unlike :meth:`run_stream` this does **not** reset the drift
+        monitor: the monitor window keeps rolling across calls, which
+        is exactly what a long-lived service wants.
+
+        Returns a :class:`BatchDisposition`.
+        """
+        batch = np.asarray(batch, dtype=float)
+        if batch.ndim == 1:
+            batch = batch[None, :]
+        if batch.ndim != 2:
+            raise CompactionError(
+                "batch must be a 1-D device row or a 2-D chunk; got "
+                "ndim={}".format(batch.ndim))
+        if batch.shape[1] != len(self._specs):
+            raise CompactionError(
+                "stream rows have {} measurements; the program "
+                "was trained on {} specifications".format(
+                    batch.shape[1], len(self._specs)))
+        kept_values = batch[:, self._kept_idx]
+        first = self._first_pass(kept_values)
+        truth = self._specs.labels(batch)
+        decisions, n_retested = apply_retest_policy(
+            first, truth, self.retest_policy)
+        n_guard = int(np.sum(first == GUARD))
+        cost, full_cost = policy_cost(
+            self.artifact.cost_model, self._kept, batch.shape[0],
+            n_guard, self.retest_policy)
+        if self.monitor is not None:
+            self.monitor.update(kept_values, first)
+        return BatchDisposition(
+            decisions=decisions, first_pass=first, truth=truth,
+            n_retested=n_retested, cost=cost, full_cost=full_cost)
 
     @staticmethod
     def _rebatch(stream, batch_size):
@@ -199,38 +299,13 @@ class TestFloor:
 
         start = time.perf_counter()
         for batch in self._rebatch(stream, batch_size):
-            if batch.shape[1] != len(self._specs):
-                raise CompactionError(
-                    "stream rows have {} measurements; the program "
-                    "was trained on {} specifications".format(
-                        batch.shape[1], len(self._specs)))
-            kept_values = batch[:, self._kept_idx]
-            first = self._first_pass(kept_values)
-            truth = self._specs.labels(batch)
-            decisions, n_retested = apply_retest_policy(
-                first, truth, self.retest_policy)
-            n_guard = int(np.sum(first == GUARD))
-            good = truth == GOOD
-
-            counts["n_devices"] += batch.shape[0]
-            counts["n_shipped"] += int(np.sum(decisions == GOOD))
-            counts["n_scrapped"] += int(np.sum(decisions == BAD))
-            counts["n_retested"] += n_retested
-            counts["n_guard"] += n_guard
-            counts["n_yield_loss"] += int(
-                np.sum(good & (decisions == BAD)))
-            counts["n_defect_escape"] += int(
-                np.sum(~good & (decisions == GOOD)))
-            batch_cost, batch_full = policy_cost(
-                self.artifact.cost_model, self._kept, batch.shape[0],
-                n_guard, self.retest_policy)
-            total_cost += batch_cost
-            full_cost += batch_full
-
-            if self.monitor is not None:
-                self.monitor.update(kept_values, first)
+            outcome = self.dispose(batch)
+            for key, value in outcome.counts().items():
+                counts[key] += value
+            total_cost += outcome.cost
+            full_cost += outcome.full_cost
             if keep_decisions:
-                decision_parts.append(decisions)
+                decision_parts.append(outcome.decisions)
         wall = time.perf_counter() - start
 
         # The report carries the charts' *lot-end* state: the rolling

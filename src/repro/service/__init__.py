@@ -1,0 +1,75 @@
+"""repro.service -- the async multi-artifact test-floor service.
+
+PR 3 made the compacted test program a deployable artifact served by
+one in-process :class:`~repro.floor.engine.TestFloor`.  This package
+takes the floor out of the single-process, single-artifact world: an
+asyncio service that dispositions concurrent traffic for many device
+types and artifact versions at once, with micro-batching and explicit
+backpressure.
+
+``repro.service.registry``
+    :class:`ArtifactRegistry` -- versioned ``(device, version)``
+    artifact store: load through the restricted artifact loader,
+    hot-swap by registering a newer version, retire, SHA-256
+    checksum pinning, LRU-bounded resident set.
+``repro.service.batcher``
+    :class:`MicroBatcher` -- coalesces concurrent small requests into
+    vectorized floor batches (size + latency flush triggers, bounded
+    queue with 429-style rejection); decisions stay bit-identical to
+    direct :class:`TestFloor` runs at any coalescing pattern.
+``repro.service.server``
+    :class:`FloorService` -- stdlib-asyncio HTTP/JSON front end:
+    ``/disposition``, ``/artifacts`` (+ register/retire),
+    ``/health``, ``/metrics`` (throughput, queue depth, drift state).
+``repro.service.loadgen``
+    :class:`TrafficPlan` / :func:`run_load` -- deterministic seed-tree
+    load generator that replays mixed multi-device traffic and
+    asserts served decisions equal an offline floor pass.
+
+CLI surface: ``repro serve`` (host a registry of artifacts) and
+``repro loadgen`` (drive + verify a running service).
+"""
+
+from repro.service.batcher import (
+    BatcherStats,
+    DEFAULT_MAX_BATCH_SIZE,
+    DEFAULT_MAX_LATENCY,
+    DEFAULT_MAX_PENDING,
+    MicroBatcher,
+)
+from repro.service.loadgen import (
+    HttpClient,
+    LoadReport,
+    PlanOutcome,
+    TrafficPlan,
+    offline_reference,
+    run_load,
+    split_url,
+    wait_healthy,
+)
+from repro.service.registry import (
+    ArtifactRegistry,
+    RegistryEntry,
+    file_checksum,
+)
+from repro.service.server import FloorService
+
+__all__ = [
+    "ArtifactRegistry",
+    "BatcherStats",
+    "DEFAULT_MAX_BATCH_SIZE",
+    "DEFAULT_MAX_LATENCY",
+    "DEFAULT_MAX_PENDING",
+    "FloorService",
+    "HttpClient",
+    "LoadReport",
+    "MicroBatcher",
+    "PlanOutcome",
+    "RegistryEntry",
+    "TrafficPlan",
+    "file_checksum",
+    "offline_reference",
+    "run_load",
+    "split_url",
+    "wait_healthy",
+]

@@ -1,0 +1,268 @@
+"""Micro-batching request queue in front of a :class:`TestFloor`.
+
+The floor's hot path is one vectorized pass per batch
+(:meth:`repro.floor.engine.TestFloor.dispose`), so a service fielding
+many concurrent single-device or small-lot requests wins by coalescing
+them: the batcher parks incoming rows on a per-artifact queue and
+flushes one combined batch when either
+
+* the queue reaches ``max_batch_size`` rows (size flush), or
+* the oldest queued request has waited ``max_latency`` seconds
+  (latency flush -- a lone request is never stuck waiting for
+  traffic).
+
+Because a disposition is a pure per-device function of the artifact
+and the device's measurements, coalescing and splitting never change a
+decision: the batcher slices the combined
+:class:`~repro.floor.engine.BatchDisposition` back into per-request
+results that are bit-identical to running each request through the
+floor alone (the service equivalence tests assert this at multiple
+coalescing configurations).
+
+Backpressure is explicit: the queue holds at most ``max_pending``
+rows; a request that would overflow it is rejected immediately with
+:class:`~repro.errors.ServiceOverloadError` (HTTP 429 at the front
+end) instead of growing an unbounded buffer.  The caller owns the
+retry policy.
+
+Single-threaded by design: everything runs on the asyncio event loop,
+so queue state needs no locking and flush order is deterministic.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ServiceError, ServiceOverloadError
+from repro.floor.engine import (
+    BatchDisposition,
+    TestFloor,
+    disposition_counts,
+)
+
+#: Default rows per coalesced floor batch.
+DEFAULT_MAX_BATCH_SIZE = 512
+#: Default seconds a queued request may wait before a latency flush.
+DEFAULT_MAX_LATENCY = 0.005
+#: Default bound on queued rows before requests are rejected.
+DEFAULT_MAX_PENDING = 65_536
+
+
+@dataclass
+class BatcherStats:
+    """Running counters for one batcher (the ``/metrics`` endpoint)."""
+
+    n_requests: int = 0
+    n_rejected: int = 0
+    n_devices: int = 0
+    n_batches: int = 0
+    n_size_flushes: int = 0
+    n_latency_flushes: int = 0
+    n_shipped: int = 0
+    n_scrapped: int = 0
+    n_guard: int = 0
+    n_retested: int = 0
+    total_cost: float = 0.0
+    busy_seconds: float = 0.0
+
+    @property
+    def devices_per_minute(self) -> float:
+        """Disposition throughput over floor busy time (not idle time)."""
+        if self.busy_seconds <= 0:
+            return 0.0
+        return self.n_devices * 60.0 / self.busy_seconds
+
+    @property
+    def mean_batch_rows(self) -> float:
+        """Realized coalescing (rows per flushed batch)."""
+        if self.n_batches == 0:
+            return 0.0
+        return self.n_devices / self.n_batches
+
+    def describe(self) -> dict:
+        out = {f: getattr(self, f) for f in self.__dataclass_fields__}
+        out["devices_per_minute"] = self.devices_per_minute
+        out["mean_batch_rows"] = self.mean_batch_rows
+        return out
+
+
+@dataclass
+class _PendingRequest:
+    rows: np.ndarray
+    future: asyncio.Future
+    enqueued: float = field(default_factory=time.perf_counter)
+
+
+class MicroBatcher:
+    """Coalesce concurrent disposition requests into floor batches.
+
+    Parameters
+    ----------
+    floor:
+        The :class:`~repro.floor.engine.TestFloor` serving this
+        artifact (its drift monitor keeps rolling across batches).
+    max_batch_size:
+        Rows that trigger an immediate size flush.
+    max_latency:
+        Seconds the oldest queued request may wait before a latency
+        flush.
+    max_pending:
+        Queued-row bound; beyond it requests are rejected with
+        :class:`~repro.errors.ServiceOverloadError`.
+    """
+
+    def __init__(
+        self,
+        floor: TestFloor,
+        max_batch_size: int = DEFAULT_MAX_BATCH_SIZE,
+        max_latency: float = DEFAULT_MAX_LATENCY,
+        max_pending: int = DEFAULT_MAX_PENDING,
+    ):
+        if max_batch_size < 1:
+            raise ServiceError("max_batch_size must be positive")
+        if max_latency < 0:
+            raise ServiceError("max_latency must be non-negative")
+        if max_pending < max_batch_size:
+            raise ServiceError(
+                "max_pending ({}) must be at least max_batch_size ({})".format(
+                    max_pending, max_batch_size
+                )
+            )
+        self.floor = floor
+        self.max_batch_size = int(max_batch_size)
+        self.max_latency = float(max_latency)
+        self.max_pending = int(max_pending)
+        self.stats = BatcherStats()
+        self._queue: list[_PendingRequest] = []
+        self._pending_rows = 0
+        self._flush_handle: asyncio.TimerHandle | None = None
+        self._closed = False
+
+    @property
+    def queue_depth(self) -> int:
+        """Rows currently queued (the backpressure signal)."""
+        return self._pending_rows
+
+    async def submit(self, rows: np.ndarray) -> dict:
+        """Queue one request; resolves with its per-request result.
+
+        ``rows`` is one device row or a 2-D chunk.  The coroutine
+        completes when the batch containing the request has been
+        dispositioned; the result dict carries the request's own
+        ``decisions`` plus its counts and the rows-per-batch it was
+        coalesced into.
+        """
+        if self._closed:
+            raise ServiceError("batcher is closed")
+        rows = np.asarray(rows, dtype=float)
+        if rows.ndim == 1:
+            rows = rows[None, :]
+        if rows.ndim != 2 or rows.shape[0] == 0:
+            raise ServiceError(
+                "a request must carry one device row or a non-empty 2-D "
+                "chunk; got shape {}".format(rows.shape)
+            )
+        if self._pending_rows + rows.shape[0] > self.max_pending:
+            self.stats.n_rejected += 1
+            raise ServiceOverloadError(
+                "disposition queue is full ({} rows pending, bound {}); "
+                "retry after the queue drains".format(
+                    self._pending_rows, self.max_pending
+                )
+            )
+        self.stats.n_requests += 1
+        loop = asyncio.get_running_loop()
+        request = _PendingRequest(rows=rows, future=loop.create_future())
+        self._queue.append(request)
+        self._pending_rows += rows.shape[0]
+        if self._pending_rows >= self.max_batch_size:
+            self._flush("size")
+        elif self._flush_handle is None:
+            self._flush_handle = loop.call_later(
+                self.max_latency, self._flush, "latency"
+            )
+        return await request.future
+
+    def flush(self) -> None:
+        """Disposition everything queued right now (used on shutdown)."""
+        self._flush("explicit")
+
+    def close(self) -> None:
+        """Flush pending work and refuse further submissions."""
+        if not self._closed:
+            self.flush()
+            self._closed = True
+
+    # -- internals ---------------------------------------------------------
+    def _flush(self, reason: str) -> None:
+        if self._flush_handle is not None:
+            self._flush_handle.cancel()
+            self._flush_handle = None
+        if not self._queue:
+            return
+        batch_requests, self._queue = self._queue, []
+        self._pending_rows = 0
+        parts = [request.rows for request in batch_requests]
+        combined = parts[0] if len(parts) == 1 else np.vstack(parts)
+        started = time.perf_counter()
+        try:
+            outcome = self.floor.dispose(combined)
+        except Exception as exc:
+            for request in batch_requests:
+                if not request.future.cancelled():
+                    request.future.set_exception(exc)
+            return
+        self.stats.busy_seconds += time.perf_counter() - started
+        self.stats.n_batches += 1
+        self.stats.n_devices += outcome.n_devices
+        if reason == "size":
+            self.stats.n_size_flushes += 1
+        elif reason == "latency":
+            self.stats.n_latency_flushes += 1
+        counts = outcome.counts()
+        self.stats.n_shipped += counts["n_shipped"]
+        self.stats.n_scrapped += counts["n_scrapped"]
+        self.stats.n_guard += counts["n_guard"]
+        self.stats.n_retested += counts["n_retested"]
+        self.stats.total_cost += outcome.cost
+
+        offset = 0
+        for request in batch_requests:
+            stop = offset + request.rows.shape[0]
+            if not request.future.cancelled():
+                request.future.set_result(
+                    _slice_result(outcome, offset, stop, reason)
+                )
+            offset = stop
+
+    def __repr__(self) -> str:
+        return (
+            "MicroBatcher(max_batch={}, max_latency={:g}s, "
+            "max_pending={}, depth={})".format(
+                self.max_batch_size,
+                self.max_latency,
+                self.max_pending,
+                self.queue_depth,
+            )
+        )
+
+
+def _slice_result(
+    outcome: BatchDisposition, start: int, stop: int, reason: str
+) -> dict:
+    """One request's view of the combined batch outcome."""
+    decisions = outcome.decisions[start:stop]
+    return {
+        "decisions": decisions,
+        "counts": disposition_counts(
+            decisions,
+            outcome.first_pass[start:stop],
+            outcome.truth[start:stop],
+        ),
+        "batch_rows": int(outcome.n_devices),
+        "flush_reason": reason,
+    }

@@ -1,0 +1,386 @@
+"""Deterministic load generator + equivalence checker for the service.
+
+The service's contract is that micro-batching is invisible: decisions
+served over HTTP under any concurrency/coalescing pattern are
+bit-identical to an offline :class:`~repro.floor.engine.TestFloor`
+pass over the same devices.  This module generates the traffic *and*
+proves the contract on every run:
+
+1. each :class:`TrafficPlan` materializes its device population from
+   the per-instance seed tree
+   (:func:`repro.runtime.simulation.generate_instance_batches` --
+   concatenation is bit-identical at any batch size/worker count);
+2. the population is split into client requests of seeded-random sizes
+   and the plans' requests are interleaved (seeded shuffle), so mixed
+   multi-artifact traffic hits the server in a reproducible order;
+3. ``n_clients`` keep-alive connections replay the requests
+   concurrently (concurrency shapes the coalescing, never a
+   decision), retrying on 429 backpressure;
+4. every plan's served decisions are reassembled by device index and
+   compared against an offline floor run over the same rows.
+
+The traffic *content* is deterministic given the seeds; wall-clock
+figures of course are not.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass, field
+from urllib.parse import urlsplit
+
+import numpy as np
+
+from repro.errors import ServiceError
+from repro.floor.engine import TestFloor
+from repro.runtime.simulation import generate_instance_batches
+from repro.tester.program import RETEST_FULL
+
+#: Default concurrent client connections.
+DEFAULT_CLIENTS = 4
+#: Default largest devices-per-request chunk.
+DEFAULT_MAX_CHUNK = 16
+#: Seconds to sleep before retrying a 429-rejected request.
+BACKOFF_SECONDS = 0.02
+#: Give up on one request after this many 429 rounds.
+MAX_RETRIES = 500
+
+
+@dataclass
+class TrafficPlan:
+    """One device type's share of the generated traffic."""
+
+    #: Registry device key the requests are addressed to.
+    device: str
+    #: Device under test that simulates the population.
+    dut: object
+    #: Devices to stream.
+    n_devices: int
+    #: Master seed of the population's per-instance seed tree.
+    seed: int
+    #: Optional pinned artifact version (``None`` = newest active).
+    version: str | None = None
+    #: Offline reference floor; when set, :func:`run_load` checks the
+    #: served decisions of this plan against it.
+    reference: TestFloor | None = None
+
+
+@dataclass
+class PlanOutcome:
+    """Served-vs-offline outcome for one plan."""
+
+    device: str
+    n_devices: int
+    n_requests: int
+    n_retried: int
+    #: Served decisions, reassembled in device order.
+    decisions: np.ndarray
+    #: ``None`` when the plan carried no reference floor.
+    equivalent: bool | None
+
+    def summary(self) -> str:
+        verdict = {True: "bit-identical to offline floor",
+                   False: "MISMATCH vs offline floor",
+                   None: "not checked"}[self.equivalent]
+        return "{}: {} devices in {} requests ({} retried)  {}".format(
+            self.device, self.n_devices, self.n_requests,
+            self.n_retried, verdict)
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one load-generation run."""
+
+    plans: list[PlanOutcome] = field(default_factory=list)
+    wall_seconds: float = 0.0
+    n_clients: int = 0
+
+    @property
+    def n_devices(self) -> int:
+        return sum(plan.n_devices for plan in self.plans)
+
+    @property
+    def n_requests(self) -> int:
+        return sum(plan.n_requests for plan in self.plans)
+
+    @property
+    def n_retried(self) -> int:
+        return sum(plan.n_retried for plan in self.plans)
+
+    @property
+    def devices_per_minute(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.n_devices * 60.0 / self.wall_seconds
+
+    @property
+    def equivalent(self) -> bool:
+        """True when every checked plan matched its offline reference."""
+        return all(
+            plan.equivalent is not False for plan in self.plans
+        )
+
+    def summary(self) -> str:
+        lines = [plan.summary() for plan in self.plans]
+        lines.append(
+            "total: {} devices / {} requests over {} client(s) in "
+            "{:.2f}s  ({:,.0f} devices/min)".format(
+                self.n_devices, self.n_requests, self.n_clients,
+                self.wall_seconds, self.devices_per_minute))
+        return "\n".join(lines)
+
+
+class HttpClient:
+    """Minimal keep-alive HTTP/1.1 JSON client (stdlib asyncio).
+
+    Safe for concurrent use: round trips on the single connection are
+    serialized by an internal lock (HTTP/1.1 cannot interleave
+    request/response pairs on one socket).
+    """
+
+    def __init__(self, host: str, port: int):
+        self.host = host
+        self.port = int(port)
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._lock = asyncio.Lock()
+
+    async def _connect(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port)
+
+    async def request(
+        self, method: str, path: str, payload: dict | None = None
+    ) -> tuple[int, dict]:
+        """One round trip; reconnects once on a dropped keep-alive."""
+        async with self._lock:
+            for attempt in (0, 1):
+                if self._writer is None:
+                    await self._connect()
+                try:
+                    return await self._round_trip(method, path, payload)
+                except (ConnectionError, asyncio.IncompleteReadError):
+                    await self._close_connection()
+                    if attempt:
+                        raise
+            raise AssertionError("unreachable")
+
+    async def _round_trip(self, method, path, payload):
+        assert self._reader is not None and self._writer is not None
+        body = b"" if payload is None else json.dumps(payload).encode("utf-8")
+        head = (
+            "{} {} HTTP/1.1\r\n"
+            "Host: {}:{}\r\n"
+            "Content-Type: application/json\r\n"
+            "Content-Length: {}\r\n"
+            "Connection: keep-alive\r\n\r\n"
+        ).format(method, path, self.host, self.port, len(body))
+        self._writer.write(head.encode("latin-1") + body)
+        await self._writer.drain()
+
+        status_line = await self._reader.readline()
+        if not status_line:
+            raise ConnectionError("server closed the connection")
+        status = int(status_line.split()[1])
+        length = 0
+        while True:
+            line = await self._reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                length = int(value)
+        reply = await self._reader.readexactly(length) if length else b""
+        return status, (json.loads(reply) if reply else {})
+
+    async def _close_connection(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except ConnectionError:
+                pass
+        self._reader = self._writer = None
+
+    async def close(self) -> None:
+        async with self._lock:
+            await self._close_connection()
+
+
+def split_url(url: str) -> tuple[str, int]:
+    """``http://host:port`` -> ``(host, port)``."""
+    parts = urlsplit(url if "//" in url else "//" + url)
+    host, port = parts.hostname, parts.port
+    if not host or not port:
+        raise ServiceError(
+            "service URL must name a host and port, e.g. "
+            "http://127.0.0.1:8731; got {!r}".format(url))
+    return host, port
+
+
+def materialize_population(plan: TrafficPlan, batch_size: int = 1024):
+    """The plan's full device population, in seed-tree order."""
+    return np.vstack(list(generate_instance_batches(
+        plan.dut, plan.n_devices, plan.seed,
+        batch_size=min(batch_size, plan.n_devices))))
+
+
+def build_requests(
+    plans: list[TrafficPlan],
+    max_chunk: int = DEFAULT_MAX_CHUNK,
+    seed: int = 0,
+) -> tuple[list[dict], dict[int, np.ndarray]]:
+    """Deterministic request schedule over every plan's population.
+
+    Returns ``(requests, populations)``: each request carries its plan
+    index and the half-open device-index range it covers, and the
+    interleaving across plans is a seeded shuffle -- the same inputs
+    always produce the same traffic.
+    """
+    if max_chunk < 1:
+        raise ServiceError("max_chunk must be positive")
+    rng = np.random.default_rng(seed)
+    requests = []
+    populations = {}
+    for plan_index, plan in enumerate(plans):
+        rows = materialize_population(plan)
+        populations[plan_index] = rows
+        start = 0
+        while start < rows.shape[0]:
+            size = int(rng.integers(1, max_chunk + 1))
+            stop = min(start + size, rows.shape[0])
+            requests.append({
+                "plan": plan_index,
+                "start": start,
+                "stop": stop,
+            })
+            start = stop
+    order = rng.permutation(len(requests))
+    return [requests[i] for i in order], populations
+
+
+async def run_load(
+    host: str,
+    port: int,
+    plans: list[TrafficPlan],
+    n_clients: int = DEFAULT_CLIENTS,
+    max_chunk: int = DEFAULT_MAX_CHUNK,
+    seed: int = 0,
+) -> LoadReport:
+    """Replay mixed traffic against a running service and verify it.
+
+    Raises :class:`~repro.errors.ServiceError` when the server rejects
+    a request for any reason other than transient 429 backpressure.
+    """
+    plans = list(plans)
+    if not plans:
+        raise ServiceError("at least one traffic plan is required")
+    requests, populations = build_requests(plans, max_chunk, seed)
+    decisions = {
+        index: np.zeros(populations[index].shape[0], dtype=int)
+        for index in range(len(plans))
+    }
+    n_requests = [0] * len(plans)
+    n_retried = [0] * len(plans)
+    queue: asyncio.Queue = asyncio.Queue()
+    for request in requests:
+        queue.put_nowait(request)
+
+    async def worker() -> None:
+        client = HttpClient(host, port)
+        try:
+            while True:
+                try:
+                    request = queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    return
+                plan = plans[request["plan"]]
+                rows = populations[request["plan"]]
+                payload = {
+                    "device": plan.device,
+                    "measurements": rows[
+                        request["start"]:request["stop"]].tolist(),
+                }
+                if plan.version is not None:
+                    payload["version"] = plan.version
+                for _ in range(MAX_RETRIES):
+                    status, reply = await client.request(
+                        "POST", "/disposition", payload)
+                    if status != 429:
+                        break
+                    n_retried[request["plan"]] += 1
+                    await asyncio.sleep(BACKOFF_SECONDS)
+                if status != 200:
+                    raise ServiceError(
+                        "service replied {} to a disposition request: "
+                        "{}".format(status, reply.get("error", reply)))
+                decisions[request["plan"]][
+                    request["start"]:request["stop"]] = reply["decisions"]
+                n_requests[request["plan"]] += 1
+        finally:
+            await client.close()
+
+    started = time.perf_counter()
+    workers = [asyncio.ensure_future(worker())
+               for _ in range(max(1, int(n_clients)))]
+    try:
+        await asyncio.gather(*workers)
+    finally:
+        for task in workers:
+            task.cancel()
+    wall = time.perf_counter() - started
+
+    outcomes = []
+    for index, plan in enumerate(plans):
+        equivalent = None
+        if plan.reference is not None:
+            offline = plan.reference.run_stream(
+                [populations[index]], keep_decisions=True)
+            equivalent = bool(np.array_equal(
+                offline.decisions, decisions[index]))
+        outcomes.append(PlanOutcome(
+            device=plan.device,
+            n_devices=populations[index].shape[0],
+            n_requests=n_requests[index],
+            n_retried=n_retried[index],
+            decisions=decisions[index],
+            equivalent=equivalent,
+        ))
+    return LoadReport(plans=outcomes, wall_seconds=wall,
+                      n_clients=max(1, int(n_clients)))
+
+
+def offline_reference(
+    artifact, retest_policy: str = RETEST_FULL
+) -> TestFloor:
+    """The offline floor a plan's served decisions are checked against.
+
+    Monitoring is disabled: the reference exists to reproduce
+    *decisions*, and decisions never depend on the monitor.
+    """
+    return TestFloor(artifact, retest_policy=retest_policy, monitor=False)
+
+
+async def wait_healthy(
+    host: str, port: int, timeout: float = 10.0
+) -> dict:
+    """Poll ``/health`` until the service answers (CI startup races)."""
+    deadline = time.perf_counter() + timeout
+    last: Exception | None = None
+    while time.perf_counter() < deadline:
+        client = HttpClient(host, port)
+        try:
+            status, reply = await client.request("GET", "/health")
+            if status == 200:
+                return reply
+        except OSError as exc:
+            last = exc
+        finally:
+            await client.close()
+        await asyncio.sleep(0.05)
+    raise ServiceError(
+        "service at {}:{} did not become healthy within {:g}s{}".format(
+            host, port, timeout,
+            " ({})".format(last) if last else ""))

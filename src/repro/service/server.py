@@ -1,0 +1,427 @@
+"""Asyncio HTTP/JSON front end for the multi-artifact test floor.
+
+:class:`FloorService` binds an :class:`~repro.service.registry.
+ArtifactRegistry` full of deployed test programs to a socket and
+serves concurrent disposition traffic through per-artifact
+:class:`~repro.service.batcher.MicroBatcher` queues.  Pure stdlib: the
+HTTP layer is a minimal HTTP/1.1 implementation over
+``asyncio.start_server`` (keep-alive, ``Content-Length`` bodies), so
+the service runs anywhere the package does -- no web framework
+required (drop-in replacement with ``aiohttp`` is possible but not
+needed).
+
+Endpoints
+---------
+
+``POST /disposition``
+    ``{"device": ..., "version"?: ..., "measurements": [[...], ...]}``
+    -- full-specification rows, one per device.  Replies with the
+    per-device ``decisions`` (+1 ship / -1 scrap), the request's
+    quality counts and the resolved artifact key.  Queue-full replies
+    are ``429`` with a ``Retry-After`` header -- explicit backpressure
+    instead of unbounded buffering.
+``GET /artifacts``
+    Registry listing (versions, checksums, residency, retirement).
+``POST /artifacts``
+    ``{"device": ..., "version": ..., "path": ...}`` -- register or
+    hot-swap an artifact file (loaded through the restricted loader).
+``POST /artifacts/retire``
+    ``{"device": ..., "version": ...}`` -- take a version out of
+    rotation.
+``GET /health``
+    Liveness plus uptime and registration count.
+``GET /metrics``
+    Per-artifact throughput, realized coalescing, queue depth and the
+    drift-monitor state (devices seen, active alarms).
+
+Decisions served here are bit-identical to an offline
+:class:`~repro.floor.engine.TestFloor` pass over the same devices at
+any coalescing pattern (`repro loadgen` asserts it end to end).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from collections import OrderedDict
+
+import numpy as np
+
+from repro import __version__
+from repro.errors import (
+    ReproError,
+    ServiceError,
+    ServiceOverloadError,
+    UnknownArtifactError,
+)
+from repro.floor.engine import TestFloor
+from repro.service.batcher import (
+    DEFAULT_MAX_BATCH_SIZE,
+    DEFAULT_MAX_LATENCY,
+    DEFAULT_MAX_PENDING,
+    MicroBatcher,
+)
+from repro.service.registry import ArtifactRegistry
+from repro.tester.program import RETEST_FULL, check_retest_policy
+
+#: Largest accepted request body (64 MiB of JSON measurements).
+MAX_BODY_BYTES = 64 << 20
+
+
+class FloorService:
+    """Serve many test-program artifacts over HTTP/JSON.
+
+    Parameters
+    ----------
+    registry:
+        The artifact registry; may start empty (artifacts can be
+        registered over HTTP).
+    retest_policy:
+        Guard-band policy applied by every served floor.
+    max_batch_size, max_latency, max_pending:
+        Micro-batching knobs, applied per artifact queue (see
+        :class:`~repro.service.batcher.MicroBatcher`).
+    """
+
+    def __init__(
+        self,
+        registry: ArtifactRegistry | None = None,
+        retest_policy: str = RETEST_FULL,
+        max_batch_size: int = DEFAULT_MAX_BATCH_SIZE,
+        max_latency: float = DEFAULT_MAX_LATENCY,
+        max_pending: int = DEFAULT_MAX_PENDING,
+    ):
+        check_retest_policy(retest_policy)
+        self.registry = registry if registry is not None else ArtifactRegistry()
+        self.retest_policy = retest_policy
+        self.max_batch_size = int(max_batch_size)
+        self.max_latency = float(max_latency)
+        self.max_pending = int(max_pending)
+        #: key -> (registration sequence, batcher), warmest last.
+        #: Keyed off the registry *sequence*, not artifact object
+        #: identity: the registry LRU may reload a file-backed
+        #: artifact at any time without that being a hot-swap, and an
+        #: active batcher must keep its floor (stats, drift-monitor
+        #: window) across such reloads.  The batcher set itself is
+        #: LRU-bounded by the registry's ``max_resident`` so the
+        #: registry bound is a real memory bound: serving the
+        #: coldest key's floor is dropped (flushed first; its stats
+        #: and drift window restart if the key warms up again).
+        self._batchers: OrderedDict[
+            tuple[str, str], tuple[int, MicroBatcher]
+        ] = OrderedDict()
+        self._server: asyncio.Server | None = None
+        self._connections: set[asyncio.StreamWriter] = set()
+        self._handlers: set[asyncio.Task] = set()
+        self._started_unix = time.time()
+        self.n_http_requests = 0
+
+    # -- lifecycle ---------------------------------------------------------
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> "FloorService":
+        """Bind and start accepting connections (``port=0`` = ephemeral)."""
+        if self._server is not None:
+            raise ServiceError("service is already started")
+        self._server = await asyncio.start_server(self._handle, host, port)
+        self._started_unix = time.time()
+        return self
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (after :meth:`start`)."""
+        if self._server is None:
+            raise ServiceError("service is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            raise ServiceError("service is not started")
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Stop accepting, flush every queue, release the socket.
+
+        Open keep-alive connections are closed and their handler tasks
+        awaited, so no task is left to be cancelled at loop teardown.
+        """
+        for _, batcher in self._batchers.values():
+            batcher.close()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for writer in list(self._connections):
+            writer.close()
+        if self._handlers:
+            await asyncio.gather(*self._handlers, return_exceptions=True)
+
+    # -- the data plane ----------------------------------------------------
+    def batcher(self, device: str, version: str | None = None) -> MicroBatcher:
+        """The micro-batcher serving a resolved artifact key.
+
+        Batchers are created lazily per ``(device, version)`` key, so a
+        hot-swap (new version registered) naturally routes unpinned
+        traffic to a fresh queue/floor while pinned requests keep the
+        old one until it is retired.
+        """
+        key = self.registry.resolve(device, version)
+        sequence = self.registry.entry(*key).sequence
+        cached = self._batchers.get(key)
+        if cached is not None and cached[0] == sequence:
+            self._batchers.move_to_end(key)
+            return cached[1]
+        # New key, or the key was re-registered (same-key hot-swap):
+        # build a fresh floor from the registry's current truth.
+        if cached is not None:
+            cached[1].close()
+            del self._batchers[key]
+        _, artifact = self.registry.get(*key)
+        batcher = MicroBatcher(
+            TestFloor(artifact, retest_policy=self.retest_policy),
+            max_batch_size=self.max_batch_size,
+            max_latency=self.max_latency,
+            max_pending=self.max_pending,
+        )
+        self._batchers[key] = (sequence, batcher)
+        while len(self._batchers) > self.registry.max_resident:
+            _, (_, coldest) = self._batchers.popitem(last=False)
+            coldest.close()
+        return batcher
+
+    async def disposition(
+        self, device: str, measurements, version: str | None = None
+    ) -> dict:
+        """Disposition rows through the batching queue; JSON-ready reply."""
+        key = self.registry.resolve(device, version)
+        result = await self.batcher(*key).submit(measurements)
+        return {
+            "device": key[0],
+            "version": key[1],
+            "decisions": [int(d) for d in result["decisions"]],
+            "counts": result["counts"],
+            "batch_rows": result["batch_rows"],
+            "flush_reason": result["flush_reason"],
+        }
+
+    # -- control/observability planes --------------------------------------
+    def health(self) -> dict:
+        return {
+            "status": "ok",
+            "version": __version__,
+            "uptime_seconds": time.time() - self._started_unix,
+            "n_artifacts": len(self.registry),
+            "n_http_requests": self.n_http_requests,
+        }
+
+    def metrics(self) -> dict:
+        """Per-artifact serving metrics plus drift-monitor state."""
+        artifacts = {}
+        for key, (_, batcher) in self._batchers.items():
+            monitor = batcher.floor.monitor
+            entry = batcher.stats.describe()
+            entry["queue_depth"] = batcher.queue_depth
+            entry["max_pending"] = batcher.max_pending
+            entry["retired"] = self.registry.entry(*key).retired
+            if monitor is not None:
+                alarms = monitor.alarms()
+                entry["drift"] = {
+                    "devices_seen": monitor.n_seen,
+                    "n_alarms": len(alarms),
+                    "alarms": [str(alarm) for alarm in alarms],
+                }
+            else:
+                entry["drift"] = None
+            artifacts["{}@{}".format(*key)] = entry
+        return {
+            "uptime_seconds": time.time() - self._started_unix,
+            "n_http_requests": self.n_http_requests,
+            "total_devices": sum(
+                b.stats.n_devices for _, b in self._batchers.values()
+            ),
+            "total_rejected": sum(
+                b.stats.n_rejected for _, b in self._batchers.values()
+            ),
+            "artifacts": artifacts,
+        }
+
+    # -- HTTP plumbing -----------------------------------------------------
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._handlers.add(task)
+        self._connections.add(writer)
+        try:
+            while True:
+                try:
+                    request = await _read_request(reader)
+                except (ServiceError, ValueError) as exc:
+                    # ValueError covers stream-level refusals the
+                    # parser does not see itself, e.g. a header line
+                    # beyond the StreamReader limit.
+                    await _write_response(
+                        writer, 400, {"error": str(exc)}, False
+                    )
+                    break
+                if request is None:
+                    break
+                method, path, headers, body = request
+                self.n_http_requests += 1
+                status, payload = await self._route(method, path, body)
+                keep_alive = headers.get("connection", "").lower() != "close"
+                await _write_response(writer, status, payload, keep_alive)
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            self._connections.discard(writer)
+            if task is not None:
+                self._handlers.discard(task)
+            writer.close()
+
+    async def _route(self, method: str, path: str, body: bytes):
+        try:
+            if path == "/disposition" and method == "POST":
+                request = _json_body(body)
+                measurements = request.get("measurements")
+                if measurements is None:
+                    raise ServiceError(
+                        "request must carry a 'measurements' array"
+                    )
+                return 200, await self.disposition(
+                    _required(request, "device"),
+                    np.asarray(measurements, dtype=float),
+                    request.get("version"),
+                )
+            if path == "/artifacts" and method == "GET":
+                return 200, {"artifacts": self.registry.describe()}
+            if path == "/artifacts" and method == "POST":
+                request = _json_body(body)
+                entry = self.registry.register(
+                    _required(request, "device"),
+                    _required(request, "version"),
+                    _required(request, "path"),
+                )
+                return 201, {"registered": entry.describe(resident=True)}
+            if path == "/artifacts/retire" and method == "POST":
+                request = _json_body(body)
+                entry = self.registry.retire(
+                    _required(request, "device"),
+                    _required(request, "version"),
+                )
+                cached = self._batchers.pop(entry.key, None)
+                if cached is not None:
+                    cached[1].close()
+                return 200, {"retired": entry.describe(resident=False)}
+            if path == "/health" and method == "GET":
+                return 200, self.health()
+            if path == "/metrics" and method == "GET":
+                return 200, self.metrics()
+            if path in ("/disposition", "/artifacts", "/artifacts/retire",
+                        "/health", "/metrics"):
+                return 405, {"error": "method {} not allowed".format(method)}
+            return 404, {"error": "unknown path {}".format(path)}
+        except ServiceOverloadError as exc:
+            return 429, {"error": str(exc)}
+        except UnknownArtifactError as exc:
+            return 404, {"error": str(exc)}
+        except (ServiceError, ValueError) as exc:
+            return 400, {"error": str(exc)}
+        except ReproError as exc:
+            return 400, {"error": str(exc)}
+        except OSError as exc:
+            return 400, {"error": "cannot load artifact: {}".format(exc)}
+        except Exception as exc:  # pragma: no cover - defensive surface
+            return 500, {"error": "internal error: {}".format(exc)}
+
+
+_STATUS_TEXT = {
+    200: "OK",
+    201: "Created",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+
+async def _read_request(reader: asyncio.StreamReader):
+    """Parse one HTTP/1.1 request; ``None`` on a cleanly closed socket."""
+    try:
+        request_line = await reader.readline()
+    except (ConnectionError, asyncio.LimitOverrunError):
+        return None
+    if not request_line.strip():
+        return None
+    parts = request_line.decode("latin-1").split()
+    if len(parts) < 2:
+        raise ServiceError(
+            "malformed request line {!r}".format(request_line[:80])
+        )
+    method, path = parts[0].upper(), parts[1]
+    headers: dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    try:
+        length = int(headers.get("content-length", 0) or 0)
+    except ValueError:
+        raise ServiceError(
+            "malformed Content-Length header {!r}".format(
+                headers.get("content-length")
+            )
+        )
+    if length < 0:
+        raise ServiceError("negative Content-Length")
+    if length > MAX_BODY_BYTES:
+        raise ServiceError(
+            "request body of {} bytes exceeds the {} byte bound".format(
+                length, MAX_BODY_BYTES
+            )
+        )
+    body = await reader.readexactly(length) if length else b""
+    return method, path.split("?", 1)[0], headers, body
+
+
+async def _write_response(
+    writer: asyncio.StreamWriter,
+    status: int,
+    payload: dict,
+    keep_alive: bool,
+) -> None:
+    body = json.dumps(payload).encode("utf-8")
+    head = [
+        "HTTP/1.1 {} {}".format(status, _STATUS_TEXT.get(status, "Unknown")),
+        "Content-Type: application/json",
+        "Content-Length: {}".format(len(body)),
+        "Connection: {}".format("keep-alive" if keep_alive else "close"),
+    ]
+    if status == 429:
+        head.append("Retry-After: 1")
+    writer.write("\r\n".join(head).encode("latin-1") + b"\r\n\r\n" + body)
+    await writer.drain()
+
+
+def _json_body(body: bytes) -> dict:
+    try:
+        payload = json.loads(body.decode("utf-8") or "null")
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ServiceError("request body is not valid JSON: {}".format(exc))
+    if not isinstance(payload, dict):
+        raise ServiceError("request body must be a JSON object")
+    return payload
+
+
+def _required(request: dict, key: str):
+    value = request.get(key)
+    if value is None:
+        raise ServiceError("request is missing required field {!r}".format(key))
+    return value

@@ -1,0 +1,89 @@
+"""Shared fixtures for the service-layer tests.
+
+Two distinct synthetic compaction runs feed the package: a
+lookup-table artifact (decision equivalence is exact by construction)
+and a live-model artifact with a different specification universe, so
+multi-artifact routing bugs cannot cancel out.  Package-scoped because
+the service only *reads* artifacts, and recompacting per test would
+dominate the suite's runtime; the ``registry`` fixture builds a fresh
+registry (and fresh saved files) per test.
+"""
+
+import pytest
+
+from repro.core.costmodel import TestCostModel
+from repro.core.pipeline import CompactionPipeline
+from repro.learn import SVC
+from repro.service import ArtifactRegistry
+
+from tests.synthetic import SyntheticDut, make_synthetic_dataset
+
+
+class FixedSVCFactory:
+    """Picklable fixed-hyperparameter factory (fast: no per-fit tuning)."""
+
+    def __call__(self):
+        return SVC(C=50.0, gamma="scale")
+
+
+def build_artifact(n_specs, dut_seed, lookup_resolution=None,
+                   guard_band=0.06, n_train=300, n_test=200):
+    """One synthetic compaction run packaged as ``(dut, artifact)``."""
+    dut = SyntheticDut(n_specs=n_specs, seed=dut_seed)
+    train = make_synthetic_dataset(n=n_train, n_specs=n_specs, seed=1,
+                                   dut_seed=dut_seed)
+    test = make_synthetic_dataset(n=n_test, n_specs=n_specs, seed=2,
+                                  dut_seed=dut_seed)
+    pipeline = CompactionPipeline(tolerance=0.02, guard_band=guard_band,
+                                  model_factory=FixedSVCFactory())
+    _, artifact = pipeline.deploy(
+        train, test, cost_model=TestCostModel.uniform(train.names),
+        device="synthetic", train_seed=1,
+        lookup_resolution=lookup_resolution)
+    return dut, artifact
+
+
+@pytest.fixture(scope="package")
+def lookup_pair():
+    """(dut, artifact) with a lookup table -- exact batch invariance."""
+    return build_artifact(n_specs=6, dut_seed=99, lookup_resolution=17)
+
+
+@pytest.fixture(scope="package")
+def live_pair():
+    """(dut, artifact) on the live SVM pair, 5-spec universe."""
+    return build_artifact(n_specs=5, dut_seed=42)
+
+
+@pytest.fixture(scope="package")
+def swap_pair():
+    """Same device universe as ``lookup_pair`` but a different program.
+
+    Registered as a newer version in hot-swap tests: same input width,
+    different guard band, so the two versions are interchangeable on
+    the wire while remaining distinguishable by their decisions.
+    """
+    return build_artifact(n_specs=6, dut_seed=99, lookup_resolution=13,
+                          guard_band=0.12)
+
+
+@pytest.fixture
+def saved(tmp_path, lookup_pair, live_pair, swap_pair):
+    """Artifact files on disk: name -> path (fresh per test)."""
+    paths = {}
+    for name, (_, artifact) in (("lookup", lookup_pair),
+                                ("live", live_pair),
+                                ("swap", swap_pair)):
+        path = tmp_path / "{}.rtp".format(name)
+        artifact.save(path)
+        paths[name] = str(path)
+    return paths
+
+
+@pytest.fixture
+def registry(saved):
+    """A registry serving the lookup artifact as synthA, live as synthB."""
+    reg = ArtifactRegistry()
+    reg.register("synthA", "1", saved["lookup"])
+    reg.register("synthB", "1", saved["live"])
+    return reg

@@ -1,0 +1,96 @@
+"""The service's headline contract, proven end to end over HTTP.
+
+Mixed traffic for two resident artifacts is replayed through the load
+generator at several coalescing configurations; every served decision
+must be bit-identical to an offline
+:class:`~repro.floor.engine.TestFloor` pass over the same seed-tree
+population.  This is the acceptance gate of the serving layer: micro-
+batching, concurrency, keep-alive framing and registry routing are all
+invisible to the decisions.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.service import (
+    ArtifactRegistry,
+    FloorService,
+    TrafficPlan,
+    offline_reference,
+    run_load,
+)
+from repro.service.loadgen import build_requests, materialize_population
+
+
+def _plans(lookup_pair, live_pair):
+    return [
+        TrafficPlan("synthA", lookup_pair[0], 300, seed=7,
+                    reference=offline_reference(lookup_pair[1])),
+        TrafficPlan("synthB", live_pair[0], 200, seed=8,
+                    reference=offline_reference(live_pair[1])),
+    ]
+
+
+def _run(registry, plans, n_clients, max_chunk, seed,
+         **service_kwargs):
+    async def main():
+        service = FloorService(registry, **service_kwargs)
+        await service.start("127.0.0.1", 0)
+        try:
+            return await run_load("127.0.0.1", service.port, plans,
+                                  n_clients=n_clients,
+                                  max_chunk=max_chunk, seed=seed)
+        finally:
+            await service.stop()
+
+    return asyncio.run(asyncio.wait_for(main(), 60))
+
+
+class TestServedEquivalence:
+    @pytest.mark.parametrize("coalescing", [
+        # Aggressive coalescing: big batches, patient latency window.
+        dict(max_batch_size=256, max_latency=0.02),
+        # Nearly no coalescing: tiny batches flush almost immediately.
+        dict(max_batch_size=8, max_latency=0.0005),
+    ])
+    @pytest.mark.parametrize("n_clients", [1, 6])
+    def test_mixed_traffic_matches_offline_floor(self, registry,
+                                                 lookup_pair, live_pair,
+                                                 coalescing, n_clients):
+        plans = _plans(lookup_pair, live_pair)
+        report = _run(registry, plans, n_clients=n_clients,
+                      max_chunk=9, seed=3, **coalescing)
+        assert report.equivalent
+        assert [p.n_devices for p in report.plans] == [300, 200]
+        assert all(p.equivalent is True for p in report.plans)
+
+    def test_equivalence_survives_lru_thrash(self, saved, lookup_pair,
+                                             live_pair):
+        """Serving two artifacts with a one-slot registry cache."""
+        registry = ArtifactRegistry(max_resident=1)
+        registry.register("synthA", "1", saved["lookup"])
+        registry.register("synthB", "1", saved["live"])
+        plans = _plans(lookup_pair, live_pair)
+        report = _run(registry, plans, n_clients=4, max_chunk=7, seed=5,
+                      max_batch_size=32, max_latency=0.002)
+        assert report.equivalent
+
+    def test_traffic_schedule_is_deterministic(self, lookup_pair,
+                                               live_pair):
+        plans = _plans(lookup_pair, live_pair)
+        first_requests, first_pops = build_requests(plans, max_chunk=9,
+                                                    seed=3)
+        second_requests, second_pops = build_requests(plans, max_chunk=9,
+                                                      seed=3)
+        assert first_requests == second_requests
+        for index in first_pops:
+            assert np.array_equal(first_pops[index], second_pops[index])
+
+    def test_population_matches_seed_tree_at_any_batch_size(self,
+                                                            lookup_pair):
+        plan = TrafficPlan("synthA", lookup_pair[0], 123, seed=11)
+        small = materialize_population(plan, batch_size=5)
+        large = materialize_population(plan, batch_size=1000)
+        assert np.array_equal(small, large)

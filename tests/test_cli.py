@@ -12,7 +12,8 @@ class TestParser:
                    if hasattr(a, "choices") and a.choices)
         assert set(sub.choices) == {"table1", "table2", "fig5",
                                     "table3", "cost", "batch",
-                                    "deploy", "floor"}
+                                    "deploy", "floor", "serve",
+                                    "loadgen"}
 
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
@@ -112,6 +113,100 @@ class TestParser:
         assert args.device == "mems"
         assert args.jobs == 2
         assert args.train == 300
+
+
+class TestServeLoadgenParser:
+    def test_serve_artifact_specs(self):
+        args = build_parser().parse_args(
+            ["serve", "--artifact", "opamp=o.rtp",
+             "--artifact", "mems=3=m.rtp"])
+        assert args.artifact == [("opamp", "1", "o.rtp"),
+                                 ("mems", "3", "m.rtp")]
+        assert args.port == 8731
+        assert args.max_batch == 512
+
+    def test_serve_requires_an_artifact(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
+    def test_serve_rejects_malformed_spec(self):
+        for bad in ("plain-path.rtp", "a=b=c=d", "=x.rtp"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(["serve", "--artifact", bad])
+
+    def test_loadgen_defaults(self):
+        args = build_parser().parse_args(
+            ["loadgen", "--url", "http://127.0.0.1:8731",
+             "--artifact", "o.rtp"])
+        assert args.device == "opamp"
+        assert args.name is None
+        assert args.clients == 4
+        assert args.max_chunk == 16
+        assert args.policy == "full_retest"
+
+    def test_loadgen_requires_url_and_artifact(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["loadgen", "--artifact", "o.rtp"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["loadgen", "--url", "http://h:1"])
+
+    def test_serve_loadgen_take_no_training_options(self):
+        for command, extra in (("serve", ["--artifact", "a=b.rtp"]),
+                               ("loadgen", ["--url", "http://h:1",
+                                            "--artifact", "b.rtp"])):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args([command, *extra, "--train", "5"])
+
+
+class TestCleanErrors:
+    """Operator errors exit 2 with a one-line message, no traceback."""
+
+    def _last_error(self, capsys):
+        err = [line for line in capsys.readouterr().err.splitlines()
+               if line]
+        assert err, "expected an error line on stderr"
+        assert err[-1].startswith("error: ")
+        return err[-1]
+
+    def test_floor_missing_artifact(self, capsys):
+        assert main(["floor", "--artifact", "/no/such.rtp"]) == 2
+        assert "/no/such.rtp" in self._last_error(capsys)
+
+    def test_floor_corrupt_artifact(self, tmp_path, capsys):
+        path = tmp_path / "corrupt.rtp"
+        path.write_bytes(b"not a pickle at all")
+        assert main(["floor", "--artifact", str(path)]) == 2
+        assert "artifact" in self._last_error(capsys)
+
+    def test_floor_wrong_payload_artifact(self, tmp_path, capsys):
+        """A valid pickle that is not a repro artifact is refused."""
+        import pickle
+
+        path = tmp_path / "other.rtp"
+        path.write_bytes(pickle.dumps({"magic": "something-else"}))
+        assert main(["floor", "--artifact", str(path)]) == 2
+        assert "artifact" in self._last_error(capsys)
+
+    def test_deploy_missing_output_directory(self, capsys):
+        """Must fail before minutes of simulation, not at the save."""
+        assert main(["deploy", "--device", "opamp",
+                     "--out", "/no/such/dir/x.rtp"]) == 2
+        assert "/no/such/dir" in self._last_error(capsys)
+
+    def test_loadgen_missing_artifact(self, capsys):
+        assert main(["loadgen", "--url", "http://127.0.0.1:1",
+                     "--artifact", "/no/such.rtp"]) == 2
+        assert "/no/such.rtp" in self._last_error(capsys)
+
+    def test_loadgen_bad_url(self, capsys):
+        assert main(["loadgen", "--url", "bogus",
+                     "--artifact", "x.rtp"]) == 2
+        assert "URL" in self._last_error(capsys)
+
+    def test_serve_missing_artifact_file(self, capsys):
+        assert main(["serve", "--artifact", "opamp=/no/such.rtp"]) == 2
+        assert "/no/such.rtp" in self._last_error(capsys)
 
 
 class TestFastCommands:
