@@ -366,7 +366,8 @@ def cmd_serve(args):
         registry, retest_policy=args.policy,
         max_batch_size=args.max_batch,
         max_latency=args.max_latency_ms / 1000.0,
-        max_pending=args.max_pending)
+        max_pending=args.max_pending,
+        admin_token=args.admin_token)
 
     async def _serve():
         await service.start(args.host, args.port)
@@ -552,6 +553,10 @@ def build_parser():
     serve.add_argument("--max-pending", type=int, default=65536,
                        help="queued-row bound; beyond it requests are "
                             "rejected with 429 backpressure")
+    serve.add_argument("--admin-token", default=None,
+                       help="shared secret (X-Admin-Token header) required "
+                            "for remote POST /artifacts[/retire]; without "
+                            "it the control plane is loopback-only")
     serve.add_argument("--max-resident", type=int, default=8,
                        help="LRU bound on in-memory artifacts")
     serve.set_defaults(func=cmd_serve)

@@ -304,6 +304,16 @@ class TestProgramArtifact:
         """Load and validate an artifact written by :meth:`save`."""
         with open(path, "rb") as handle:
             blob = handle.read()
+        return cls.loads(blob, source=str(path))
+
+    @classmethod
+    def loads(cls, blob, source="<bytes>"):
+        """Validate and build an artifact from :meth:`save` bytes.
+
+        ``source`` only labels error messages.  Callers that must pin
+        a checksum to the exact bytes served (the service registry)
+        read the file once and hash the same buffer they pass here.
+        """
         try:
             payload = _ArtifactUnpickler(io.BytesIO(blob)).load()
         except ArtifactError:
@@ -311,26 +321,26 @@ class TestProgramArtifact:
         except Exception as exc:
             raise ArtifactError(
                 "cannot read test-program artifact {!r}: {}".format(
-                    str(path), exc)) from exc
+                    source, exc)) from exc
         if (not isinstance(payload, dict)
                 or payload.get("magic") != MAGIC):
             raise ArtifactError(
                 "{!r} is not a repro test-program artifact".format(
-                    str(path)))
+                    source))
         version = payload.get("schema_version")
         if version != SCHEMA_VERSION:
             raise ArtifactError(
                 "artifact {!r} has schema version {!r}; this repro "
                 "build reads version {} -- re-deploy the program with "
                 "a matching version".format(
-                    str(path), version, SCHEMA_VERSION))
+                    source, version, SCHEMA_VERSION))
         state = payload.get("state")
         required = ("model", "specifications", "provenance")
         if (not isinstance(state, dict)
                 or any(key not in state for key in required)):
             raise ArtifactError(
                 "artifact {!r} is missing required state".format(
-                    str(path)))
+                    source))
         return cls(
             model=state["model"],
             specifications=state["specifications"],

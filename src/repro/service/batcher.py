@@ -133,6 +133,7 @@ class MicroBatcher:
                 )
             )
         self.floor = floor
+        self.n_specs = len(floor.artifact.specifications)
         self.max_batch_size = int(max_batch_size)
         self.max_latency = float(max_latency)
         self.max_pending = int(max_pending)
@@ -165,6 +166,24 @@ class MicroBatcher:
             raise ServiceError(
                 "a request must carry one device row or a non-empty 2-D "
                 "chunk; got shape {}".format(rows.shape)
+            )
+        # Width must be checked before enqueueing: a mismatched request
+        # coalesced with valid ones would make the combine step fail for
+        # the whole batch instead of just the offending client.
+        if rows.shape[1] != self.n_specs:
+            raise ServiceError(
+                "rows have {} measurements; the served program was "
+                "trained on {} specifications".format(
+                    rows.shape[1], self.n_specs
+                )
+            )
+        # Larger than the queue itself can never be served no matter
+        # how long the client retries -- a permanent 400, not a 429.
+        if rows.shape[0] > self.max_pending:
+            raise ServiceError(
+                "request of {} rows exceeds the queue bound of {} and "
+                "can never be served whole; split it into smaller "
+                "chunks".format(rows.shape[0], self.max_pending)
             )
         if self._pending_rows + rows.shape[0] > self.max_pending:
             self.stats.n_rejected += 1
@@ -207,9 +226,9 @@ class MicroBatcher:
         batch_requests, self._queue = self._queue, []
         self._pending_rows = 0
         parts = [request.rows for request in batch_requests]
-        combined = parts[0] if len(parts) == 1 else np.vstack(parts)
         started = time.perf_counter()
         try:
+            combined = parts[0] if len(parts) == 1 else np.vstack(parts)
             outcome = self.floor.dispose(combined)
         except Exception as exc:
             for request in batch_requests:

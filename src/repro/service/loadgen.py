@@ -330,6 +330,9 @@ async def run_load(
     finally:
         for task in workers:
             task.cancel()
+        # Await the cancelled workers so each finally block closes its
+        # client connection before the loop winds down.
+        await asyncio.gather(*workers, return_exceptions=True)
     wall = time.perf_counter() - started
 
     outcomes = []

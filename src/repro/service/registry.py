@@ -15,11 +15,15 @@ truth for *which* compacted program dispositions *what*:
   it, so a file silently replaced on disk can never serve under an old
   registration (re-register to bless new bytes);
 * loading always goes through the restricted unpickler of
-  :meth:`repro.floor.artifact.TestProgramArtifact.load`, so a registry
-  path can point at untrusted storage;
+  :meth:`repro.floor.artifact.TestProgramArtifact.loads`, so a
+  registry path can point at untrusted storage; each file is read
+  once, hashed and unpickled from the same buffer (pin verification
+  happens *before* any unpickling on reloads);
 * the resident set is **LRU-bounded**: at most ``max_resident``
-  artifact objects stay in memory, colder file-backed entries are
-  dropped and transparently reloaded (and re-verified) on next use.
+  file-backed artifact objects stay in memory (object-backed
+  registrations are pinned on top of the bound), colder file-backed
+  entries are dropped and transparently reloaded (and re-verified) on
+  next use.
 
 The registry itself is synchronous and cheap; the asyncio service
 calls it from the event loop (loads are rare control-plane events,
@@ -50,6 +54,19 @@ def file_checksum(path: str | os.PathLike) -> str:
         for chunk in iter(lambda: handle.read(1 << 20), b""):
             digest.update(chunk)
     return digest.hexdigest()
+
+
+def _read_and_hash(path: str) -> tuple[str, bytes]:
+    """One read of an artifact file: ``(sha256 hexdigest, bytes)``.
+
+    Hashing the very buffer the artifact is then built from is what
+    makes checksum pinning exact -- a file swapped on disk at any
+    point cannot desynchronize the recorded digest from the resident
+    artifact.
+    """
+    with open(path, "rb") as handle:
+        blob = handle.read()
+    return hashlib.sha256(blob).hexdigest(), blob
 
 
 @dataclass
@@ -117,15 +134,21 @@ class ArtifactRegistry:
         and do not count toward evictions; file-backed entries beyond
         the bound are dropped coldest-first and reloaded on demand.
     loader:
-        Artifact loading hook (tests stub it); defaults to the
-        restricted :meth:`TestProgramArtifact.load`.
+        Artifact construction hook ``(blob, source) -> artifact``
+        (tests stub it); defaults to the restricted
+        :meth:`TestProgramArtifact.loads`.  Taking bytes rather than a
+        path keeps the recorded checksum and the resident artifact
+        derived from one read of the file -- there is no window in
+        which the file can change between hashing and loading.
     """
 
     def __init__(self, max_resident: int = DEFAULT_MAX_RESIDENT, loader=None):
         if max_resident < 1:
             raise ServiceError("max_resident must be at least 1")
         self.max_resident = int(max_resident)
-        self._loader = loader if loader is not None else TestProgramArtifact.load
+        self._loader = (
+            loader if loader is not None else TestProgramArtifact.loads
+        )
         self._entries: dict[tuple[str, str], RegistryEntry] = {}
         #: key -> artifact, in least-recently-used order (first = coldest).
         self._resident: OrderedDict[tuple[str, str], TestProgramArtifact] = (
@@ -158,8 +181,8 @@ class ArtifactRegistry:
             artifact, path, checksum = source, None, None
         else:
             path = os.fspath(source)
-            checksum = file_checksum(path)
-            artifact = self._loader(path)
+            checksum, blob = _read_and_hash(path)
+            artifact = self._loader(blob, path)
         with self._lock:
             self._sequence += 1
             entry = RegistryEntry(
@@ -229,9 +252,12 @@ class ArtifactRegistry:
                 return key, artifact
             entry = self._entries[key]
             # Only file-backed entries can be cold (object-backed ones
-            # are pinned resident until retired).
+            # are pinned resident until retired).  The pin is checked
+            # against the bytes read *before* they reach the
+            # unpickler: swapped bytes are never parsed, let alone
+            # served.
             assert entry.path is not None
-            checksum = file_checksum(entry.path)
+            checksum, blob = _read_and_hash(entry.path)
             if checksum != entry.checksum:
                 raise ServiceError(
                     "artifact file {!r} changed on disk since {}@{} was "
@@ -244,7 +270,7 @@ class ArtifactRegistry:
                         (entry.checksum or "")[:12],
                     )
                 )
-            artifact = self._loader(entry.path)
+            artifact = self._loader(blob, entry.path)
             self.n_reloads += 1
             self._resident[key] = artifact
             self._evict()
@@ -294,8 +320,12 @@ class ArtifactRegistry:
             ) from None
 
     def _evict(self) -> None:
+        # The bound governs the evictable (file-backed) set only: if
+        # pinned entries counted toward it, enough of them would force
+        # every file-backed get() into a load-then-immediately-evict
+        # reload thrash.
         evictable = [key for key in self._resident if key not in self._pinned]
-        overflow = len(self._resident) - self.max_resident
+        overflow = len(evictable) - self.max_resident
         for key in evictable[:max(overflow, 0)]:
             del self._resident[key]
 

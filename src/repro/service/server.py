@@ -28,6 +28,15 @@ Endpoints
 ``POST /artifacts/retire``
     ``{"device": ..., "version": ...}`` -- take a version out of
     rotation.
+
+The two ``POST /artifacts*`` endpoints are the **control plane**: they
+make the server read files off its own disk and change which programs
+disposition production devices.  They are only honoured from loopback
+peers unless the service was constructed with an ``admin_token``, in
+which case remote callers must present it in an ``X-Admin-Token``
+header (compared in constant time).  A non-loopback bind without a
+token keeps serving dispositions but refuses remote control-plane
+calls with ``403``.
 ``GET /health``
     Liveness plus uptime and registration count.
 ``GET /metrics``
@@ -42,6 +51,8 @@ any coalescing pattern (`repro loadgen` asserts it end to end).
 from __future__ import annotations
 
 import asyncio
+import hmac
+import ipaddress
 import json
 import time
 from collections import OrderedDict
@@ -67,6 +78,9 @@ from repro.tester.program import RETEST_FULL, check_retest_policy
 
 #: Largest accepted request body (64 MiB of JSON measurements).
 MAX_BODY_BYTES = 64 << 20
+#: Most header lines accepted per request (each is also line-limited
+#: by the StreamReader, so total header memory is bounded).
+MAX_HEADER_LINES = 100
 
 
 class FloorService:
@@ -82,6 +96,10 @@ class FloorService:
     max_batch_size, max_latency, max_pending:
         Micro-batching knobs, applied per artifact queue (see
         :class:`~repro.service.batcher.MicroBatcher`).
+    admin_token:
+        Shared secret for remote control-plane calls.  Without it,
+        ``POST /artifacts`` and ``POST /artifacts/retire`` are honoured
+        only from loopback peers.
     """
 
     def __init__(
@@ -91,10 +109,15 @@ class FloorService:
         max_batch_size: int = DEFAULT_MAX_BATCH_SIZE,
         max_latency: float = DEFAULT_MAX_LATENCY,
         max_pending: int = DEFAULT_MAX_PENDING,
+        admin_token: str | None = None,
     ):
         check_retest_policy(retest_policy)
         self.registry = registry if registry is not None else ArtifactRegistry()
         self.retest_policy = retest_policy
+        # An empty token (e.g. an unset shell variable reaching
+        # --admin-token) must fall back to loopback-only, never to
+        # token auth with an empty secret.
+        self.admin_token = admin_token or None
         self.max_batch_size = int(max_batch_size)
         self.max_latency = float(max_latency)
         self.max_pending = int(max_pending)
@@ -269,7 +292,10 @@ class FloorService:
                     break
                 method, path, headers, body = request
                 self.n_http_requests += 1
-                status, payload = await self._route(method, path, body)
+                status, payload = await self._route(
+                    method, path, headers, body,
+                    writer.get_extra_info("peername"),
+                )
                 keep_alive = headers.get("connection", "").lower() != "close"
                 await _write_response(writer, status, payload, keep_alive)
                 if not keep_alive:
@@ -282,8 +308,45 @@ class FloorService:
                 self._handlers.discard(task)
             writer.close()
 
-    async def _route(self, method: str, path: str, body: bytes):
+    def _authorized_admin(self, headers: dict, peer) -> bool:
+        """Whether a request may touch the control plane.
+
+        With a configured token, any peer presenting it (constant-time
+        comparison) is in; without one, only loopback peers are.
+        """
+        if self.admin_token is not None:
+            presented = headers.get("x-admin-token", "")
+            # Compare as bytes: compare_digest refuses non-ASCII str
+            # (a hostile header must yield 403, not 500), and header
+            # values were latin-1 decoded off the wire.
+            return hmac.compare_digest(
+                presented.encode("latin-1"),
+                self.admin_token.encode("utf-8"),
+            )
+        if not isinstance(peer, (tuple, list)) or not peer:
+            # Unix-domain or unnamed transports have no remote address;
+            # reaching such a socket already implies local access.
+            return True
         try:
+            addr = ipaddress.ip_address(peer[0].split("%", 1)[0])
+        except ValueError:
+            return False
+        # A dual-stack bind reports IPv4 peers as ::ffff:a.b.c.d;
+        # unwrap so local callers stay authorized.
+        mapped = getattr(addr, "ipv4_mapped", None)
+        return (mapped or addr).is_loopback
+
+    async def _route(
+        self, method: str, path: str, headers: dict, body: bytes, peer=None
+    ):
+        try:
+            if (path in ("/artifacts", "/artifacts/retire")
+                    and method == "POST"
+                    and not self._authorized_admin(headers, peer)):
+                return 403, {
+                    "error": "control-plane calls from non-loopback peers "
+                             "require a valid X-Admin-Token header"
+                }
             if path == "/disposition" and method == "POST":
                 request = _json_body(body)
                 measurements = request.get("measurements")
@@ -328,9 +391,7 @@ class FloorService:
             return 429, {"error": str(exc)}
         except UnknownArtifactError as exc:
             return 404, {"error": str(exc)}
-        except (ServiceError, ValueError) as exc:
-            return 400, {"error": str(exc)}
-        except ReproError as exc:
+        except (ReproError, ValueError) as exc:
             return 400, {"error": str(exc)}
         except OSError as exc:
             return 400, {"error": "cannot load artifact: {}".format(exc)}
@@ -342,6 +403,7 @@ _STATUS_TEXT = {
     200: "OK",
     201: "Created",
     400: "Bad Request",
+    403: "Forbidden",
     404: "Not Found",
     405: "Method Not Allowed",
     413: "Payload Too Large",
@@ -365,10 +427,18 @@ async def _read_request(reader: asyncio.StreamReader):
         )
     method, path = parts[0].upper(), parts[1]
     headers: dict[str, str] = {}
+    n_header_lines = 0
     while True:
         line = await reader.readline()
         if line in (b"\r\n", b"\n", b""):
             break
+        n_header_lines += 1
+        if n_header_lines > MAX_HEADER_LINES:
+            raise ServiceError(
+                "request carries more than {} header lines".format(
+                    MAX_HEADER_LINES
+                )
+            )
         name, _, value = line.decode("latin-1").partition(":")
         headers[name.strip().lower()] = value.strip()
     try:

@@ -88,14 +88,18 @@ class TestBackpressure:
 
         asyncio.run(asyncio.wait_for(scenario(), 10))
 
-    def test_oversized_single_request_is_rejected(self, lookup_pair):
+    def test_oversized_single_request_is_permanent_400(self, lookup_pair):
+        """A request bigger than the whole queue can never be served:
+        it must get a non-retryable ServiceError, not a 429 that a
+        well-behaved client would retry forever."""
         dut, _ = lookup_pair
 
         async def scenario():
             batcher = _batcher(lookup_pair, max_batch_size=8,
                                max_pending=8)
-            with pytest.raises(ServiceOverloadError):
+            with pytest.raises(ServiceError, match="split it"):
                 await batcher.submit(_rows(dut, 9, seed=8))
+            assert batcher.stats.n_rejected == 0
 
         asyncio.run(scenario())
 
@@ -113,6 +117,39 @@ class TestBackpressure:
     def test_max_pending_must_cover_one_batch(self, lookup_pair):
         with pytest.raises(ServiceError):
             _batcher(lookup_pair, max_batch_size=64, max_pending=32)
+
+
+class TestWidthValidation:
+    def test_width_mismatch_rejected_before_enqueue(self, lookup_pair):
+        async def scenario():
+            batcher = _batcher(lookup_pair)
+            with pytest.raises(ServiceError, match="measurements"):
+                await batcher.submit(np.zeros((2, batcher.n_specs + 1)))
+            assert batcher.queue_depth == 0
+
+        asyncio.run(asyncio.wait_for(scenario(), 10))
+
+    def test_mismatched_widths_cannot_orphan_coalesced_peers(
+            self, lookup_pair):
+        """A bad-width request in the same latency window must fail
+        alone; valid coalesced peers still get their results."""
+        dut, _ = lookup_pair
+
+        async def scenario():
+            batcher = _batcher(lookup_pair, max_batch_size=64,
+                               max_latency=0.01)
+            good = asyncio.ensure_future(
+                batcher.submit(_rows(dut, 2, seed=11)))
+            bad = asyncio.ensure_future(
+                batcher.submit(np.zeros((2, batcher.n_specs - 1))))
+            results = await asyncio.gather(good, bad,
+                                           return_exceptions=True)
+            return results
+
+        good_result, bad_result = asyncio.run(
+            asyncio.wait_for(scenario(), 10))
+        assert good_result["counts"]["n_devices"] == 2
+        assert isinstance(bad_result, ServiceError)
 
 
 class TestEquivalence:

@@ -1,5 +1,6 @@
 """Registry semantics: versioning, hot-swap, retirement, LRU, checksums."""
 
+import hashlib
 import shutil
 
 import pytest
@@ -95,6 +96,22 @@ class TestResidencyBound:
         _, artifact = registry.get("obj")
         assert artifact is live_pair[1]
 
+    def test_pinned_entries_ride_on_top_of_the_budget(self, saved,
+                                                      live_pair):
+        """A pinned object-backed entry must not consume the
+        file-backed residency budget: with max_resident=1 a single
+        file-backed artifact stays resident instead of reloading on
+        every get()."""
+        registry = ArtifactRegistry(max_resident=1)
+        registry.register("obj", "1", live_pair[1])  # pinned
+        registry.register("synthA", "1", saved["lookup"])
+        registry.get("synthA")
+        before = registry.n_reloads
+        registry.get("synthA")
+        assert registry.n_reloads == before
+        assert set(registry.resident_keys()) == {("obj", "1"),
+                                                 ("synthA", "1")}
+
     def test_max_resident_must_be_positive(self):
         with pytest.raises(ServiceError):
             ArtifactRegistry(max_resident=0)
@@ -118,3 +135,48 @@ class TestChecksumPinning:
         entry = registry.register("synthA", "1", saved["lookup"])
         assert entry.checksum == file_checksum(saved["lookup"])
         registry.get("synthA")  # serves without complaint
+
+    def test_checksum_describes_the_loaded_bytes_exactly(self, saved):
+        """Registration reads the file once: the bytes hashed and the
+        bytes the artifact is built from are the same buffer, so a
+        file swapped at any point mid-registration cannot
+        desynchronize the recorded digest from the resident
+        artifact."""
+        from repro.floor import TestProgramArtifact
+
+        seen = {}
+
+        def recording_loader(blob, source):
+            seen["blob"] = blob
+            # The file changes under the registry mid-load --
+            # irrelevant, the buffer already in hand is what serves.
+            shutil.copyfile(saved["swap"], source)
+            return TestProgramArtifact.loads(blob, source=source)
+
+        registry = ArtifactRegistry(loader=recording_loader)
+        entry = registry.register("synthA", "1", saved["lookup"])
+        assert entry.checksum == hashlib.sha256(seen["blob"]).hexdigest()
+        # What is resident is the lookup program, not the swap bytes
+        # the file now holds.
+        _, artifact = registry.get("synthA")
+        assert artifact.lookup is not None
+
+    def test_swapped_bytes_are_never_unpickled_on_reload(self, saved):
+        """On a cold reload the pin is verified against the bytes read
+        before they reach the unpickler."""
+        from repro.floor import TestProgramArtifact
+
+        loaded_sources = []
+
+        def loader(blob, source):
+            loaded_sources.append(source)
+            return TestProgramArtifact.loads(blob, source=source)
+
+        registry = ArtifactRegistry(max_resident=1, loader=loader)
+        registry.register("synthA", "1", saved["lookup"])
+        registry.register("synthB", "1", saved["live"])  # evicts synthA
+        shutil.copyfile(saved["swap"], saved["lookup"])
+        loaded_sources.clear()
+        with pytest.raises(ServiceError, match="changed on disk"):
+            registry.get("synthA")
+        assert loaded_sources == []

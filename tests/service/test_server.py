@@ -1,6 +1,7 @@
 """HTTP front-end behaviour: routing, errors, hot-swap, metrics, 429."""
 
 import asyncio
+import json
 
 import numpy as np
 import pytest
@@ -141,6 +142,100 @@ class TestErrors:
             return int(status_line.split()[1])
 
         assert run_with_service(scenario, registry) == 400
+
+    def test_excessive_header_lines_are_400(self, registry):
+        """Unbounded header streaming is cut off, not buffered forever."""
+        async def scenario(service, client):
+            assert client._writer is None
+            await client._connect()
+            head = "GET /health HTTP/1.1\r\n" + "".join(
+                "X-Filler-{}: x\r\n".format(i) for i in range(200))
+            client._writer.write(head.encode())
+            await client._writer.drain()
+            status_line = await client._reader.readline()
+            return int(status_line.split()[1])
+
+        assert run_with_service(scenario, registry) == 400
+
+
+class TestControlPlaneAuth:
+    """POST /artifacts[/retire] is loopback-only unless a token is set."""
+
+    _REMOTE = ("203.0.113.5", 40001)
+    _LOCAL = ("127.0.0.1", 40001)
+
+    def _route(self, registry, headers, peer, path="/artifacts/retire",
+               **service_kwargs):
+        async def main():
+            service = FloorService(registry, **service_kwargs)
+            body = b'{"device": "synthA", "version": "1"}'
+            return await service._route("POST", path, headers, body, peer)
+
+        return asyncio.run(main())
+
+    def test_remote_post_without_token_is_403(self, registry):
+        status, reply = self._route(registry, {}, self._REMOTE)
+        assert status == 403
+        assert "X-Admin-Token" in reply["error"]
+
+    def test_remote_post_with_wrong_token_is_403(self, registry):
+        status, _ = self._route(
+            registry, {"x-admin-token": "nope"}, self._REMOTE,
+            admin_token="s3cret")
+        assert status == 403
+
+    def test_remote_post_with_token_is_honoured(self, registry):
+        status, reply = self._route(
+            registry, {"x-admin-token": "s3cret"}, self._REMOTE,
+            admin_token="s3cret")
+        assert status == 200
+        assert reply["retired"]["retired"] is True
+
+    def test_loopback_post_needs_no_token(self, registry):
+        status, _ = self._route(registry, {}, self._LOCAL)
+        assert status == 200
+
+    def test_ipv4_mapped_loopback_peer_is_loopback(self, registry):
+        # Dual-stack binds report IPv4 peers as ::ffff:a.b.c.d.
+        status, _ = self._route(
+            registry, {}, ("::ffff:127.0.0.1", 40001, 0, 0))
+        assert status == 200
+
+    def test_empty_token_means_loopback_only_not_open(self, registry):
+        # An unset shell variable reaching --admin-token must not
+        # authorize every remote peer presenting no header.
+        status, _ = self._route(registry, {}, self._REMOTE,
+                                admin_token="")
+        assert status == 403
+        status, _ = self._route(registry, {}, self._LOCAL,
+                                admin_token="")
+        assert status == 200
+
+    def test_non_ascii_token_header_is_403_not_500(self, registry):
+        status, _ = self._route(
+            registry, {"x-admin-token": "caf\xe9"}, self._REMOTE,
+            admin_token="s3cret")
+        assert status == 403
+
+    def test_configured_token_also_gates_loopback(self, registry):
+        # Once a token exists, every control-plane caller must show it.
+        status, _ = self._route(registry, {}, self._LOCAL,
+                                admin_token="s3cret")
+        assert status == 403
+
+    def test_data_plane_is_unaffected(self, registry, lookup_pair):
+        dut, _ = lookup_pair
+        rows = _rows(dut, 2, seed=12)
+
+        async def main():
+            service = FloorService(registry)
+            body = json.dumps({"device": "synthA",
+                               "measurements": rows.tolist()}).encode()
+            return await service._route(
+                "POST", "/disposition", {}, body, self._REMOTE)
+
+        status, _ = asyncio.run(main())
+        assert status == 200
 
 
 class TestBackpressureHTTP:
