@@ -19,9 +19,11 @@ simulating.
 
 Set ``REPRO_BENCH_SIM_JOBS=N`` (``-1`` = all CPUs) to fan uncached
 population generation out across worker processes through
-:mod:`repro.runtime.simulation`; per-instance seeding keeps every
-cached population bit-identical to a serial run, so the cache remains
-valid at any worker count.
+:mod:`repro.runtime.simulation`, and ``REPRO_BENCH_SIM_ENGINE=batched``
+to vectorize it through the batched MNA kernel
+(:mod:`repro.circuit.batch`); per-instance seeding keeps every cached
+population bit-identical to a serial scalar run, so the cache remains
+valid at any worker count and either engine.
 """
 
 import os
@@ -64,6 +66,11 @@ def bench_scale():
 def sim_jobs():
     """Worker processes for population generation (env override)."""
     return int(os.environ.get("REPRO_BENCH_SIM_JOBS", "1"))
+
+
+def sim_engine():
+    """Simulation engine for population generation (env override)."""
+    return os.environ.get("REPRO_BENCH_SIM_ENGINE", "scalar")
 
 
 def _make_bench(device):
@@ -113,7 +120,8 @@ def load_population(device, n, seed, n_jobs=None):
             return SpecDataset(bench.specifications, ds.values[:n])
 
     ds = bench.generate_dataset(
-        n, seed=seed, n_jobs=sim_jobs() if n_jobs is None else n_jobs)
+        n, seed=seed, n_jobs=sim_jobs() if n_jobs is None else n_jobs,
+        engine=sim_engine())
     ds.save(exact)
     return ds
 

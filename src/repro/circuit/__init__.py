@@ -12,7 +12,10 @@ simulator (Cadence Virtuoso Spectre) used in the paper.  It provides:
 * small-signal AC analysis (:func:`~repro.circuit.ac.solve_ac`),
 * transient analysis with trapezoidal or backward-Euler integration
   (:func:`~repro.circuit.transient.solve_transient`),
-* waveform/spectrum measurement helpers (:mod:`repro.circuit.analysis`).
+* waveform/spectrum measurement helpers (:mod:`repro.circuit.analysis`),
+* a batched simulation kernel that stacks many same-topology instances
+  into single LAPACK solves (:mod:`repro.circuit.batch`), the engine
+  behind population-level Monte-Carlo generation.
 
 Example -- a low-pass RC filter::
 
@@ -47,6 +50,15 @@ from repro.circuit.dc import solve_dc, DCResult
 from repro.circuit.ac import solve_ac, ACResult
 from repro.circuit.transient import solve_transient, TransientResult
 from repro.circuit.sweep import sweep_dc, DCSweepResult
+from repro.circuit.batch import (
+    BatchACResult,
+    BatchDCResult,
+    BatchTransientResult,
+    CircuitBatch,
+    solve_ac_batch,
+    solve_dc_batch,
+    solve_transient_batch,
+)
 
 __all__ = [
     "Circuit",
@@ -70,4 +82,11 @@ __all__ = [
     "TransientResult",
     "sweep_dc",
     "DCSweepResult",
+    "CircuitBatch",
+    "BatchDCResult",
+    "BatchACResult",
+    "BatchTransientResult",
+    "solve_dc_batch",
+    "solve_ac_batch",
+    "solve_transient_batch",
 ]

@@ -13,6 +13,53 @@ import numpy as np
 from repro.errors import AnalysisError
 
 
+class _StampRecorder:
+    """Captures ``(index, value)`` pairs from a device stamp call.
+
+    The stamping helpers write ``G[i, j] += value``; handing them this
+    recorder instead of a matrix turns one stamp call into an explicit
+    entry list that can be replayed cheaply (``0.0 + value`` is exact,
+    so recorded values equal stamped values bit for bit).
+    """
+
+    def __init__(self):
+        self.entries: list = []
+
+    def __getitem__(self, key):
+        return 0.0
+
+    def __setitem__(self, key, value):
+        self.entries.append((key, value))
+
+
+def reactive_entry_list(circuit, reactive):
+    """Hoisted per-frequency stamp entries of the reactive devices.
+
+    Returns ``[((i, j), coef), ...]`` such that adding
+    ``omega * coef`` at ``(i, j)`` -- in list order -- reproduces the
+    per-frequency ``stamp_ac`` calls exactly: every built-in reactive
+    admittance is linear in ``omega`` (``j*omega*C``, ``-j*omega*L``)
+    and multiplying the unit-frequency coefficient by ``omega`` rounds
+    identically to stamping at ``omega`` directly.  Non-linear-in-omega
+    devices raise so the hoist can never silently change a result
+    (:func:`solve_ac` catches this and falls back to per-frequency
+    stamping; the batched kernel, which requires the hoist, rejects
+    such devices at compile time).
+    """
+    unit = _StampRecorder()
+    double = _StampRecorder()
+    dummy_b = np.zeros(circuit.n_unknowns, dtype=complex)
+    for device in reactive:
+        device.stamp_ac(unit, dummy_b, 1.0)
+        device.stamp_ac(double, dummy_b, 2.0)
+    checked = [(key, 2.0 * coef) for key, coef in unit.entries]
+    if checked != double.entries:
+        raise AnalysisError(
+            "reactive stamps of {!r} are not linear in omega; cannot "
+            "hoist the AC assembly".format(circuit.title))
+    return unit.entries
+
+
 class ACResult:
     """Frequency sweep result: complex node voltages vs frequency."""
 
@@ -89,13 +136,26 @@ def solve_ac(circuit, freqs, op):
             device.stamp_ac(G_base, b, 0.0)
     # Careful: non-reactive stamp_ac implementations only touch b.
 
-    X = np.empty((freqs.size, n), dtype=complex)
+    # Hoisted reactive stamps: the static assembly above and this entry
+    # list are built once; the per-frequency loop only scales and adds.
+    # A (user) reactive device that is not linear in omega keeps the
+    # original per-frequency stamping loop instead.
+    try:
+        entries = reactive_entry_list(circuit, reactive)
+    except AnalysisError:
+        entries = None
     dummy_b = np.zeros(n, dtype=complex)
+
+    X = np.empty((freqs.size, n), dtype=complex)
     for k, f in enumerate(freqs):
         omega = 2.0 * np.pi * f
         G = G_base.copy()
-        for device in reactive:
-            device.stamp_ac(G, dummy_b, omega)
+        if entries is None:
+            for device in reactive:
+                device.stamp_ac(G, dummy_b, omega)
+        else:
+            for (i, j), coef in entries:
+                G[i, j] += omega * coef
         try:
             X[k] = np.linalg.solve(G, b)
         except np.linalg.LinAlgError:

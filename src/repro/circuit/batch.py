@@ -1,0 +1,1063 @@
+"""Batched MNA simulation kernel: one netlist topology, many instances.
+
+Monte-Carlo populations simulate the *same* circuit topology hundreds
+of times with different device values.  The scalar analyses in
+:mod:`repro.circuit.dc` / :mod:`~repro.circuit.ac` /
+:mod:`~repro.circuit.transient` pay the Python stamping loop and a tiny
+dense :func:`numpy.linalg.solve` once per instance per Newton iteration
+(or per frequency, or per time step) -- interpreter overhead dominates.
+This module removes it:
+
+**Stamp plan.**  :class:`CircuitBatch` compiles the shared topology
+once into per-device *stamp plans*: for every device position, the
+fixed matrix slots it writes (``(row, col)`` index pairs, ground rows
+dropped) plus the per-instance value vectors ((B,) arrays gathered from
+the B device objects).  Assembly then stacks all instances' MNA systems
+into one ``(B, n, n)`` / ``(B, n)`` pair with a handful of vectorized
+adds, and one stacked :func:`numpy.linalg.solve` call factors the whole
+population through LAPACK's ``gesv``.
+
+**Masked Newton (DC).**  All instances iterate together; an instance
+leaves the active set the moment its own node voltages converge, so its
+solution is frozen exactly where the scalar iteration would have
+stopped.  Instances whose matrix turns singular mid-iteration, or that
+fail to converge within the iteration limit, are *demoted*: they re-run
+through the scalar :func:`~repro.circuit.dc.solve_dc` (with its full
+gmin/source-stepping homotopy arsenal) individually, so one hard
+instance never stalls -- or fails -- the batch.
+
+**Batched AC.**  The linearized base matrix is assembled per instance
+once; the reactive stamps are hoisted to an omega-linear entry list
+(exactly as in the scalar :func:`~repro.circuit.ac.solve_ac`) and the
+instance x frequency systems are stacked into memory-bounded chunks,
+each solved with a single stacked LAPACK call.
+
+**Batched transient.**  Fixed-step integration with the companion
+conductance stack assembled once per (step size, method) and a masked
+batched Newton per time step, warm-started from the previous step.
+An instance that fails a step is demoted to the scalar
+:func:`~repro.circuit.transient.solve_transient` (with its local
+step-halving retries) for the whole run.
+
+Parity contract
+---------------
+
+For every built-in device except the diode, a batched analysis is
+**bit-identical** to running the scalar analysis on each instance:
+the vectorized stamp formulas perform the same IEEE operations in the
+same order, per-entry accumulation replays the scalar stamping order,
+and LAPACK's ``gesv`` factors a stacked system exactly as it factors
+each matrix alone.  The diode's exponential goes through
+:func:`numpy.exp` instead of :func:`math.exp`, which may differ in the
+last ulp; diode circuits are therefore equivalent only to ~1e-15
+relative.  The parity suite in ``tests/circuit/test_batch.py`` pins
+both statements down.
+
+Demotion preserves the contract trivially: a demoted instance *is* the
+scalar path.  Per-instance failures come back in the result's
+``errors`` list (aligned with the batch) instead of aborting the other
+instances.
+"""
+
+import numpy as np
+
+from repro.circuit import devices as dev
+from repro.circuit import dc as _dc
+from repro.circuit import transient as _tran
+from repro.errors import AnalysisError, CircuitError, ConvergenceError
+
+#: Upper bound on complex matrix entries per stacked AC solve chunk
+#: (~32 MiB of workspace at 16 bytes per entry).
+AC_CHUNK_ENTRIES = 1 << 21
+
+#: Node-voltage clamp per transient Newton iteration (V), matching the
+#: scalar ``transient._newton_step``.
+TRAN_MAX_STEP = 0.5
+
+
+def _vcol(x, i):
+    """Column ``i`` of the solution stack (zeros for ground)."""
+    if i >= 0:
+        return x[:, i]
+    return np.zeros(x.shape[0])
+
+
+def _take(values, idx):
+    """Slice a per-instance value vector (scalars pass through)."""
+    if isinstance(values, np.ndarray):
+        return values[idx]
+    return values
+
+
+def _pattern4(i, j, v):
+    """The two-terminal conductance stamp pattern, ground-filtered."""
+    entries = []
+    if i >= 0:
+        entries.append((i, i, v))
+    if j >= 0:
+        entries.append((j, j, v))
+    if i >= 0 and j >= 0:
+        entries.append((i, j, -v))
+        entries.append((j, i, -v))
+    return entries
+
+
+def _aux_incidence(i, j, k):
+    """The aux-branch incidence stamp pattern, ground-filtered.
+
+    Shared by every device with a branch-current unknown (inductor,
+    voltage source, VCVS); entry order matches the scalar stamps.
+    """
+    entries = []
+    _entry(entries, i, k, 1.0)
+    _entry(entries, j, k, -1.0)
+    _entry(entries, k, i, 1.0)
+    _entry(entries, k, j, -1.0)
+    return entries
+
+
+def _entry(entries, i, j, v):
+    """Append one G entry unless a ground index drops it."""
+    if i >= 0 and j >= 0:
+        entries.append((i, j, v))
+
+
+def _badd_b(b, i, vals):
+    """Accumulate ``vals`` into column ``i`` of the RHS stack."""
+    if i >= 0:
+        b[:, i] += vals
+
+
+# ---------------------------------------------------------------------------
+# Per-device-position batch handlers
+# ---------------------------------------------------------------------------
+
+class _BatchDevice:
+    """Vectorized stamp recipe for one device position across a batch.
+
+    ``column`` holds the B per-instance device objects of this
+    position.  Matrix-slot indices are shared (validated by the batch);
+    values are (B,) vectors.  Entry *order* inside every hook replays
+    the corresponding scalar ``stamp_*`` method exactly, so per-entry
+    accumulation rounds identically.
+    """
+
+    nonlinear = False
+    reactive = False
+
+    def __init__(self, column):
+        self.column = column
+        proto = column[0]
+        self.nodes = proto.nodes
+        self.aux = proto.aux
+
+    def _gather(self, attr):
+        """(B,) array of one float attribute across the column."""
+        return np.array([getattr(d, attr) for d in self.column],
+                        dtype=float)
+
+    # -- cached G-side entries (values fixed at compile time) ----------
+    def static_entries(self):
+        """``[(i, j, values)]`` mirroring ``stamp_static``."""
+        return ()
+
+    def reactive_entries(self):
+        """``[(i, j, coef)]`` with ``G[i, j] += omega * coef`` per freq."""
+        return ()
+
+    def tran_G_entries(self, dt, trap):
+        """``[(i, j, values)]`` mirroring ``stamp_tran_G``."""
+        return ()
+
+    # -- b-side rows (values read fresh per call) ----------------------
+    def dc_b_rows(self, idx):
+        """``[(row, values)]`` mirroring ``stamp_dc``."""
+        return ()
+
+    def ac_b_rows(self, idx):
+        """``[(row, values)]`` mirroring the non-reactive ``stamp_ac``."""
+        return ()
+
+    def tran_b_rows(self, t, state, idx):
+        """``[(row, values)]`` mirroring ``stamp_tran_b``."""
+        return ()
+
+    # -- state-dependent stamps ----------------------------------------
+    def ac_linearized(self, G, x_op, idx):
+        """Add the small-signal conductances at the operating point."""
+
+    def stamp_nonlinear(self, G, b, x, idx):
+        """Add the Newton companion stamps at candidate solution ``x``."""
+
+    # -- reactive integration state ------------------------------------
+    def init_state(self, x, idx):
+        """Vectorized ``init_state`` over the (already sliced) batch."""
+        return None
+
+    def prepare_step(self, state, dt, trap, idx):
+        """Vectorized ``prepare_step`` (companion history values)."""
+
+    def update_state(self, state, x, dt, trap, idx):
+        """Vectorized ``update_state`` after a converged step."""
+
+
+class _BatchResistor(_BatchDevice):
+    def __init__(self, column):
+        super().__init__(column)
+        self.g = 1.0 / self._gather("resistance")
+
+    def static_entries(self):
+        i, j = self.nodes
+        return _pattern4(i, j, self.g)
+
+
+class _BatchCapacitor(_BatchDevice):
+    reactive = True
+
+    def __init__(self, column):
+        super().__init__(column)
+        self.c = self._gather("capacitance")
+
+    def _geq(self, dt, trap):
+        factor = 2.0 if trap else 1.0
+        return factor * self.c / dt
+
+    def reactive_entries(self):
+        i, j = self.nodes
+        return _pattern4(i, j, 1j * self.c)
+
+    def tran_G_entries(self, dt, trap):
+        i, j = self.nodes
+        return _pattern4(i, j, self._geq(dt, trap))
+
+    def _voltage(self, x):
+        i, j = self.nodes
+        return _vcol(x, i) - _vcol(x, j)
+
+    def init_state(self, x, idx):
+        m = x.shape[0]
+        return {"v": self._voltage(x), "i": np.zeros(m),
+                "ieq": np.zeros(m)}
+
+    def prepare_step(self, state, dt, trap, idx):
+        g = self._geq(dt, trap)[idx]
+        if trap:
+            state["ieq"] = g * state["v"] + state["i"]
+        else:
+            state["ieq"] = g * state["v"]
+
+    def tran_b_rows(self, t, state, idx):
+        i, j = self.nodes
+        rows = []
+        if i >= 0:
+            rows.append((i, state["ieq"]))
+        if j >= 0:
+            rows.append((j, -state["ieq"]))
+        return rows
+
+    def update_state(self, state, x, dt, trap, idx):
+        v_new = self._voltage(x)
+        g = self._geq(dt, trap)[idx]
+        state["i"] = g * v_new - state["ieq"]
+        state["v"] = v_new
+
+
+class _BatchInductor(_BatchDevice):
+    reactive = True
+
+    def __init__(self, column):
+        super().__init__(column)
+        self.l = self._gather("inductance")
+
+    def _req(self, dt, trap):
+        factor = 2.0 if trap else 1.0
+        return factor * self.l / dt
+
+    def static_entries(self):
+        i, j = self.nodes
+        return _aux_incidence(i, j, self.aux)
+
+    def reactive_entries(self):
+        return [(self.aux, self.aux, -1j * self.l)]
+
+    def tran_G_entries(self, dt, trap):
+        return [(self.aux, self.aux, -self._req(dt, trap))]
+
+    def _voltage(self, x):
+        i, j = self.nodes
+        return _vcol(x, i) - _vcol(x, j)
+
+    def init_state(self, x, idx):
+        m = x.shape[0]
+        return {"i": x[:, self.aux].copy(), "v": self._voltage(x),
+                "veq": np.zeros(m)}
+
+    def prepare_step(self, state, dt, trap, idx):
+        req = self._req(dt, trap)[idx]
+        if trap:
+            state["veq"] = req * state["i"] + state["v"]
+        else:
+            state["veq"] = req * state["i"]
+
+    def tran_b_rows(self, t, state, idx):
+        return [(self.aux, -state["veq"])]
+
+    def update_state(self, state, x, dt, trap, idx):
+        state["i"] = x[:, self.aux].copy()
+        state["v"] = self._voltage(x)
+
+
+class _BatchVoltageSource(_BatchDevice):
+    def static_entries(self):
+        i, j = self.nodes
+        return _aux_incidence(i, j, self.aux)
+
+    def dc_b_rows(self, idx):
+        vals = np.array([self.column[k].wave.dc for k in idx])
+        return [(self.aux, vals)]
+
+    def ac_b_rows(self, idx):
+        vals = np.array([self.column[k].ac for k in idx])
+        return [(self.aux, vals)]
+
+    def tran_b_rows(self, t, state, idx):
+        vals = np.array([self.column[k].wave.at(t) for k in idx])
+        return [(self.aux, vals)]
+
+
+class _BatchCurrentSource(_BatchDevice):
+    def _value_rows(self, vals):
+        i, j = self.nodes
+        rows = []
+        if i >= 0:
+            rows.append((i, -vals))
+        if j >= 0:
+            rows.append((j, vals))
+        return rows
+
+    def dc_b_rows(self, idx):
+        return self._value_rows(
+            np.array([self.column[k].wave.dc for k in idx]))
+
+    def ac_b_rows(self, idx):
+        # The scalar stamp skips ac == 0 sources; adding the signed
+        # zeros unconditionally is numerically identical.
+        return self._value_rows(
+            np.array([self.column[k].ac for k in idx]))
+
+    def tran_b_rows(self, t, state, idx):
+        return self._value_rows(
+            np.array([self.column[k].wave.at(t) for k in idx]))
+
+
+class _BatchVcvs(_BatchDevice):
+    def __init__(self, column):
+        super().__init__(column)
+        self.gain = self._gather("gain")
+
+    def static_entries(self):
+        i, j, ci, cj = self.nodes
+        k = self.aux
+        entries = _aux_incidence(i, j, k)
+        _entry(entries, k, ci, -self.gain)
+        _entry(entries, k, cj, self.gain)
+        return entries
+
+
+class _BatchVccs(_BatchDevice):
+    def __init__(self, column):
+        super().__init__(column)
+        self.gm = self._gather("gm")
+
+    def static_entries(self):
+        i, j, ci, cj = self.nodes
+        g = self.gm
+        entries = []
+        _entry(entries, i, ci, g)
+        _entry(entries, i, cj, -g)
+        _entry(entries, j, ci, -g)
+        _entry(entries, j, cj, g)
+        return entries
+
+
+class _BatchDiode(_BatchDevice):
+    nonlinear = True
+
+    def __init__(self, column):
+        super().__init__(column)
+        self.isat = self._gather("isat")
+        self.nvt = self._gather("nvt")
+        self.vcrit = self._gather("vcrit")
+
+    def _vd(self, x):
+        i, j = self.nodes
+        return _vcol(x, i) - _vcol(x, j)
+
+    def _conductance(self, x, idx):
+        isat = self.isat[idx]
+        nvt = self.nvt[idx]
+        vd = np.minimum(self._vd(x), self.vcrit[idx] + 5.0 * nvt)
+        # np.exp may differ from math.exp in the last ulp: diode
+        # batches are ~1e-15-relative to scalar, not bit-identical.
+        e = np.exp(np.minimum(vd / nvt, 80.0))
+        idd = isat * (e - 1.0)
+        gd = isat * e / nvt + dev.GMIN
+        return vd, idd, gd
+
+    def _stamp_g(self, G, gd):
+        i, j = self.nodes
+        for (r, c, v) in _pattern4(i, j, gd):
+            G[:, r, c] += v
+
+    def stamp_nonlinear(self, G, b, x, idx):
+        vd, idd, gd = self._conductance(x, idx)
+        ieq = idd - gd * vd
+        self._stamp_g(G, gd)
+        i, j = self.nodes
+        _badd_b(b, i, -ieq)
+        _badd_b(b, j, ieq)
+
+    def ac_linearized(self, G, x_op, idx):
+        _, _, gd = self._conductance(x_op, idx)
+        self._stamp_g(G, gd)
+
+
+class _BatchMosfet(_BatchDevice):
+    nonlinear = True
+
+    def __init__(self, column):
+        super().__init__(column)
+        self.sign = np.array(
+            [1.0 if d.kind == "n" else -1.0 for d in column])
+        self.beta = self._gather("beta")
+        self.vth = self._gather("vth")
+        self.lam = self._gather("lam")
+
+    def _terminal_voltages(self, x):
+        d, g, s = self.nodes
+        return _vcol(x, d), _vcol(x, g), _vcol(x, s)
+
+    def evaluate(self, x, idx):
+        """Vectorized :meth:`Mosfet.evaluate`, branch for branch.
+
+        Every arithmetic expression keeps the scalar association order,
+        and the region/polarity branches become masks, so each lane
+        rounds exactly as the scalar device would.
+        """
+        sign = self.sign[idx]
+        beta = self.beta[idx]
+        vth = self.vth[idx]
+        lam = self.lam[idx]
+        vd, vg, vs = self._terminal_voltages(x)
+        vgs = sign * (vg - vs)
+        vds = sign * (vd - vs)
+        swapped = vds < 0.0
+        vgs = np.where(swapped, vgs - vds, vgs)
+        vds = np.where(swapped, -vds, vds)
+        vov = vgs - vth
+        clm = 1.0 + lam * vds
+        half = vov * vds - 0.5 * vds * vds
+        idn_tri = beta * half * clm
+        gm_tri = beta * vds * clm
+        gds_tri = beta * (vov - vds) * clm + beta * half * lam
+        idn_sat = 0.5 * beta * vov * vov * clm
+        gm_sat = beta * vov * clm
+        gds_sat = 0.5 * beta * vov * vov * lam
+        triode = vds < vov
+        idn = np.where(triode, idn_tri, idn_sat)
+        gm = np.where(triode, gm_tri, gm_sat)
+        gds = np.where(triode, gds_tri, gds_sat)
+        cutoff = vov <= 0.0
+        idn = np.where(cutoff, 0.0, idn)
+        gm = np.where(cutoff, 0.0, gm)
+        gds = np.where(cutoff, dev.GMIN, gds)
+        idn = np.where(swapped, -idn, idn)
+        gds = np.where(swapped, gds + gm, gds)
+        gm = np.where(swapped, -gm, gm)
+        return sign * idn, gm, gds + dev.GMIN
+
+    def _stamp_g(self, G, gm, gds):
+        d, g, s = self.nodes
+        entries = []
+        _entry(entries, d, g, gm)
+        _entry(entries, d, d, gds)
+        _entry(entries, d, s, -(gm + gds))
+        _entry(entries, s, g, -gm)
+        _entry(entries, s, d, -gds)
+        _entry(entries, s, s, gm + gds)
+        for (r, c, v) in entries:
+            G[:, r, c] += v
+
+    def stamp_nonlinear(self, G, b, x, idx):
+        d, g, s = self.nodes
+        vd, vg, vs = self._terminal_voltages(x)
+        idd, gm, gds = self.evaluate(x, idx)
+        vgs = vg - vs
+        vds = vd - vs
+        ieq = idd - gm * vgs - gds * vds
+        self._stamp_g(G, gm, gds)
+        _badd_b(b, d, -ieq)
+        _badd_b(b, s, ieq)
+
+    def ac_linearized(self, G, x_op, idx):
+        _, gm, gds = self.evaluate(x_op, idx)
+        self._stamp_g(G, gm, gds)
+
+
+#: Exact-type handler registry.  Subclasses are rejected on purpose: a
+#: subclass that overrides stamp behaviour would silently break the
+#: scalar/batched parity contract.
+_HANDLERS = {
+    dev.Resistor: _BatchResistor,
+    dev.Capacitor: _BatchCapacitor,
+    dev.Inductor: _BatchInductor,
+    dev.VoltageSource: _BatchVoltageSource,
+    dev.CurrentSource: _BatchCurrentSource,
+    dev.Vcvs: _BatchVcvs,
+    dev.Vccs: _BatchVccs,
+    dev.Diode: _BatchDiode,
+    dev.Mosfet: _BatchMosfet,
+}
+
+
+# ---------------------------------------------------------------------------
+# Batched analysis results
+# ---------------------------------------------------------------------------
+
+class _BatchResult:
+    """Shared per-instance bookkeeping of a batched analysis.
+
+    ``errors[k]`` carries the per-instance exception (``None`` on
+    success or when the instance was outside the requested active set);
+    ``ok`` is True exactly where a solution was produced.
+    """
+
+    def __init__(self, batch, errors, solved):
+        self._batch = batch
+        self.errors = errors
+        self.ok = solved
+
+    def _node_index(self, node):
+        return self._batch.node_index(node)
+
+    def _aux_index(self, device_name, kind):
+        aux = self._batch.aux_index(device_name)
+        if aux is None:
+            raise kind(
+                "device {!r} has no branch-current unknown".format(
+                    device_name))
+        return aux
+
+
+class BatchDCResult(_BatchResult):
+    """Stacked DC operating points: ``x`` is ``(B, n_unknowns)``.
+
+    Rows of failed (or inactive) instances are NaN; per-instance
+    failures are in :attr:`errors`.
+    """
+
+    def __init__(self, batch, x, iterations, errors, solved):
+        super().__init__(batch, errors, solved)
+        self.x = x
+        self.iterations = iterations
+
+    def v(self, node):
+        """(B,) node voltages (zeros for ground)."""
+        idx = self._node_index(node)
+        if idx < 0:
+            return np.zeros(self.x.shape[0])
+        return self.x[:, idx]
+
+    def branch_current(self, device_name):
+        """(B,) branch currents of an aux-carrying device."""
+        return self.x[:, self._aux_index(device_name, ConvergenceError)]
+
+    def __repr__(self):
+        return "BatchDCResult(B={}, n={}, solved={})".format(
+            self.x.shape[0], self.x.shape[1], int(np.sum(self.ok)))
+
+
+class BatchACResult(_BatchResult):
+    """Stacked AC sweeps: complex ``(B, n_freqs, n_unknowns)``."""
+
+    def __init__(self, batch, freqs, X, errors, solved):
+        super().__init__(batch, errors, solved)
+        self.freqs = freqs
+        self._X = X
+
+    def v(self, node):
+        """(B, n_freqs) complex voltage phasors for ``node``."""
+        idx = self._node_index(node)
+        if idx < 0:
+            return np.zeros(self._X.shape[:2], dtype=complex)
+        return self._X[:, :, idx]
+
+    def branch_current(self, device_name):
+        """(B, n_freqs) complex branch-current phasors."""
+        return self._X[:, :, self._aux_index(device_name, AnalysisError)]
+
+    def __repr__(self):
+        return "BatchACResult(B={}, {} frequencies)".format(
+            self._X.shape[0], len(self.freqs))
+
+
+class BatchTransientResult(_BatchResult):
+    """Stacked transient waveforms: ``(B, n_points, n_unknowns)``."""
+
+    def __init__(self, batch, t, X, errors, solved):
+        super().__init__(batch, errors, solved)
+        self.t = t
+        self._X = X
+
+    def v(self, node):
+        """(B, n_points) waveforms of the voltage at ``node``."""
+        idx = self._node_index(node)
+        if idx < 0:
+            return np.zeros(self._X.shape[:2])
+        return self._X[:, :, idx]
+
+    def branch_current(self, device_name):
+        """(B, n_points) branch-current waveforms."""
+        return self._X[:, :, self._aux_index(device_name,
+                                             ConvergenceError)]
+
+    def __repr__(self):
+        return "BatchTransientResult(B={}, {} points)".format(
+            self._X.shape[0], len(self.t))
+
+
+# ---------------------------------------------------------------------------
+# The batch itself
+# ---------------------------------------------------------------------------
+
+class CircuitBatch:
+    """A population of identically-structured circuits, solved stacked.
+
+    Parameters
+    ----------
+    circuits:
+        Sequence of compiled-compatible
+        :class:`~repro.circuit.netlist.Circuit` objects: same device
+        count, and per position the same device *type*, name, node
+        bindings and auxiliary index.  Device values may differ freely.
+
+    Raises
+    ------
+    CircuitError
+        On an empty batch, mismatched topology, or a device type the
+        batched kernel has no vectorized stamp recipe for.
+    """
+
+    def __init__(self, circuits):
+        self._circuits = list(circuits)
+        if not self._circuits:
+            raise CircuitError("CircuitBatch needs at least one circuit")
+        for circuit in self._circuits:
+            circuit.compile()
+        proto = self._circuits[0]
+        self._proto = proto
+        self.n_unknowns = proto.n_unknowns
+        self.n_nodes = proto.n_nodes
+        self.size = len(self._circuits)
+        self._validate_topology()
+        self._handlers: list = []
+        for position in range(len(proto.devices)):
+            column = [c.devices[position] for c in self._circuits]
+            handler_type = _HANDLERS.get(type(column[0]))
+            if handler_type is None:
+                raise CircuitError(
+                    "batched simulation has no stamp recipe for "
+                    "device type {!r} ({!r})".format(
+                        type(column[0]).__name__, column[0].name))
+            self._handlers.append(handler_type(column))
+        self._nonlinear = [h for h in self._handlers if h.nonlinear]
+        self._reactive = [h for h in self._handlers if h.reactive]
+        # Reactive entry list (omega-linear coefficients), flattened in
+        # the same order the scalar per-frequency loop stamps.
+        self._reactive_entries: list = []
+        for handler in self._reactive:
+            self._reactive_entries.extend(handler.reactive_entries())
+
+    def _validate_topology(self):
+        proto = self._proto
+        for circuit in self._circuits[1:]:
+            if (circuit.n_unknowns != proto.n_unknowns
+                    or len(circuit.devices) != len(proto.devices)):
+                raise CircuitError(
+                    "circuit {!r} does not share the batch topology of "
+                    "{!r}".format(circuit.title, proto.title))
+            for mine, theirs in zip(proto.devices, circuit.devices):
+                if (type(mine) is not type(theirs)
+                        or mine.name != theirs.name
+                        or mine.nodes != theirs.nodes
+                        or mine.aux != theirs.aux):
+                    raise CircuitError(
+                        "device {!r} of circuit {!r} does not match "
+                        "the batch topology (got {!r})".format(
+                            mine.name, circuit.title, theirs.name))
+
+    # -- index helpers -----------------------------------------------------
+    def circuit(self, k):
+        """The ``k``-th member circuit."""
+        return self._circuits[k]
+
+    def node_index(self, node):
+        """Matrix index of ``node`` (-1 for ground)."""
+        if not self._proto.has_node(node):
+            raise CircuitError(
+                "no node named {!r} in batch topology {!r}".format(
+                    node, self._proto.title))
+        return self._proto.node_id(node)
+
+    def aux_index(self, device_name):
+        """Auxiliary unknown index of a device (None when it has none)."""
+        return self._proto.device(device_name).aux
+
+    def _resolve_active(self, active):
+        if active is None:
+            return np.arange(self.size)
+        active = np.asarray(active)
+        if active.dtype == bool:
+            return np.flatnonzero(active)
+        return active.astype(int)
+
+    # -- stacked assembly --------------------------------------------------
+    def _assemble_static(self, idx):
+        """Stacked DC assembly, replaying ``dc._assemble_static``."""
+        m = idx.size
+        n = self.n_unknowns
+        G = np.zeros((m, n, n))
+        b = np.zeros((m, n))
+        for handler in self._handlers:
+            for (i, j, vals) in handler.static_entries():
+                G[:, i, j] += _take(vals, idx)
+            for (i, vals) in handler.dc_b_rows(idx):
+                b[:, i] += vals
+        return G, b
+
+    def _assemble_ac(self, x_op, idx):
+        """Stacked AC base assembly, replaying ``ac.solve_ac``."""
+        m = idx.size
+        n = self.n_unknowns
+        G = np.zeros((m, n, n), dtype=complex)
+        b = np.zeros((m, n), dtype=complex)
+        x_sub = x_op[idx]
+        for handler in self._handlers:
+            for (i, j, vals) in handler.static_entries():
+                G[:, i, j] += _take(vals, idx)
+            handler.ac_linearized(G, x_sub, idx)
+        for handler in self._handlers:
+            if not handler.reactive:
+                for (i, vals) in handler.ac_b_rows(idx):
+                    b[:, i] += vals
+        return G, b
+
+    def _assemble_tran_G(self, dt, trap, idx):
+        """Stacked companion assembly, replaying ``_assemble_tran_static``."""
+        m = idx.size
+        n = self.n_unknowns
+        G = np.zeros((m, n, n))
+        for handler in self._handlers:
+            for (i, j, vals) in handler.static_entries():
+                G[:, i, j] += _take(vals, idx)
+        for handler in self._reactive:
+            for (i, j, vals) in handler.tran_G_entries(dt, trap):
+                G[:, i, j] += _take(vals, idx)
+        return G
+
+    def _assemble_tran_b(self, t, states, idx):
+        """Stacked per-step RHS, replaying ``transient._build_b``."""
+        m = idx.size
+        b = np.zeros((m, self.n_unknowns))
+        reactive_pos = 0
+        for handler in self._handlers:
+            state = None
+            if handler.reactive:
+                state = states[reactive_pos]
+                reactive_pos += 1
+            for (i, vals) in handler.tran_b_rows(t, state, idx):
+                b[:, i] += vals
+        return b
+
+    def _stamp_nonlinear(self, G, b, x, idx):
+        """Stacked Newton companion stamps, in scalar device order."""
+        for handler in self._nonlinear:
+            handler.stamp_nonlinear(G, b, x, idx)
+
+    # -- masked batched Newton ---------------------------------------------
+    def _newton_masked(self, G0, b0, x0, idx, max_step, vtol, max_iter):
+        """Newton-Raphson over a stack with per-instance convergence.
+
+        ``idx`` maps local stack positions to batch positions (for the
+        per-instance parameter slices of the nonlinear stamps).
+        Returns ``(x, iterations, failed)`` where ``failed`` lists the
+        *local* positions that went singular or hit the iteration limit
+        -- the caller demotes those to the scalar path.
+        """
+        m = x0.shape[0]
+        n_nodes = self.n_nodes
+        x = x0.copy()
+        iterations = np.zeros(m, dtype=int)
+        active = np.arange(m)
+        singular: list = []
+        for iteration in range(1, max_iter + 1):
+            if active.size == 0:
+                break
+            # Advanced indexing already yields fresh arrays, so the
+            # nonlinear stamps below can write into them directly.
+            G = G0[active]
+            b = b0[active]
+            self._stamp_nonlinear(G, b, x[active], idx[active])
+            try:
+                x_new = np.linalg.solve(G, b[..., None])[..., 0]
+            except np.linalg.LinAlgError:
+                # Identify the singular instances individually; the
+                # per-matrix gesv results are bit-identical to the
+                # stacked call for the healthy ones.
+                x_new = np.empty_like(x[active])
+                bad = []
+                for pos in range(active.size):
+                    try:
+                        x_new[pos] = np.linalg.solve(
+                            G[pos], b[pos, :, None])[:, 0]
+                    except np.linalg.LinAlgError:
+                        bad.append(pos)
+                if bad:
+                    singular.extend(int(p) for p in active[bad])
+                    keep = np.ones(active.size, dtype=bool)
+                    keep[bad] = False
+                    active = active[keep]
+                    x_new = x_new[keep]
+                    if active.size == 0:
+                        break
+            delta = x_new - x[active]
+            dv = delta[:, :n_nodes]
+            np.clip(dv, -max_step, max_step, out=dv)
+            x[active] = x[active] + delta
+            iterations[active] = iteration
+            converged = np.max(np.abs(dv), axis=1, initial=0.0) < vtol
+            active = active[~converged]
+        failed = sorted(set(int(a) for a in active) | set(singular))
+        return x, iterations, failed
+
+    # -- analyses ----------------------------------------------------------
+    def solve_dc(self, active=None, max_iter=_dc.MAX_ITER, vtol=_dc.VTOL,
+                 use_homotopy=True):
+        """Stacked DC operating points (masked Newton, scalar demotion).
+
+        Equivalent to :func:`repro.circuit.dc.solve_dc` per instance
+        (bit for bit; see the module parity contract).  Instances whose
+        plain batched Newton fails re-run individually through the
+        scalar solver's homotopy fallbacks; instances that still fail
+        land in ``errors`` instead of raising.
+        """
+        idx = self._resolve_active(active)
+        n = self.n_unknowns
+        G0, b0 = self._assemble_static(idx)
+        x0 = np.zeros((idx.size, n))
+        x, iters, failed = self._newton_masked(
+            G0, b0, x0, idx, _dc.MAX_STEP, vtol, max_iter)
+
+        X = np.full((self.size, n), np.nan)
+        iterations = np.zeros(self.size, dtype=int)
+        errors: list = [None] * self.size
+        solved = np.zeros(self.size, dtype=bool)
+        X[idx] = x
+        iterations[idx] = iters
+        solved[idx] = True
+        for local in failed:
+            k = int(idx[local])
+            solved[k] = False
+            X[k] = np.nan
+            try:
+                res = _dc.solve_dc(self._circuits[k], max_iter=max_iter,
+                                   vtol=vtol, use_homotopy=use_homotopy)
+            except ConvergenceError as exc:
+                errors[k] = exc
+                continue
+            X[k] = res.x
+            iterations[k] = res.iterations
+            solved[k] = True
+        return BatchDCResult(self, X, iterations, errors, solved)
+
+    def solve_ac(self, freqs, x_op, active=None):
+        """Stacked AC sweeps linearized at the operating points ``x_op``.
+
+        ``x_op`` is the ``(B, n)`` stack from :meth:`solve_dc` (rows of
+        inactive instances are ignored; an active instance whose row
+        is non-finite -- its DC solve failed -- gets an
+        :class:`AnalysisError` entry instead of silently solving a NaN
+        system).  All instance x frequency
+        systems are solved through stacked LAPACK calls in
+        memory-bounded chunks; a singular instance is dropped from the
+        stack with the scalar error recorded, never failing its peers.
+        """
+        freqs = np.asarray(list(freqs), dtype=float)
+        if freqs.size == 0:
+            raise AnalysisError("AC analysis needs at least one frequency")
+        if np.any(freqs <= 0):
+            raise AnalysisError("AC analysis frequencies must be positive")
+        idx = self._resolve_active(active)
+        n = self.n_unknowns
+        n_freqs = freqs.size
+
+        X = np.full((self.size, n_freqs, n), np.nan, dtype=complex)
+        errors: list = [None] * self.size
+        solved = np.zeros(self.size, dtype=bool)
+
+        # An instance without a finite operating point (its DC solve
+        # failed) cannot be linearized: record the failure instead of
+        # silently stamping NaNs (LAPACK does not flag NaN systems).
+        finite = np.all(np.isfinite(x_op[idx]), axis=1)
+        for pos in np.flatnonzero(~finite):
+            k = int(idx[pos])
+            errors[k] = AnalysisError(
+                "no finite operating point for {!r}; its DC solve "
+                "failed".format(self._circuits[k].title))
+        idx = idx[finite]
+
+        work = idx.copy()
+        G_base, b = self._assemble_ac(x_op, work)
+        coefs = [(i, j, _take(vals, work))
+                 for (i, j, vals) in self._reactive_entries]
+
+        block = max(1, AC_CHUNK_ENTRIES // max(1, work.size * n * n))
+        start = 0
+        while start < n_freqs and work.size:
+            f_blk = freqs[start:start + block]
+            omega = 2.0 * np.pi * f_blk
+            m, nb = work.size, f_blk.size
+            G = np.repeat(G_base[:, None], nb, axis=1)
+            for (i, j, coef) in coefs:
+                G[:, :, i, j] += omega[None, :] * coef[:, None]
+            rhs = np.repeat(b[:, None], nb, axis=1)[..., None]
+            try:
+                sol = np.linalg.solve(
+                    G.reshape(m * nb, n, n),
+                    rhs.reshape(m * nb, n, 1))
+                X[work, start:start + nb] = sol[..., 0].reshape(m, nb, n)
+            except np.linalg.LinAlgError:
+                bad = []
+                for p in range(m):
+                    for q in range(nb):
+                        try:
+                            X[work[p], start + q] = np.linalg.solve(
+                                G[p, q], rhs[p, q])[:, 0]
+                        except np.linalg.LinAlgError:
+                            bad.append(p)
+                            errors[int(work[p])] = AnalysisError(
+                                "singular AC system at {:g} Hz in "
+                                "{!r}".format(
+                                    f_blk[q],
+                                    self._circuits[int(work[p])].title))
+                            X[int(work[p])] = np.nan
+                            break
+                if bad:
+                    keep = np.ones(m, dtype=bool)
+                    keep[bad] = False
+                    work = work[keep]
+                    G_base = G_base[keep]
+                    b = b[keep]
+                    coefs = [(i, j, coef[keep])
+                             for (i, j, coef) in coefs]
+            start += block
+        solved[work] = True
+        return BatchACResult(self, freqs, X, errors, solved)
+
+    def solve_transient(self, t_stop, dt, active=None, method="trap"):
+        """Stacked fixed-step transient integration.
+
+        Starts from the stacked DC operating point (like the scalar
+        :func:`~repro.circuit.transient.solve_transient` with
+        ``x0=None``), assembles the companion conductance stack once
+        per (step size, integration method), and runs a masked batched
+        Newton per step, warm-started from the previous step.  An
+        instance that fails a step is demoted: its whole run is redone
+        through the scalar path (including the local step-halving
+        retries the scalar integrator applies).
+        """
+        if method not in ("trap", "be"):
+            raise ConvergenceError(
+                "unknown integration method {!r}".format(method))
+        idx = self._resolve_active(active)
+        n = self.n_unknowns
+        n_steps = int(round(t_stop / dt))
+        t_grid = np.linspace(0.0, n_steps * dt, n_steps + 1)
+
+        X = np.full((self.size, n_steps + 1, n), np.nan)
+        solved = np.zeros(self.size, dtype=bool)
+
+        dc = self.solve_dc(active=idx)
+        errors: list = list(dc.errors)
+        work = np.array([k for k in idx if dc.errors[k] is None],
+                        dtype=int)
+        demoted = []
+
+        x = dc.x[work]
+        X[work, 0] = x
+        states = [h.init_state(x, work) for h in self._reactive]
+        G_be = self._assemble_tran_G(dt, False, work)
+        G_main = (self._assemble_tran_G(dt, True, work)
+                  if method != "be" else G_be)
+
+        for k in range(1, n_steps + 1):
+            if work.size == 0:
+                break
+            t_new = t_grid[k]
+            trap_step = (k != 1 and method == "trap")
+            G_static = G_main if trap_step else G_be
+            for handler, state in zip(self._reactive, states):
+                handler.prepare_step(state, dt, trap_step, work)
+            b_step = self._assemble_tran_b(t_new, states, work)
+            x_new, _, failed = self._newton_masked(
+                G_static, b_step, x, work, TRAN_MAX_STEP,
+                _tran.VTOL, _tran.MAX_ITER)
+            if failed:
+                demoted.extend(int(work[p]) for p in failed)
+                keep = np.ones(work.size, dtype=bool)
+                keep[failed] = False
+                work = work[keep]
+                x_new = x_new[keep]
+                same = G_main is G_be
+                G_be = G_be[keep]
+                G_main = G_be if same else G_main[keep]
+                states = [{key: val[keep] for key, val in state.items()}
+                          for state in states]
+                if work.size == 0:
+                    break
+            x = x_new
+            for handler, state in zip(self._reactive, states):
+                handler.update_state(state, x, dt, trap_step, work)
+            X[work, k] = x
+        solved[work] = True
+
+        for k in demoted:
+            try:
+                res = _tran.solve_transient(
+                    self._circuits[k], t_stop, dt, method=method)
+            except ConvergenceError as exc:
+                errors[k] = exc
+                X[k] = np.nan
+                continue
+            X[k] = res._X
+            solved[k] = True
+        return BatchTransientResult(self, t_grid, X, errors, solved)
+
+    def __repr__(self):
+        return "CircuitBatch({!r}, B={}, n={})".format(
+            self._proto.title, self.size, self.n_unknowns)
+
+
+def solve_dc_batch(circuits, **kwargs):
+    """One-shot stacked DC solve; see :meth:`CircuitBatch.solve_dc`."""
+    return CircuitBatch(circuits).solve_dc(**kwargs)
+
+
+def solve_ac_batch(circuits, freqs, x_op, **kwargs):
+    """One-shot stacked AC sweep; see :meth:`CircuitBatch.solve_ac`."""
+    return CircuitBatch(circuits).solve_ac(freqs, x_op, **kwargs)
+
+
+def solve_transient_batch(circuits, t_stop, dt, **kwargs):
+    """One-shot stacked transient; see :meth:`CircuitBatch.solve_transient`."""
+    return CircuitBatch(circuits).solve_transient(t_stop, dt, **kwargs)

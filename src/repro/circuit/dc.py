@@ -15,7 +15,7 @@ point converge reliably across Monte-Carlo corners.
 
 import numpy as np
 
-from repro.errors import ConvergenceError
+from repro.errors import CircuitError, ConvergenceError
 
 #: Default absolute node-voltage convergence tolerance (V).
 VTOL = 1e-9
@@ -60,15 +60,63 @@ class DCResult:
             self.x.size, self.iterations)
 
 
-def _assemble_static(circuit):
-    """Build the static conductance matrix and DC right-hand side."""
+def assemble_static_G(circuit):
+    """Build the static (device-value) conductance matrix only.
+
+    The static stamps are independent of the source values, so a DC
+    sweep can assemble this matrix once and reuse it across every sweep
+    point (and every homotopy fallback attempt within a point).
+    """
     n = circuit.n_unknowns
     G = np.zeros((n, n))
-    b = np.zeros(n)
     for device in circuit.devices:
         device.stamp_static(G)
-        device.stamp_dc(G, b)
-    return G, b
+    return G
+
+
+#: Zero-size stand-in for ``G`` once a circuit's stamp_dc hooks are
+#: known not to touch it (writing to it raises, never silently drops).
+_NO_G = np.zeros((0, 0))
+
+
+def assemble_dc_b(circuit):
+    """Build the DC right-hand side (source values, inductor shorts).
+
+    No built-in ``stamp_dc`` writes to ``G``.  A user device that does
+    would silently lose its contribution here (the matrix is assembled
+    separately), so the first assembly of a circuit stamps into a
+    scratch matrix and rejects such devices loudly; the verdict is
+    cached per device list, keeping every later call -- this is the
+    Monte-Carlo hot path -- allocation- and scan-free.
+    """
+    n = circuit.n_unknowns
+    b = np.zeros(n)
+    if getattr(circuit, "_stamp_dc_pure_count", None) == len(circuit):
+        for device in circuit.devices:
+            device.stamp_dc(_NO_G, b)
+        return b
+    scratch_G = np.zeros((n, n))
+    for device in circuit.devices:
+        device.stamp_dc(scratch_G, b)
+    if scratch_G.any():
+        raise CircuitError(
+            "a stamp_dc implementation in {!r} writes to G; the split "
+            "DC assembly requires conductance stamps to live in "
+            "stamp_static".format(circuit.title))
+    circuit._stamp_dc_pure_count = len(circuit)
+    return b
+
+
+def _assemble_static(circuit):
+    """Build the static conductance matrix and DC right-hand side.
+
+    Split into :func:`assemble_static_G` / :func:`assemble_dc_b` so
+    callers that re-solve the same circuit with different source values
+    (DC sweeps) can reuse the matrix; no built-in ``stamp_dc`` touches
+    ``G``, so splitting the loops preserves every accumulation order
+    bit for bit.
+    """
+    return assemble_static_G(circuit), assemble_dc_b(circuit)
 
 
 def _newton(circuit, G0, b0, nonlinear, x0, gshunt=0.0, source_scale=1.0,
@@ -104,7 +152,7 @@ def _newton(circuit, G0, b0, nonlinear, x0, gshunt=0.0, source_scale=1.0,
 
 
 def solve_dc(circuit, x0=None, max_iter=MAX_ITER, vtol=VTOL,
-             use_homotopy=True):
+             use_homotopy=True, static=None):
     """Compute the DC operating point of ``circuit``.
 
     Parameters
@@ -118,6 +166,12 @@ def solve_dc(circuit, x0=None, max_iter=MAX_ITER, vtol=VTOL,
     use_homotopy:
         When True (default), fall back to gmin stepping and then source
         stepping if the plain Newton iteration fails.
+    static:
+        Optional precomputed ``(G0, b0)`` pair from
+        :func:`assemble_static_G` / :func:`assemble_dc_b`.  Repeated
+        solves of one circuit (DC sweeps, warm-started retries) pass
+        this to skip re-stamping; the assembly is already shared across
+        all homotopy fallback attempts within one call.
 
     Returns
     -------
@@ -130,7 +184,7 @@ def solve_dc(circuit, x0=None, max_iter=MAX_ITER, vtol=VTOL,
     """
     circuit.compile()
     _, nonlinear, _ = circuit.partition()
-    G0, b0 = _assemble_static(circuit)
+    G0, b0 = _assemble_static(circuit) if static is None else static
     n = circuit.n_unknowns
     x = np.zeros(n) if x0 is None else np.asarray(x0, dtype=float).copy()
 

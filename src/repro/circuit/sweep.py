@@ -10,7 +10,12 @@ the same continuation idea as the homotopy fallbacks in
 
 import numpy as np
 
-from repro.circuit.dc import DCResult, solve_dc
+from repro.circuit.dc import (
+    DCResult,
+    assemble_dc_b,
+    assemble_static_G,
+    solve_dc,
+)
 from repro.circuit.devices import Dc, VoltageSource, CurrentSource
 from repro.errors import AnalysisError, ConvergenceError
 
@@ -88,16 +93,23 @@ def sweep_dc(circuit, source_name, values, max_iter=120):
 
     original = device.wave.dc
     circuit.compile()
+    # The static stamps do not depend on the swept source value; only
+    # the right-hand side changes per point, so the matrix is assembled
+    # once for the whole sweep (and all homotopy retries within it).
+    G0 = assemble_static_G(circuit)
     X = np.empty((values.size, circuit.n_unknowns))
     x_seed = None
     try:
         for k, value in enumerate(values):
             device.wave.dc = float(value)
+            b0 = assemble_dc_b(circuit)
             try:
-                op = solve_dc(circuit, x0=x_seed, max_iter=max_iter)
+                op = solve_dc(circuit, x0=x_seed, max_iter=max_iter,
+                              static=(G0, b0))
             except ConvergenceError:
                 # Retry cold with the full homotopy arsenal.
-                op = solve_dc(circuit, max_iter=max_iter)
+                op = solve_dc(circuit, max_iter=max_iter,
+                              static=(G0, b0))
             X[k] = op.x
             x_seed = op.x
     finally:

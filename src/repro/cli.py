@@ -24,8 +24,12 @@ On the simulating commands (``fig5``, ``table3``, ``cost``,
 ``batch``), ``--sim-jobs N`` fans the Monte-Carlo device simulations
 out across worker processes through
 :mod:`repro.runtime.simulation` -- per-instance seeding makes the
-populations bit-identical at any worker count; ``batch`` simulates
-all its lots through one scheduler.  On the greedy-loop commands
+populations bit-identical at any worker count -- and
+``--sim-engine batched`` additionally stacks whole instance
+populations into single LAPACK solves through the batched MNA kernel
+(:mod:`repro.circuit.batch`; identical datasets, several times faster
+per core); ``batch`` simulates all its lots through one scheduler.
+On the greedy-loop commands
 (``fig5``, ``batch``), ``--jobs N`` additionally routes compaction
 through the parallel cache-aware engine of :mod:`repro.runtime`
 (identical results at any worker count, less wall clock); ``batch``
@@ -38,7 +42,8 @@ loads such an artifact in a fresh process and streams simulated
 production lots through the :class:`~repro.floor.engine.TestFloor`,
 reporting per-lot yield loss, defect escape, cost, throughput and
 drift alarms.  The round trip is deterministic: the same artifact and
-seeds disposition identically at any ``--batch-size``/``--sim-jobs``.
+seeds disposition identically at any
+``--batch-size``/``--sim-jobs``/``--sim-engine``.
 
 ``serve`` hosts a registry of deployed artifacts behind the asyncio
 HTTP/JSON floor service of :mod:`repro.service` (micro-batching,
@@ -97,7 +102,7 @@ def _simulate_pair(bench, args):
 
     return generate_many(
         [(bench, args.train, args.seed), (bench, args.test, args.seed + 1)],
-        n_jobs=args.sim_jobs)
+        n_jobs=args.sim_jobs, engine=args.sim_engine)
 
 
 def _bench(device):
@@ -214,7 +219,8 @@ def cmd_batch(args):
     # One scheduler simulates every lot's instances concurrently; the
     # per-instance seed tree keeps the datasets identical to 2*lots
     # separate generate_dataset calls at any --sim-jobs.
-    populations = generate_many(requests, n_jobs=args.sim_jobs)
+    populations = generate_many(requests, n_jobs=args.sim_jobs,
+                                engine=args.sim_engine)
     pairs = list(zip(populations[0::2], populations[1::2]))
 
     engine = CompactionEngine(
@@ -314,7 +320,8 @@ def cmd_floor(args):
     print("Streaming {} lot(s) of {} simulated {} devices...".format(
         args.lots, args.devices, device), file=sys.stderr)
     try:
-        report = floor.run_lots(bench, lots, n_jobs=args.sim_jobs)
+        report = floor.run_lots(bench, lots, n_jobs=args.sim_jobs,
+                                engine=args.sim_engine)
     except ReproError as exc:
         # e.g. an artifact trained on a different bench's ranges, or
         # an exhausted simulation failure budget.
@@ -484,6 +491,12 @@ def build_parser():
                        help="worker processes for Monte-Carlo "
                             "generation (-1 = all CPUs; default "
                             "serial; identical datasets at any count)")
+        p.add_argument("--sim-engine", choices=("scalar", "batched"),
+                       default="scalar",
+                       help="device-simulation engine: 'batched' "
+                            "stacks whole instance populations into "
+                            "single LAPACK solves (identical datasets "
+                            "either way; composes with --sim-jobs)")
         return p
 
     add("table1", cmd_table1)

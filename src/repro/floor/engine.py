@@ -338,14 +338,16 @@ class TestFloor:
     # -- simulated traffic -------------------------------------------------
     def run_simulated(self, dut, n_devices, seed, n_jobs=None,
                       batch_size=None, lot=None, max_failures=None,
-                      keep_decisions=False):
+                      keep_decisions=False, engine="scalar"):
         """Stream a simulated Monte-Carlo population through the floor.
 
         Devices come from the deterministic per-instance seed tree
         (:func:`repro.runtime.simulation.generate_instance_batches`):
         the population -- and therefore every decision and count in
-        the report -- is identical at any ``n_jobs`` and any
-        ``batch_size``, and is never materialized in full.
+        the report -- is identical at any ``n_jobs``, any
+        ``batch_size`` and either simulation ``engine``
+        (``"batched"`` vectorizes the device simulations through the
+        stacked MNA kernel), and is never materialized in full.
         """
         from repro.runtime.simulation import generate_instance_batches
 
@@ -354,19 +356,20 @@ class TestFloor:
                       else int(batch_size))
         stream = generate_instance_batches(
             dut, n_devices, seed, batch_size=batch_size,
-            n_jobs=n_jobs, max_failures=max_failures)
+            n_jobs=n_jobs, max_failures=max_failures, engine=engine)
         return self.run_stream(
             stream, batch_size=batch_size,
             lot=("seed={}".format(seed) if lot is None else lot),
             keep_decisions=keep_decisions)
 
     def run_lots(self, dut, lots, n_jobs=None, batch_size=None,
-                 keep_decisions=False):
+                 keep_decisions=False, engine="scalar"):
         """Run a lot schedule; returns a :class:`FloorReport`.
 
         ``lots`` is a sequence of ``(n_devices, seed)`` pairs, one per
         production lot.  Lots stream in order; within a lot the
-        simulation fans out across ``n_jobs`` workers.
+        simulation fans out across ``n_jobs`` workers (and/or through
+        the batched kernel with ``engine="batched"``).
         """
         reports = []
         for index, (n_devices, seed) in enumerate(lots):
@@ -374,7 +377,7 @@ class TestFloor:
                 dut, n_devices, seed, n_jobs=n_jobs,
                 batch_size=batch_size,
                 lot="lot{}(seed={})".format(index, seed),
-                keep_decisions=keep_decisions))
+                keep_decisions=keep_decisions, engine=engine))
         return FloorReport(tuple(reports))
 
     def __repr__(self):

@@ -20,8 +20,10 @@ paper, where both devices go through Spectre.
 import numpy as np
 
 from repro.circuit.ac import solve_ac
+from repro.circuit.batch import CircuitBatch
 from repro.circuit.dc import solve_dc
 from repro.circuit.netlist import Circuit
+from repro.errors import ReproError
 from repro.mems import mechanics
 
 
@@ -72,3 +74,52 @@ def frequency_response(geometry, freqs, temperature_c=mechanics.T_ROOM):
     # the displacement extraction needs.
     displacement = np.abs(velocity) / omega
     return displacement
+
+
+def frequency_response_batch(geometries, freqs,
+                             temperature_c=mechanics.T_ROOM):
+    """Displacement responses of many instances through one solve stack.
+
+    The batched counterpart of :func:`frequency_response`: every
+    instance's series-RLC equivalent is stacked into one
+    :class:`~repro.circuit.batch.CircuitBatch` and the whole
+    instance x frequency sweep goes through stacked LAPACK solves --
+    values bit-identical to the scalar path per instance.
+
+    Returns
+    -------
+    (numpy.ndarray, list)
+        ``(B, n_freqs)`` displacement magnitudes (NaN rows for failed
+        instances) and the per-instance error list (``None`` on
+        success).  A failure -- e.g. thermal buckling making the
+        equivalent circuit unbuildable -- stays confined to its
+        instance.
+    """
+    n = len(geometries)
+    errors = [None] * n
+    keys, circuits = [], []
+    for k, geometry in enumerate(geometries):
+        try:
+            circuits.append(
+                build_equivalent_circuit(geometry, temperature_c)[0])
+        except ReproError as exc:
+            errors[k] = exc
+        else:
+            keys.append(k)
+
+    omega = 2.0 * np.pi * np.asarray(list(freqs), dtype=float)
+    displacement = np.full((n, omega.size), np.nan)
+    if keys:
+        batch = CircuitBatch(circuits)
+        op = batch.solve_dc()
+        live = [pos for pos in range(len(keys))
+                if op.errors[pos] is None]
+        ac = batch.solve_ac(freqs, op.x, active=live)
+        velocity = ac.branch_current("Fdrive")
+        for pos, k in enumerate(keys):
+            error = op.errors[pos] or ac.errors[pos]
+            if error is not None:
+                errors[k] = error
+            elif pos in live:
+                displacement[k] = np.abs(velocity[pos]) / omega
+    return displacement, errors

@@ -105,13 +105,12 @@ def fit_second_order(freqs, response):
     return float(a), float(f0), float(q)
 
 
-def measure_at_temperature(geometry, temperature_c):
-    """Measure the four specifications of one instance at one temperature.
+def _specs_from_response(geometry, response):
+    """The four per-temperature specs from a displacement response.
 
-    Returns a dict keyed by *base* specification name.
+    Shared by the scalar and batched measurement paths so both extract
+    identically from identical sweeps.
     """
-    response = frequency_response(geometry, SWEEP_FREQUENCIES,
-                                  temperature_c)
     m = mechanics.effective_mass(geometry)
 
     # Resonance parameters by curve fitting the simulated response.
@@ -135,6 +134,23 @@ def measure_at_temperature(geometry, temperature_c):
         "quality_factor": q,
         "bw_3db": bw / 1e3,
     }
+
+
+def _named_specs_from_response(geometry, response, temperature_c):
+    """Like :func:`_specs_from_response`, keyed by full test names."""
+    return {test_name(base, temperature_c): value
+            for base, value in
+            _specs_from_response(geometry, response).items()}
+
+
+def measure_at_temperature(geometry, temperature_c):
+    """Measure the four specifications of one instance at one temperature.
+
+    Returns a dict keyed by *base* specification name.
+    """
+    response = frequency_response(geometry, SWEEP_FREQUENCIES,
+                                  temperature_c)
+    return _specs_from_response(geometry, response)
 
 
 def measure_accelerometer(geometry=None):
@@ -192,13 +208,46 @@ class AccelerometerBench:
         return np.array([measured[name]
                          for name in self.specifications.names])
 
+    def measure_batch(self, geometries):
+        """Measure many instances through the batched MNA kernel.
+
+        All instances' displacement sweeps at each insertion
+        temperature run as one stacked solve
+        (:func:`repro.mems.accelerometer.frequency_response_batch`);
+        the per-instance curve fits and spec extraction reuse the
+        scalar code, so every row is bit-identical to :meth:`measure`.
+        Returns one value row (or the instance's
+        :class:`~repro.errors.ReproError`) per input.
+        """
+        from repro.mems.accelerometer import frequency_response_batch
+        from repro.process.montecarlo import BatchPopulation
+
+        pop = BatchPopulation(len(geometries))
+        pop.build(lambda geometry: geometry.validate(), geometries)
+
+        for temp in TEMPERATURES:
+            live = pop.live()
+            if not live:
+                break
+            response, batch_errors = frequency_response_batch(
+                [geometries[k] for k in live], SWEEP_FREQUENCIES, temp)
+            alive = set(pop.absorb(live, batch_errors))
+            for pos, k in enumerate(live):
+                if k in alive:
+                    pop.extract(k, _named_specs_from_response,
+                                geometries[k], response[pos], temp)
+        return pop.rows(self.specifications.names)
+
     def generate_dataset(self, n_instances, seed, on_error="resample",
                          n_jobs=None, seed_mode="per-instance",
-                         max_failures=None, return_report=False):
+                         max_failures=None, return_report=False,
+                         engine="scalar"):
         """Convenience wrapper around the Monte-Carlo generator.
 
         ``n_jobs`` fans the instance simulations out across worker
-        processes (bit-identical dataset at any worker count); see
+        processes and ``engine="batched"`` routes whole slot batches
+        through the vectorized MNA kernel (bit-identical dataset at any
+        worker count and either engine); see
         :func:`repro.process.montecarlo.generate_dataset`.
         """
         from repro.process.montecarlo import generate_dataset
@@ -207,4 +256,5 @@ class AccelerometerBench:
                                 on_error=on_error, n_jobs=n_jobs,
                                 seed_mode=seed_mode,
                                 max_failures=max_failures,
-                                return_report=return_report)
+                                return_report=return_report,
+                                engine=engine)

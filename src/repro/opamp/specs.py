@@ -29,12 +29,13 @@ import numpy as np
 
 from repro.circuit import analysis as ana
 from repro.circuit.ac import solve_ac
+from repro.circuit.batch import CircuitBatch
 from repro.circuit.dc import solve_dc
 from repro.circuit.devices import Pulse
 from repro.circuit.netlist import Circuit
 from repro.circuit.transient import solve_transient
 from repro.core.specs import Specification, SpecificationSet
-from repro.errors import AnalysisError
+from repro.errors import AnalysisError, ReproError
 from repro.opamp.design import OpAmpParameters, build_opamp
 
 #: Input common-mode voltage used by every testbench (V).
@@ -122,6 +123,48 @@ def _short_bench(params):
     return ckt
 
 
+def _small_step_wave():
+    """The shared small-step (rise/overshoot/settling) input pulse."""
+    return Pulse(VCM - STEP_AMPLITUDE / 2, VCM + STEP_AMPLITUDE / 2,
+                 delay=STEP_DELAY, rise=5e-9)
+
+
+def _slew_wave():
+    """The shared large-step (slew-rate) input pulse."""
+    return Pulse(VCM - SLEW_SWING / 2, VCM + SLEW_SWING / 2,
+                 delay=SLEW_DELAY, rise=2e-8)
+
+
+def _open_loop_values(vout):
+    """gain / bw_3db / ugf from the open-loop magnitude response."""
+    values = {"gain": float(vout[0]),
+              "bw_3db": ana.bandwidth_3db(AC_FREQUENCIES, vout)}
+    try:
+        values["ugf"] = ana.unity_gain_frequency(AC_FREQUENCIES, vout) / 1e6
+    except AnalysisError:
+        values["ugf"] = 0.0  # dead amplifier: guaranteed range failure
+    return values
+
+
+def _small_step_values(t, y):
+    """rise_time / overshoot / settling_time from the step response."""
+    y_start = float(np.interp(STEP_DELAY, t, y))
+    y_end = float(np.mean(y[t > STEP_T - 5 * STEP_DT]))
+    values = {
+        "rise_time": ana.rise_time(t, y, y_start, y_end) * 1e9,
+        "overshoot": ana.overshoot(
+            y[t >= STEP_DELAY], y_start, y_end) * 100.0,
+    }
+    try:
+        values["settling_time"] = ana.settling_time(
+            t, y, y_end, band=0.01, t_step=STEP_DELAY) * 1e9
+    except AnalysisError:
+        # Never settled inside the window: clamp to the window length,
+        # which is far outside the acceptability range.
+        values["settling_time"] = (STEP_T - STEP_DELAY) * 1e9
+    return values
+
+
 def measure_opamp(params=None):
     """Measure all eleven specifications of one op-amp instance.
 
@@ -149,13 +192,7 @@ def measure_opamp(params=None):
     ckt.device("Vinp").ac = 0.5
     ckt.device("Vac2").ac = -0.5
     diff = solve_ac(ckt, AC_FREQUENCIES, op)
-    vout = np.abs(diff.v("out"))
-    values["gain"] = float(vout[0])
-    values["bw_3db"] = ana.bandwidth_3db(AC_FREQUENCIES, vout)
-    try:
-        values["ugf"] = ana.unity_gain_frequency(AC_FREQUENCIES, vout) / 1e6
-    except AnalysisError:
-        values["ugf"] = 0.0  # dead amplifier: guaranteed range failure
+    values.update(_open_loop_values(np.abs(diff.v("out"))))
 
     ckt.device("Vinp").ac = 1.0
     ckt.device("Vac2").ac = 1.0
@@ -169,28 +206,12 @@ def measure_opamp(params=None):
     values["psrr_gain"] = float(np.abs(ps.v("out"))[0])
 
     # ---- small-step transient: rise time, overshoot, settling ----------
-    small = _unity_bench(params, Pulse(
-        VCM - STEP_AMPLITUDE / 2, VCM + STEP_AMPLITUDE / 2,
-        delay=STEP_DELAY, rise=5e-9))
+    small = _unity_bench(params, _small_step_wave())
     tr = solve_transient(small, STEP_T, STEP_DT)
-    t, y = tr.t, tr.v("out")
-    y_start = float(np.interp(STEP_DELAY, t, y))
-    y_end = float(np.mean(y[t > STEP_T - 5 * STEP_DT]))
-    values["rise_time"] = ana.rise_time(t, y, y_start, y_end) * 1e9
-    values["overshoot"] = ana.overshoot(
-        y[t >= STEP_DELAY], y_start, y_end) * 100.0
-    try:
-        values["settling_time"] = ana.settling_time(
-            t, y, y_end, band=0.01, t_step=STEP_DELAY) * 1e9
-    except AnalysisError:
-        # Never settled inside the window: clamp to the window length,
-        # which is far outside the acceptability range.
-        values["settling_time"] = (STEP_T - STEP_DELAY) * 1e9
+    values.update(_small_step_values(tr.t, tr.v("out")))
 
     # ---- large-step transient: slew rate --------------------------------
-    big = _unity_bench(params, Pulse(
-        VCM - SLEW_SWING / 2, VCM + SLEW_SWING / 2,
-        delay=SLEW_DELAY, rise=2e-8))
+    big = _unity_bench(params, _slew_wave())
     tr2 = solve_transient(big, SLEW_T, SLEW_DT)
     values["slew_rate"] = ana.slew_rate(tr2.t, tr2.v("out")) / 1e6  # V/us
 
@@ -200,6 +221,113 @@ def measure_opamp(params=None):
     values["isc"] = abs(op_sc.branch_current("Vshort")) * 1e3  # mA
 
     return values
+
+
+def measure_opamp_batch(params_list):
+    """Measure many op-amp instances through the batched MNA kernel.
+
+    Runs the same five analyses as :func:`measure_opamp` -- AC bench DC
+    + three AC sweeps, small- and large-step transients, short-circuit
+    DC -- but stacked across the whole population via
+    :class:`repro.circuit.batch.CircuitBatch`, so each Newton
+    iteration, frequency point and time step is one LAPACK call instead
+    of ``len(params_list)`` Python loops.  Values are bit-identical to
+    the scalar path per instance (the MOSFET-only netlists meet the
+    kernel's exact-parity contract).
+
+    Returns
+    -------
+    list
+        Per instance (input order): the specification-value dict, or
+        the :class:`~repro.errors.ReproError` that instance's scalar
+        measurement would have raised.  Failures never propagate across
+        instances.
+    """
+    from repro.process.montecarlo import BatchPopulation
+
+    pop = BatchPopulation(len(params_list))
+
+    # ---- AC bench: Iq, open-loop sweep, CM gain, PSRR gain -------------
+    keys, circuits = pop.build(_ac_bench, params_list)
+    if keys:
+        batch = CircuitBatch(circuits)
+        position = {k: pos for pos, k in enumerate(keys)}
+        op = batch.solve_dc()
+        alive = pop.absorb(keys, op.errors)
+        iq = -op.branch_current("Vdd") * 1e6
+        for k in alive:
+            pop.values[k]["iq"] = float(iq[position[k]])
+
+        def ac_pass(vinp, vac2, vdd, freqs, active_keys):
+            """One batched AC configuration; returns surviving keys."""
+            for circuit in circuits:
+                circuit.device("Vinp").ac = vinp
+                circuit.device("Vac2").ac = vac2
+                circuit.device("Vdd").ac = vdd
+            res = batch.solve_ac(
+                freqs, op.x, active=[position[k] for k in active_keys])
+            return res, pop.absorb(
+                active_keys, [res.errors[position[k]]
+                              for k in active_keys])
+
+        diff, alive = ac_pass(0.5, -0.5, 0.0, AC_FREQUENCIES, alive)
+        vout = np.abs(diff.v("out"))
+        for k in alive:
+            pop.extract(k, _open_loop_values, vout[position[k]])
+        alive = [k for k in alive if pop.errors[k] is None]
+
+        cm, alive = ac_pass(1.0, 1.0, 0.0, [LOW_FREQ], alive)
+        cm_out = np.abs(cm.v("out"))
+        for k in alive:
+            pop.values[k]["cm_gain"] = float(cm_out[position[k], 0])
+
+        ps, alive = ac_pass(0.0, 0.0, 1.0, [LOW_FREQ], alive)
+        ps_out = np.abs(ps.v("out"))
+        for k in alive:
+            pop.values[k]["psrr_gain"] = float(ps_out[position[k], 0])
+
+    # ---- small-step transient: rise time, overshoot, settling ----------
+    keys, circuits = pop.build(
+        lambda p: _unity_bench(p, _small_step_wave()), params_list)
+    if keys:
+        tr = CircuitBatch(circuits).solve_transient(STEP_T, STEP_DT)
+        alive = pop.absorb(keys, tr.errors)
+        y_all = tr.v("out")
+        for pos, k in enumerate(keys):
+            if k in alive:
+                pop.extract(k, _small_step_values, tr.t, y_all[pos])
+
+    # ---- large-step transient: slew rate --------------------------------
+    keys, circuits = pop.build(
+        lambda p: _unity_bench(p, _slew_wave()), params_list)
+    if keys:
+        tr2 = CircuitBatch(circuits).solve_transient(SLEW_T, SLEW_DT)
+        alive = pop.absorb(keys, tr2.errors)
+        y_all = tr2.v("out")
+        for pos, k in enumerate(keys):
+            if k in alive:
+                pop.extract(
+                    k, lambda t, y: {
+                        "slew_rate": ana.slew_rate(t, y) / 1e6},
+                    tr2.t, y_all[pos])
+
+    # ---- short-circuit current ------------------------------------------
+    keys, circuits = pop.build(_short_bench, params_list)
+    if keys:
+        op_sc = CircuitBatch(circuits).solve_dc()
+        alive = pop.absorb(keys, op_sc.errors)
+        isc = np.abs(op_sc.branch_current("Vshort")) * 1e3
+        for pos, k in enumerate(keys):
+            if k in alive:
+                pop.values[k]["isc"] = float(isc[pos])
+
+    out = []
+    for k in range(len(params_list)):
+        if pop.errors[k] is not None:
+            out.append(pop.errors[k])
+        else:
+            out.append(pop.values[k])
+    return out
 
 
 class OpAmpBench:
@@ -242,13 +370,32 @@ class OpAmpBench:
         return np.array([measured[name]
                          for name in self.specifications.names])
 
+    def measure_batch(self, params_list):
+        """Measure many instances through the batched MNA kernel.
+
+        Returns one specification row (or the instance's
+        :class:`~repro.errors.ReproError`) per input, bit-identical to
+        :meth:`measure` per instance; see :func:`measure_opamp_batch`.
+        """
+        names = self.specifications.names
+        out = []
+        for measured in measure_opamp_batch(params_list):
+            if isinstance(measured, ReproError):
+                out.append(measured)
+            else:
+                out.append(np.array([measured[name] for name in names]))
+        return out
+
     def generate_dataset(self, n_instances, seed, on_error="resample",
                          n_jobs=None, seed_mode="per-instance",
-                         max_failures=None, return_report=False):
+                         max_failures=None, return_report=False,
+                         engine="scalar"):
         """Convenience wrapper around the Monte-Carlo generator.
 
         ``n_jobs`` fans the instance simulations out across worker
-        processes (bit-identical dataset at any worker count); see
+        processes and ``engine="batched"`` routes whole slot batches
+        through the vectorized MNA kernel (bit-identical dataset at any
+        worker count and either engine); see
         :func:`repro.process.montecarlo.generate_dataset`.
         """
         from repro.process.montecarlo import generate_dataset
@@ -257,7 +404,8 @@ class OpAmpBench:
                                 on_error=on_error, n_jobs=n_jobs,
                                 seed_mode=seed_mode,
                                 max_failures=max_failures,
-                                return_report=return_report)
+                                return_report=return_report,
+                                engine=engine)
 
 
 def measure_stability(params=None):

@@ -101,6 +101,19 @@ class DefectInjector:
         """Measure through the wrapped DUT (defects already applied)."""
         return self._dut.measure(params)
 
+    def __getattr__(self, name):
+        # measure_batch is exposed exactly when the wrapped DUT has
+        # one (defects are injected at sampling time, so the batched
+        # kernel sees defective parameter sets like any others); a
+        # wrapper around a scalar-only DUT must *not* advertise the
+        # batched protocol, or the engine's pre-flight validation
+        # would pass and the run would fail mid-flight instead.
+        if name == "measure_batch":
+            measure = getattr(self._dut, "measure_batch", None)
+            if measure is not None:
+                return measure
+        raise AttributeError(name)
+
     def __repr__(self):
         return "DefectInjector({!r}, rate={:g}, severity={:g})".format(
             getattr(self._dut, "name", type(self._dut).__name__),

@@ -37,6 +37,13 @@ Any object with these three members can be used as a device under test:
 ``measure(params)``
     Simulate the instance and return a 1-D value array aligned with
     ``specifications``.
+``measure_batch(params_list)`` (optional)
+    Simulate many instances at once, returning one entry per input:
+    either a value row or the :class:`~repro.errors.ReproError` that
+    instance's ``measure`` would have raised.  Implementing it enables
+    ``engine="batched"``, which routes whole slot waves through the
+    vectorized MNA kernel (:mod:`repro.circuit.batch`); the produced
+    dataset must be identical to ``measure`` per instance.
 
 :class:`repro.opamp.OpAmpBench` and :class:`repro.mems.AccelerometerBench`
 implement it; so can user-provided devices.  For parallel generation
@@ -53,6 +60,10 @@ from repro.process.dataset import SpecDataset
 
 #: Valid ``seed_mode`` values.
 SEED_MODES = ("per-instance", "sequential")
+
+#: Valid ``engine`` values (the single authoritative tuple;
+#: :mod:`repro.runtime.simulation` imports it from here).
+ENGINES = ("scalar", "batched")
 
 
 def default_max_failures(n_instances):
@@ -91,25 +102,101 @@ class GenerationReport:
                 .format(self.n_requested, self.n_simulated, self.n_failed))
 
 
-def _resolve_generation_mode(seed_mode, n_jobs):
-    """Validate the (seed_mode, n_jobs) combination; returns the mode."""
+class BatchPopulation:
+    """Per-instance bookkeeping for ``measure_batch`` implementations.
+
+    The DUT protocol's batched hook must confine every failure --
+    parameter validation, circuit build, batched solve, measurement
+    extraction -- to its own instance, mirroring what the scalar
+    ``measure`` would have raised for that instance alone.  This
+    helper centralizes that pattern (both real benches use it):
+    ``values[k]`` accumulates instance ``k``'s measurements and
+    ``errors[k]`` its first failure; an instance with an error drops
+    out of every subsequent stage.
+    """
+
+    def __init__(self, n):
+        self.values = [dict() for _ in range(n)]
+        self.errors = [None] * n
+
+    def live(self):
+        """Indices of instances with no recorded failure, in order."""
+        return [k for k in range(len(self.errors))
+                if self.errors[k] is None]
+
+    def build(self, factory, items):
+        """``factory(items[k])`` per live instance, failures confined.
+
+        Returns ``(keys, objects)``: the instance indices that built
+        successfully and the built objects, aligned.
+        """
+        keys, objects = [], []
+        for k in self.live():
+            try:
+                objects.append(factory(items[k]))
+            except ReproError as exc:
+                self.errors[k] = exc
+            else:
+                keys.append(k)
+        return keys, objects
+
+    def absorb(self, keys, batch_errors):
+        """Record per-instance batch failures; returns surviving keys."""
+        survivors = []
+        for pos, k in enumerate(keys):
+            if batch_errors[pos] is not None:
+                self.errors[k] = batch_errors[pos]
+            else:
+                survivors.append(k)
+        return survivors
+
+    def extract(self, k, fn, *args):
+        """Run one instance's measurement extraction, failure-confined."""
+        try:
+            self.values[k].update(fn(*args))
+        except ReproError as exc:
+            self.errors[k] = exc
+
+    def rows(self, names):
+        """One value row (or the instance's first error) per instance."""
+        out = []
+        for k in range(len(self.errors)):
+            if self.errors[k] is not None:
+                out.append(self.errors[k])
+            else:
+                out.append(np.array([self.values[k][name]
+                                     for name in names]))
+        return out
+
+
+def _resolve_generation_mode(seed_mode, n_jobs, engine="scalar"):
+    """Validate the (seed_mode, n_jobs, engine) combination."""
     if seed_mode not in SEED_MODES:
         raise DatasetError("seed_mode must be one of {}".format(
             list(SEED_MODES)))
-    if seed_mode == "sequential" and n_jobs is not None:
-        from repro.runtime.parallel import resolve_n_jobs
-
-        if resolve_n_jobs(n_jobs) > 1:
+    if engine not in ENGINES:
+        raise DatasetError("engine must be one of {}".format(
+            list(ENGINES)))
+    if seed_mode == "sequential":
+        if engine != "scalar":
             raise DatasetError(
-                "seed_mode='sequential' replays the order-dependent "
-                "legacy stream and cannot run in parallel; use "
-                "seed_mode='per-instance' with n_jobs")
+                "seed_mode='sequential' replays the legacy one-at-a-"
+                "time draw order and only supports engine='scalar'")
+        if n_jobs is not None:
+            from repro.runtime.parallel import resolve_n_jobs
+
+            if resolve_n_jobs(n_jobs) > 1:
+                raise DatasetError(
+                    "seed_mode='sequential' replays the order-dependent "
+                    "legacy stream and cannot run in parallel; use "
+                    "seed_mode='per-instance' with n_jobs")
     return seed_mode
 
 
 def generate_dataset(dut, n_instances, seed, on_error="resample",
                      max_failures=None, return_report=False,
-                     n_jobs=None, seed_mode="per-instance"):
+                     n_jobs=None, seed_mode="per-instance",
+                     engine="scalar"):
     """Generate a labeled Monte-Carlo :class:`SpecDataset` for ``dut``.
 
     Parameters
@@ -139,6 +226,13 @@ def generate_dataset(dut, n_instances, seed, on_error="resample",
     seed_mode:
         ``"per-instance"`` (default) or ``"sequential"`` (legacy
         shared-stream draw order, serial-only).
+    engine:
+        ``"scalar"`` (default, one ``dut.measure`` per instance) or
+        ``"batched"`` (whole slot chunks through ``dut.measure_batch``
+        and the stacked MNA kernel of :mod:`repro.circuit.batch`).
+        The dataset, report and abort behaviour are identical between
+        engines; ``"batched"`` requires the DUT to implement
+        ``measure_batch`` and the default ``seed_mode``.
 
     Returns
     -------
@@ -148,14 +242,14 @@ def generate_dataset(dut, n_instances, seed, on_error="resample",
         raise DatasetError("n_instances must be positive")
     if on_error not in ("resample", "raise"):
         raise DatasetError("on_error must be 'resample' or 'raise'")
-    _resolve_generation_mode(seed_mode, n_jobs)
+    _resolve_generation_mode(seed_mode, n_jobs, engine)
 
     if seed_mode == "per-instance":
         from repro.runtime.simulation import generate_instances
 
         values, report = generate_instances(
             dut, n_instances, seed, n_jobs=n_jobs, on_error=on_error,
-            max_failures=max_failures)
+            max_failures=max_failures, engine=engine)
     else:
         values, report = _generate_sequential(
             dut, n_instances, seed, on_error, max_failures)
@@ -212,7 +306,7 @@ def _generate_sequential(dut, n_instances, seed, on_error, max_failures):
 
 def generate_many(requests, n_jobs=None, on_error="resample",
                   max_failures=None, return_reports=False,
-                  seed_mode="per-instance"):
+                  seed_mode="per-instance", engine="scalar"):
     """Generate several independent Monte-Carlo populations at once.
 
     This is the lot scheduler for device x temperature x lot batches:
@@ -236,6 +330,9 @@ def generate_many(requests, n_jobs=None, on_error="resample",
     seed_mode:
         ``"per-instance"`` (default) or the serial-only
         ``"sequential"`` legacy order.
+    engine:
+        ``"scalar"`` or ``"batched"``, as in :func:`generate_dataset`,
+        applied to every request.
 
     Returns
     -------
@@ -249,7 +346,7 @@ def generate_many(requests, n_jobs=None, on_error="resample",
                 "generate_many expects (dut, n_instances, seed) requests")
     if on_error not in ("resample", "raise"):
         raise DatasetError("on_error must be 'resample' or 'raise'")
-    _resolve_generation_mode(seed_mode, n_jobs)
+    _resolve_generation_mode(seed_mode, n_jobs, engine)
 
     if seed_mode == "sequential":
         results = [_generate_sequential(dut, n, seed, on_error,
@@ -260,7 +357,7 @@ def generate_many(requests, n_jobs=None, on_error="resample",
 
         results = generate_lot_instances(
             [(dut, n, seed, max_failures) for dut, n, seed in requests],
-            n_jobs=n_jobs, on_error=on_error)
+            n_jobs=n_jobs, on_error=on_error, engine=engine)
 
     out = []
     for (dut, _, _), (values, report) in zip(requests, results):

@@ -19,7 +19,9 @@ runtime around that hot path:
     per-instance ``SeedSequence`` streams fan device simulation out
     across processes with bit-identical datasets at any worker count,
     including the :func:`~repro.runtime.simulation.
-    generate_lot_instances` scheduler for whole lot batches.
+    generate_lot_instances` scheduler for whole lot batches and the
+    ``engine="batched"`` switch that routes slot chunks through the
+    stacked MNA kernel (:mod:`repro.circuit.batch`).
 ``repro.runtime.parallel``
     The process-pool plumbing (worker resolution, ordered maps,
     serial fallbacks) everything above shares.
@@ -33,6 +35,7 @@ from repro.runtime.simulation import (
     generate_instances,
     generate_lot_instances,
     instance_streams,
+    simulate_slots_batched,
 )
 
 __all__ = [
@@ -46,5 +49,6 @@ __all__ = [
     "instance_streams",
     "parallel_map",
     "resolve_n_jobs",
+    "simulate_slots_batched",
     "speculation_plan",
 ]

@@ -44,6 +44,21 @@ DefectInjector` counting ``n_injected``) still produce correct data,
 but their in-process counters only reflect the instances their own
 copy simulated -- run them serially when the side state matters.
 
+Engines
+-------
+
+``engine="scalar"`` simulates slots one at a time through
+``dut.measure``.  ``engine="batched"`` gathers whole slot waves and
+routes them through ``dut.measure_batch`` -- the batched MNA kernel of
+:mod:`repro.circuit.batch`, which stacks every instance's circuit
+systems into single LAPACK calls.  The seed tree is untouched:
+parameters are still drawn per slot from per-slot streams (resamples
+included), so the dataset, the failure accounting and the abort
+decision are identical between engines, at any worker count, and the
+two compose (each worker process runs the batched kernel on its own
+slot chunks).  Slots that fail simulation are resampled in follow-up
+waves containing only the retrying slots.
+
 Entry points
 ------------
 
@@ -62,11 +77,49 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import DatasetError, ReproError
-from repro.process.montecarlo import GenerationReport, default_max_failures
+from repro.process.montecarlo import (
+    ENGINES,
+    GenerationReport,
+    default_max_failures,
+)
 from repro.runtime.parallel import make_pool, resolve_n_jobs
 
 #: Per-process worker state (set by :func:`_init_simulation_worker`).
 _WORKER = {}
+
+#: Slots per ``measure_batch`` call of the batched engine: large enough
+#: to amortize the stamp-plan compilation and stacked-solve overhead,
+#: small enough to bound the stacked-array working set (a transient
+#: waveform stack is ``slots x steps x unknowns`` floats).
+BATCH_SLOTS = 128
+
+
+def _require_engine(engine, duts):
+    """Validate the engine choice against the lot's DUTs."""
+    if engine not in ENGINES:
+        raise DatasetError("engine must be one of {}".format(
+            list(ENGINES)))
+    if engine == "batched":
+        for dut in duts:
+            if getattr(dut, "measure_batch", None) is None:
+                raise DatasetError(
+                    "DUT {!r} does not implement measure_batch; use "
+                    "engine='scalar'".format(
+                        getattr(dut, "name", type(dut).__name__)))
+
+
+def _batched_chunk_size(n_instances, n_jobs):
+    """Slots per batched task: cap chunks so every worker gets work.
+
+    With one worker the full :data:`BATCH_SLOTS` amortization wins;
+    with several, chunks shrink toward ``n_instances / n_jobs`` so the
+    batched kernel still composes with process fan-out on small
+    populations (chunk boundaries never change any value).
+    """
+    if n_jobs <= 1:
+        return BATCH_SLOTS
+    per_worker = -(-n_instances // n_jobs)  # ceil division
+    return max(1, min(BATCH_SLOTS, per_worker))
 
 
 def instance_streams(seed, n_instances):
@@ -134,6 +187,67 @@ def simulate_slot(dut, entropy, n_specs, on_error, failure_budget):
         return SlotResult(row, attempts, failures, None)
 
 
+def simulate_slots_batched(dut, entropies, n_specs, on_error,
+                           failure_budget):
+    """Simulate many instance slots through ``dut.measure_batch``.
+
+    The batched counterpart of :func:`simulate_slot`: one
+    ``measure_batch`` call simulates a whole wave of slots; slots whose
+    measurement failed are resampled (from their own streams, exactly
+    as the scalar loop would) and retried together in follow-up waves
+    until every slot succeeds or gives up.  Per-slot draw sequences,
+    failure lists, attempt counts and give-up decisions are identical
+    to running :func:`simulate_slot` on each entropy -- the wave
+    structure only changes *when* work happens, never what it computes.
+
+    ``dut.measure_batch(params_list)`` must return one entry per
+    parameter set, each either a 1-D value array or the
+    :class:`~repro.errors.ReproError` that instance's scalar
+    measurement would have raised.
+    """
+    n = len(entropies)
+    rngs = [np.random.default_rng(entropy) for entropy in entropies]
+    attempts = [0] * n
+    failures = [[] for _ in range(n)]
+    first_error = [None] * n
+    rows = [None] * n
+    active = list(range(n))
+    while active:
+        params = [dut.sample_parameters(rngs[slot]) for slot in active]
+        results = dut.measure_batch(params)
+        if len(results) != len(active):
+            raise DatasetError(
+                "DUT measure_batch() returned {} results for {} "
+                "parameter sets".format(len(results), len(active)))
+        retry = []
+        for slot, result in zip(active, results):
+            attempts[slot] += 1
+            if isinstance(result, ReproError):
+                message, error = str(result), result
+            else:
+                row = np.asarray(result, dtype=float)
+                if row.shape != (n_specs,):
+                    raise DatasetError(
+                        "DUT measure_batch() returned shape {}, "
+                        "expected ({},)".format(row.shape, n_specs))
+                if np.all(np.isfinite(row)):
+                    rows[slot] = row
+                    continue
+                message = "non-finite measurement"
+                error = DatasetError("non-finite measurement from DUT")
+            failures[slot].append(message)
+            if first_error[slot] is None:
+                first_error[slot] = error
+            if (on_error != "raise"
+                    and len(failures[slot]) < failure_budget):
+                retry.append(slot)
+        active = retry
+    return [SlotResult(rows[slot], attempts[slot], failures[slot],
+                       None if rows[slot] is not None
+                       else first_error[slot])
+            for slot in range(n)]
+
+
 def _init_simulation_worker(duts, n_specs, on_error, budgets):
     """Pool initializer: park the shared lot configuration per process."""
     _WORKER["duts"] = duts
@@ -148,6 +262,15 @@ def _simulate_slot_task(task):
     return simulate_slot(_WORKER["duts"][lot], entropy,
                          _WORKER["n_specs"][lot], _WORKER["on_error"],
                          _WORKER["budgets"][lot])
+
+
+def _simulate_chunk_task(task):
+    """Simulate one ``(lot index, entropy chunk)`` batched-kernel task."""
+    lot, entropies = task
+    return simulate_slots_batched(_WORKER["duts"][lot], entropies,
+                                  _WORKER["n_specs"][lot],
+                                  _WORKER["on_error"],
+                                  _WORKER["budgets"][lot])
 
 
 class _LotCollector:
@@ -190,14 +313,16 @@ class _LotCollector:
         return self._values, self.report
 
 
-def generate_lot_instances(lots, n_jobs=None, on_error="resample"):
+def generate_lot_instances(lots, n_jobs=None, on_error="resample",
+                           engine="scalar"):
     """Simulate many independent Monte-Carlo lots through one slot pool.
 
     Slot results are consumed incrementally in slot order, so an abort
     (failure budget met, or first error in ``"raise"`` mode) stops the
     run without simulating the remaining slots: serially nothing past
-    the abort point runs at all; in parallel the queued tasks are
-    cancelled and only in-flight slots complete.
+    the abort point runs at all (the batched engine stops at chunk
+    granularity); in parallel the queued tasks are cancelled and only
+    in-flight slots complete.
 
     Parameters
     ----------
@@ -211,6 +336,11 @@ def generate_lot_instances(lots, n_jobs=None, on_error="resample"):
         of the worker count.
     on_error:
         ``"resample"`` or ``"raise"``, applied to every lot.
+    engine:
+        ``"scalar"`` (one ``dut.measure`` per slot) or ``"batched"``
+        (slot chunks through ``dut.measure_batch`` and the stacked MNA
+        kernel).  Datasets, reports and abort decisions are identical
+        between engines; see the module docstring.
 
     Returns
     -------
@@ -220,6 +350,8 @@ def generate_lot_instances(lots, n_jobs=None, on_error="resample"):
     lots = list(lots)
     if on_error not in ("resample", "raise"):
         raise DatasetError("on_error must be 'resample' or 'raise'")
+    _require_engine(engine, [lot[0] for lot in lots])
+    n_jobs = resolve_n_jobs(n_jobs)
     duts, n_specs, budgets, tasks, collectors = [], [], [], [], []
     for lot_index, (dut, n_instances, seed, max_failures) in enumerate(lots):
         if n_instances <= 0:
@@ -229,33 +361,49 @@ def generate_lot_instances(lots, n_jobs=None, on_error="resample"):
         duts.append(dut)
         n_specs.append(len(dut.specifications))
         budgets.append(budget)
-        tasks.extend((lot_index, stream)
-                     for stream in instance_streams(seed, n_instances))
+        streams = instance_streams(seed, n_instances)
+        if engine == "batched":
+            chunk = _batched_chunk_size(n_instances, n_jobs)
+            tasks.extend((lot_index,
+                          tuple(streams[start:start + chunk]))
+                         for start in range(0, n_instances, chunk))
+        else:
+            tasks.extend((lot_index, stream) for stream in streams)
         collectors.append(_LotCollector(n_instances, n_specs[lot_index],
                                         on_error, budget))
 
+    task_fn = (_simulate_chunk_task if engine == "batched"
+               else _simulate_slot_task)
+
+    def feed(lot_index, result):
+        collector = collectors[lot_index]
+        if engine == "batched":
+            for slot_result in result:
+                collector.add(slot_result)
+        else:
+            collector.add(result)
+
     initargs = (tuple(duts), tuple(n_specs), on_error, tuple(budgets))
-    n_jobs = resolve_n_jobs(n_jobs)
     if n_jobs <= 1 or len(tasks) <= 1:
         # Lazy in-process map: an abort stops further simulation.
         _init_simulation_worker(*initargs)
         for task in tasks:
-            collectors[task[0]].add(_simulate_slot_task(task))
+            feed(task[0], task_fn(task))
     else:
         pool = make_pool(min(n_jobs, len(tasks)),
                          initializer=_init_simulation_worker,
                          initargs=initargs)
         try:
-            for task, result in zip(tasks,
-                                    pool.map(_simulate_slot_task, tasks)):
-                collectors[task[0]].add(result)
+            for task, result in zip(tasks, pool.map(task_fn, tasks)):
+                feed(task[0], result)
         finally:
             pool.shutdown(wait=True, cancel_futures=True)
     return [collector.finish() for collector in collectors]
 
 
 def generate_instances(dut, n_instances, seed, n_jobs=None,
-                       on_error="resample", max_failures=None):
+                       on_error="resample", max_failures=None,
+                       engine="scalar"):
     """Simulate one Monte-Carlo population with per-instance seeding.
 
     Returns ``(values, report)``; see :func:`generate_lot_instances`
@@ -263,13 +411,13 @@ def generate_instances(dut, n_instances, seed, n_jobs=None,
     """
     [(values, report)] = generate_lot_instances(
         [(dut, n_instances, seed, max_failures)],
-        n_jobs=n_jobs, on_error=on_error)
+        n_jobs=n_jobs, on_error=on_error, engine=engine)
     return values, report
 
 
 def generate_instance_batches(dut, n_instances, seed, batch_size,
                               n_jobs=None, on_error="resample",
-                              max_failures=None):
+                              max_failures=None, engine="scalar"):
     """Stream one Monte-Carlo population as consecutive value batches.
 
     A generator yielding ``(batch, n_specs)`` value arrays of at most
@@ -292,6 +440,11 @@ def generate_instance_batches(dut, n_instances, seed, batch_size,
     running spawn index, so consecutive per-batch spawns produce
     exactly the slots a one-shot spawn would), keeping memory
     proportional to ``batch_size`` rather than ``n_instances``.
+
+    ``engine="batched"`` simulates each batch's slots through
+    ``dut.measure_batch`` and the stacked MNA kernel (in sub-chunks of
+    :data:`BATCH_SLOTS`) instead of one ``dut.measure`` per slot --
+    same rows, same failure accounting, at any ``batch_size``.
     """
     if n_instances <= 0:
         raise DatasetError("n_instances must be positive")
@@ -300,6 +453,7 @@ def generate_instance_batches(dut, n_instances, seed, batch_size,
         raise DatasetError("batch_size must be positive")
     if on_error not in ("resample", "raise"):
         raise DatasetError("on_error must be 'resample' or 'raise'")
+    _require_engine(engine, [dut])
     n_specs = len(dut.specifications)
     budget = (default_max_failures(n_instances)
               if max_failures is None else int(max_failures))
@@ -314,15 +468,26 @@ def generate_instance_batches(dut, n_instances, seed, batch_size,
             yield chunk, _LotCollector(len(chunk), n_specs, on_error,
                                        budget, report=report)
 
+    def chunk_results(streams):
+        """Slot results of one batch chunk through the batched kernel."""
+        for start in range(0, len(streams), BATCH_SLOTS):
+            yield from simulate_slots_batched(
+                dut, tuple(streams[start:start + BATCH_SLOTS]),
+                n_specs, on_error, budget)
+
     n_jobs = resolve_n_jobs(n_jobs)
     if n_jobs <= 1 or n_instances <= 1:
         # Plain local calls: generators interleave (a consumer may
         # alternate several streams), so the serial path must not
         # touch the process-global _WORKER configuration.
         for chunk, collector in batches():
-            for stream in chunk:
-                collector.add(simulate_slot(dut, stream, n_specs,
-                                            on_error, budget))
+            if engine == "batched":
+                for result in chunk_results(chunk):
+                    collector.add(result)
+            else:
+                for stream in chunk:
+                    collector.add(simulate_slot(dut, stream, n_specs,
+                                                on_error, budget))
             yield collector.finish()[0]
         return
 
@@ -331,9 +496,19 @@ def generate_instance_batches(dut, n_instances, seed, batch_size,
                      initargs=((dut,), (n_specs,), on_error, (budget,)))
     try:
         for chunk, collector in batches():
-            for result in pool.map(_simulate_slot_task,
-                                   [(0, stream) for stream in chunk]):
-                collector.add(result)
+            if engine == "batched":
+                size = _batched_chunk_size(len(chunk), n_jobs)
+                chunk_tasks = [
+                    (0, tuple(chunk[start:start + size]))
+                    for start in range(0, len(chunk), size)]
+                for results in pool.map(_simulate_chunk_task,
+                                        chunk_tasks):
+                    for result in results:
+                        collector.add(result)
+            else:
+                for result in pool.map(_simulate_slot_task,
+                                       [(0, stream) for stream in chunk]):
+                    collector.add(result)
             yield collector.finish()[0]
     finally:
         pool.shutdown(wait=True, cancel_futures=True)

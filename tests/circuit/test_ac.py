@@ -123,3 +123,38 @@ def test_transfer_function_helper():
     h = ac.transfer("out", "in")
     assert np.abs(h[0]) == pytest.approx(1.0, abs=1e-3)
     assert np.all(np.abs(h) <= 1.0 + 1e-12)
+
+
+def test_nonlinear_in_omega_reactive_device_falls_back():
+    """A user reactive device whose stamp is not omega-linear must
+    still solve correctly: the hoisted entry list detects it and
+    solve_ac reverts to per-frequency stamping."""
+    from repro.circuit import devices as dev
+
+    class OmegaSquaredShunt(dev.Device):
+        """A frequency-squared admittance to ground (not physical,
+        just definitely not linear in omega)."""
+
+        reactive = True
+
+        def __init__(self, name, node, scale):
+            super().__init__(name, (node,))
+            self.scale = float(scale)
+
+        def stamp_ac(self, G, b, omega):
+            (i,) = self.nodes
+            if i >= 0:
+                G[i, i] += 1j * self.scale * omega * omega
+
+    scale = 1e-12
+    ckt = Circuit("omega-squared")
+    ckt.voltage_source("Vin", "in", "0", dc=0.0, ac=1.0)
+    ckt.resistor("R1", "in", "out", 1e3)
+    ckt.add(OmegaSquaredShunt("X1", "out", scale))
+    op = solve_dc(ckt)
+    freqs = np.logspace(3, 6, 7)
+    ac = solve_ac(ckt, freqs, op)
+    # Closed form: V(out) = 1 / (1 + R * j * scale * omega^2).
+    omega = 2.0 * np.pi * freqs
+    expected = 1.0 / (1.0 + 1e3 * 1j * scale * omega * omega)
+    np.testing.assert_allclose(ac.v("out"), expected, rtol=1e-12)

@@ -177,3 +177,23 @@ def test_floating_node_raises():
     # Node "a" has no DC path: singular matrix.
     with pytest.raises(ConvergenceError):
         solve_dc(ckt, use_homotopy=False)
+
+
+def test_stamp_dc_writing_to_g_rejected():
+    """The split DC assembly would silently drop conductance stamped
+    from stamp_dc, so such devices are rejected loudly."""
+    import pytest
+
+    from repro.circuit import devices as dev
+    from repro.errors import CircuitError
+
+    class SneakyShunt(dev.Device):
+        def stamp_dc(self, G, b):
+            (i,) = self.nodes
+            G[i, i] += 1e-3
+
+    ckt = Circuit("sneaky")
+    ckt.voltage_source("V1", "a", "0", dc=1.0)
+    ckt.add(SneakyShunt("X1", ("a",)))
+    with pytest.raises(CircuitError, match="stamp_static"):
+        solve_dc(ckt)

@@ -59,22 +59,41 @@ class FlakyOpAmpBench(OpAmpBench):
     """A real op-amp bench with pure, param-dependent failure injection.
 
     Module-level (not test-local) so worker processes can unpickle it
-    under any multiprocessing start method.
+    under any multiprocessing start method.  The batched path injects
+    the same failures so scalar/batched runs resample identically.
     """
 
+    def _fails_on(self, params):
+        return params.w1 > self.nominal.w1  # pure in the params
+
     def measure(self, params):
-        if params.w1 > self.nominal.w1:  # pure in the params
+        if self._fails_on(params):
             raise ConvergenceError("injected failure")
         return super().measure(params)
+
+    def measure_batch(self, params_list):
+        rows = super().measure_batch(params_list)
+        return [ConvergenceError("injected failure")
+                if self._fails_on(params) else row
+                for params, row in zip(params_list, rows)]
 
 
 class FlakyAccelerometerBench(AccelerometerBench):
     """A real MEMS bench with pure, geometry-dependent failures."""
 
+    def _fails_on(self, geometry):
+        return geometry.beam_width > self.nominal.beam_width
+
     def measure(self, geometry):
-        if geometry.beam_width > self.nominal.beam_width:
+        if self._fails_on(geometry):
             raise ConvergenceError("injected failure")
         return super().measure(geometry)
+
+    def measure_batch(self, geometries):
+        rows = super().measure_batch(geometries)
+        return [ConvergenceError("injected failure")
+                if self._fails_on(geometry) else row
+                for geometry, row in zip(geometries, rows)]
 
 
 class TestPerInstanceDeterminism:
@@ -148,6 +167,237 @@ class TestPerInstanceDeterminism:
         with pytest.raises(DatasetError, match="seed_mode"):
             generate_dataset(SyntheticDut(), 10, seed=0,
                              seed_mode="per-lot")
+
+
+class MiscountingBatchDut(SyntheticDut):
+    """Returns one result too few from measure_batch (a contract bug)."""
+
+    def measure_batch(self, params_list):
+        return super().measure_batch(params_list)[:-1]
+
+
+class NonFiniteDut(SyntheticDut):
+    """Returns an inf row as a pure function of the sampled params."""
+
+    def measure(self, params):
+        values = super().measure(params)
+        if 0.0 < float(params[0]) < 0.45:
+            values = values.copy()
+            values[0] = np.inf
+        return values
+
+
+class TestBatchedEngine:
+    """engine='batched': same dataset, reports and aborts as scalar."""
+
+    def test_batched_equals_scalar(self):
+        dut = SyntheticDut()
+        scalar = generate_dataset(dut, 40, seed=42)
+        batched = generate_dataset(dut, 40, seed=42, engine="batched")
+        assert np.array_equal(scalar.values, batched.values)
+        assert np.array_equal(scalar.labels, batched.labels)
+
+    def test_batched_parallel_equals_scalar_serial(self):
+        dut = SyntheticDut()
+        scalar = generate_dataset(dut, 30, seed=8)
+        batched = generate_dataset(dut, 30, seed=8, engine="batched",
+                                   n_jobs=2)
+        assert np.array_equal(scalar.values, batched.values)
+
+    def test_resampled_slots_identical_with_failures(self):
+        """Failing slots redraw from their own streams in retry waves;
+        dataset and report match the scalar engine exactly."""
+        dut = PureFlakyDut()
+        scalar, rs = generate_dataset(dut, 60, seed=5, max_failures=100,
+                                      return_report=True)
+        batched, rb = generate_dataset(dut, 60, seed=5,
+                                       max_failures=100,
+                                       engine="batched",
+                                       return_report=True)
+        assert rs.n_failed > 0  # the injection actually fired
+        assert np.array_equal(scalar.values, batched.values)
+        assert (rs.n_failed, rs.n_simulated) == (rb.n_failed,
+                                                 rb.n_simulated)
+        assert rs.failures == rb.failures
+
+    def test_nonfinite_rows_counted_identically(self):
+        dut_a, dut_b = NonFiniteDut(), NonFiniteDut()
+        scalar, rs = generate_dataset(dut_a, 50, seed=3,
+                                      max_failures=100,
+                                      return_report=True)
+        batched, rb = generate_dataset(dut_b, 50, seed=3,
+                                       max_failures=100,
+                                       engine="batched",
+                                       return_report=True)
+        assert rs.n_failed > 0
+        assert "non-finite measurement" in rs.failures
+        assert np.array_equal(scalar.values, batched.values)
+        assert rs.failures == rb.failures
+
+    def test_max_failures_aborts_at_exactly_k(self):
+        """The regression pin for the batched path: abort fires at
+        exactly k failures with the same message as the scalar path."""
+        for n_jobs in (None, 2):
+            with pytest.raises(DatasetError,
+                               match="3 simulation failures"):
+                generate_dataset(AlwaysFailDut(), 10, seed=0,
+                                 max_failures=3, engine="batched",
+                                 n_jobs=n_jobs)
+
+    def test_abort_report_matches_scalar(self):
+        scalar_dut = CountingAlwaysFailDut()
+        batched_dut = CountingAlwaysFailDut()
+        with pytest.raises(DatasetError) as scalar_exc:
+            generate_dataset(scalar_dut, 20, seed=0, max_failures=5)
+        with pytest.raises(DatasetError) as batched_exc:
+            generate_dataset(batched_dut, 20, seed=0, max_failures=5,
+                             engine="batched")
+        assert str(scalar_exc.value) == str(batched_exc.value)
+
+    def test_raise_mode_propagates_first_error(self):
+        with pytest.raises(ConvergenceError, match="dead device"):
+            generate_dataset(AlwaysFailDut(), 10, seed=0,
+                             on_error="raise", engine="batched")
+
+    def test_prefix_property_holds(self):
+        dut = SyntheticDut()
+        big = generate_dataset(dut, 32, seed=9, engine="batched")
+        small = generate_dataset(dut, 8, seed=9, engine="batched")
+        assert np.array_equal(small.values, big.values[:8])
+
+    def test_generate_many_batched_equals_scalar(self):
+        requests = [(SyntheticDut(seed=s), 15, s) for s in (1, 2, 3)]
+        scalar = generate_many(requests)
+        batched = generate_many(requests, engine="batched")
+        for a, b in zip(scalar, batched):
+            assert np.array_equal(a.values, b.values)
+
+    def test_streaming_batches_batched_equals_scalar(self):
+        from repro.runtime.simulation import generate_instance_batches
+
+        dut = PureFlakyDut()
+        scalar = np.vstack(list(generate_instance_batches(
+            dut, 40, seed=13, batch_size=9, max_failures=200)))
+        batched = np.vstack(list(generate_instance_batches(
+            dut, 40, seed=13, batch_size=9, max_failures=200,
+            engine="batched")))
+        assert np.array_equal(scalar, batched)
+
+    def test_chunk_size_composes_with_workers(self):
+        """Small populations still split across workers: the chunk
+        size shrinks toward n/n_jobs so engine='batched' composes
+        with process fan-out instead of serializing."""
+        from repro.runtime.simulation import (
+            BATCH_SLOTS, _batched_chunk_size,
+        )
+
+        assert _batched_chunk_size(1000, 1) == BATCH_SLOTS
+        assert _batched_chunk_size(100, 2) == 50
+        assert _batched_chunk_size(100, 8) == 13
+        assert _batched_chunk_size(3, 8) == 1
+        assert _batched_chunk_size(10000, 2) == BATCH_SLOTS
+
+    def test_wave_chunking_never_changes_values(self, monkeypatch):
+        """Tiny BATCH_SLOTS (many waves per lot) == one big wave."""
+        import repro.runtime.simulation as sim
+
+        dut = PureFlakyDut()
+        reference = generate_dataset(dut, 30, seed=5, max_failures=100,
+                                     engine="batched")
+        monkeypatch.setattr(sim, "BATCH_SLOTS", 4)
+        chunked = generate_dataset(dut, 30, seed=5, max_failures=100,
+                                   engine="batched")
+        assert np.array_equal(reference.values, chunked.values)
+
+    def test_engine_validated(self):
+        with pytest.raises(DatasetError, match="engine"):
+            generate_dataset(SyntheticDut(), 10, seed=0, engine="warp")
+
+    def test_dut_without_measure_batch_rejected(self):
+        class NoBatch:
+            specifications = SyntheticDut().specifications
+
+            def sample_parameters(self, rng):
+                return rng.normal(size=3)
+
+            def measure(self, params):
+                return np.zeros(6)
+
+        with pytest.raises(DatasetError, match="measure_batch"):
+            generate_dataset(NoBatch(), 10, seed=0, engine="batched")
+
+    def test_wrapped_dut_without_measure_batch_rejected_up_front(self):
+        """A DefectInjector must not advertise the batched protocol
+        when its wrapped DUT cannot batch: the engine's pre-flight
+        validation rejects it before any simulation starts."""
+        from repro.process.defects import DefectInjector
+
+        class NoBatch:
+            specifications = SyntheticDut().specifications
+
+            def sample_parameters(self, rng):
+                return rng.normal(size=3)
+
+            def measure(self, params):
+                return np.zeros(6)
+
+        wrapped = DefectInjector(NoBatch(), defect_rate=0.1)
+        assert getattr(wrapped, "measure_batch", None) is None
+        with pytest.raises(DatasetError, match="measure_batch"):
+            generate_dataset(wrapped, 10, seed=0, engine="batched")
+        # A batch-capable wrapped DUT still exposes the hook.
+        assert DefectInjector(SyntheticDut()).measure_batch is not None
+
+    def test_sequential_seed_mode_rejected(self):
+        with pytest.raises(DatasetError, match="sequential"):
+            generate_dataset(SyntheticDut(), 10, seed=0,
+                             seed_mode="sequential", engine="batched")
+
+    def test_miscounting_measure_batch_rejected(self):
+        with pytest.raises(DatasetError, match="results for"):
+            generate_dataset(MiscountingBatchDut(), 10, seed=0,
+                             engine="batched")
+
+
+class TestBatchedEngineMems:
+    """Circuit-level batched parity on the (fast) real MEMS bench."""
+
+    def test_mems_batched_equals_scalar(self):
+        bench = AccelerometerBench()
+        scalar = bench.generate_dataset(12, seed=23)
+        batched = bench.generate_dataset(12, seed=23, engine="batched")
+        assert np.array_equal(scalar.values, batched.values)
+        assert np.array_equal(scalar.labels, batched.labels)
+
+    def test_defect_injected_population_identical(self):
+        """DefectInjector wraps the bench: defects are drawn at
+        sampling time, so both engines measure identical defective
+        populations -- and produce identical pass/fail labels."""
+        from repro.process.defects import DefectInjector
+
+        scalar_dut = DefectInjector(AccelerometerBench(),
+                                    defect_rate=0.3)
+        batched_dut = DefectInjector(AccelerometerBench(),
+                                     defect_rate=0.3)
+        scalar = generate_dataset(scalar_dut, 15, seed=41,
+                                  max_failures=100)
+        batched = generate_dataset(batched_dut, 15, seed=41,
+                                   max_failures=100, engine="batched")
+        assert scalar_dut.n_injected > 0
+        assert np.array_equal(scalar.values, batched.values)
+        assert np.array_equal(scalar.labels, batched.labels)
+
+    def test_mems_batched_with_forced_resamples(self):
+        scalar_bench, batched_bench = (FlakyAccelerometerBench(),
+                                       FlakyAccelerometerBench())
+        scalar, rs = scalar_bench.generate_dataset(
+            10, seed=29, max_failures=100, return_report=True)
+        batched, rb = batched_bench.generate_dataset(
+            10, seed=29, max_failures=100, engine="batched",
+            return_report=True)
+        assert rs.n_failed > 0
+        assert np.array_equal(scalar.values, batched.values)
+        assert rs.failures == rb.failures
 
 
 class TestSequentialBackCompat:
@@ -248,6 +498,32 @@ class TestRealBenches:
         assert rs.n_failed > 0
         assert np.array_equal(serial.values, parallel.values)
         assert rs.n_failed == rp.n_failed
+
+    def test_opamp_batched_equals_scalar(self):
+        """The acceptance-gate contract at the dataset level: the
+        batched MNA kernel reproduces the scalar op-amp population
+        bit for bit."""
+        bench = OpAmpBench()
+        scalar = bench.generate_dataset(4, seed=17)
+        batched = bench.generate_dataset(4, seed=17, engine="batched")
+        assert np.array_equal(scalar.values, batched.values)
+        assert np.array_equal(scalar.labels, batched.labels)
+
+    def test_opamp_batched_with_forced_resamples(self):
+        """Injected failures force slot resamples; the batched engine
+        replays them from the same per-slot streams."""
+        scalar_bench, batched_bench = (FlakyOpAmpBench(),
+                                       FlakyOpAmpBench())
+        scalar, rs = scalar_bench.generate_dataset(
+            3, seed=31, max_failures=50, return_report=True)
+        batched, rb = batched_bench.generate_dataset(
+            3, seed=31, max_failures=50, engine="batched",
+            return_report=True)
+        assert rs.n_failed > 0
+        assert np.array_equal(scalar.values, batched.values)
+        assert (rs.n_failed, rs.n_simulated) == (rb.n_failed,
+                                                 rb.n_simulated)
+        assert rs.failures == rb.failures
 
 
 class TestInstanceBatchStreaming:

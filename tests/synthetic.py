@@ -11,6 +11,7 @@ tests and the per-module circuit tests.
 import numpy as np
 
 from repro.core.specs import Specification, SpecificationSet
+from repro.errors import ReproError
 from repro.process.dataset import SpecDataset
 
 
@@ -47,6 +48,22 @@ class SyntheticDut:
                 abs(hash(params.tobytes())) % (2 ** 32))
             values = values + local.normal(0.0, self.noise, values.shape)
         return values
+
+    def measure_batch(self, params_list):
+        """Loop-based batch measurement (the DUT-protocol contract).
+
+        Routes through :meth:`measure` (and therefore any subclass
+        failure injection), converting per-instance errors into
+        returned entries -- exercising the batched *engine* without a
+        circuit-level kernel.
+        """
+        out = []
+        for params in params_list:
+            try:
+                out.append(self.measure(params))
+            except ReproError as exc:
+                out.append(exc)
+        return out
 
 
 def make_synthetic_dataset(n=400, n_specs=6, n_latent=3, noise=0.0,

@@ -57,6 +57,23 @@ class TestParser:
             with pytest.raises(SystemExit):
                 build_parser().parse_args([command, "--sim-jobs", "2"])
 
+    def test_sim_engine_on_simulating_commands(self):
+        for command in ("fig5", "table3", "cost", "batch", "deploy"):
+            args = build_parser().parse_args([command])
+            assert args.sim_engine == "scalar"
+            args = build_parser().parse_args(
+                [command, "--sim-engine", "batched"])
+            assert args.sim_engine == "batched"
+
+    def test_sim_engine_choices_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig5", "--sim-engine", "warp"])
+
+    def test_sim_engine_on_floor(self):
+        args = build_parser().parse_args(
+            ["floor", "--artifact", "x.rtp", "--sim-engine", "batched"])
+        assert args.sim_engine == "batched"
+
     def test_deploy_options(self):
         args = build_parser().parse_args(["deploy"])
         assert args.device == "opamp"
