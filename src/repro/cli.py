@@ -268,6 +268,16 @@ def cmd_deploy(args):
     if not os.access(out_dir, os.W_OK):
         return _fail("output directory is not writable: {}".format(out_dir))
 
+    profile = None
+    if args.profile is not None:
+        from repro.errors import RuleError
+        from repro.rules import ToleranceProfile
+
+        try:
+            profile = ToleranceProfile.load(args.profile)
+        except RuleError as exc:
+            return _fail(exc)
+
     bench = _bench(args.device)
     print("Simulating {} + {} {} instances...".format(
         args.train, args.test, args.device), file=sys.stderr)
@@ -279,6 +289,14 @@ def cmd_deploy(args):
         train, test, cost_model=_default_cost_model(args.device),
         device=bench.name, train_seed=args.seed,
         lookup_resolution=args.lookup_resolution)
+    if profile is not None:
+        from repro.errors import RuleError
+
+        try:
+            artifact = artifact.with_profile(profile, train=train)
+        except RuleError as exc:
+            # e.g. rule bounds that contradict the bench's spec ranges.
+            return _fail(exc)
     try:
         artifact.save(out)
     except OSError as exc:
@@ -330,6 +348,16 @@ def cmd_floor(args):
         ["lot", "devices", "YL %", "DE %", "guard %", "cost/dev",
          "dev/min", "alarms"],
         report.rows())
+    bin_counts = report.bin_counts
+    if bin_counts:
+        names = (report.lots[0].bin_names if report.lots
+                 else tuple(bin_counts))
+        print()
+        print("bins: " + "  ".join(
+            "{}={}".format(name, bin_counts.get(name, 0))
+            for name in names))
+        if report.n_bin_retested:
+            print("grade retests: {}".format(report.n_bin_retested))
     print()
     for alarm in report.alarms:
         print(alarm)
@@ -523,6 +551,11 @@ def build_parser():
                         help="attach a grid lookup table: an integer "
                              "cells-per-dimension, or 'auto' (default: "
                              "no table, live-model floor)")
+    deploy.add_argument("--profile", default=None, metavar="PATH",
+                        help="attach a tolerance-profile JSON file "
+                             "(multi-bin disposition; trains a "
+                             "one-vs-rest grade bank when the profile "
+                             "has two or more grade bins)")
 
     # `floor` serves an existing artifact: no train/test/tolerance.
     floor = sub.add_parser("floor", help=cmd_floor.__doc__)

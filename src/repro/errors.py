@@ -46,6 +46,10 @@ class ArtifactError(ReproError):
     """Unreadable or incompatible test-program artifact file."""
 
 
+class RuleError(ReproError):
+    """Invalid tolerance rule or bin profile (overlap, coverage gap, ...)."""
+
+
 class ServiceError(ReproError):
     """Invalid request to the test-floor service layer."""
 

@@ -33,6 +33,7 @@ smuggle in arbitrary callables.
 """
 
 import copy
+import dataclasses
 import io
 import pickle
 import time
@@ -40,6 +41,7 @@ import time
 from repro.core.specs import SpecificationSet
 from repro.errors import ArtifactError
 from repro.floor.monitor import DriftBaseline
+from repro.rules.engine import ToleranceProfile
 from repro.tester.lookup import LookupTable
 from repro.tester.program import RETEST_FULL, TestProgram
 
@@ -48,7 +50,15 @@ MAGIC = "repro/test-program"
 #: Current artifact schema version.  Bump on any incompatible change
 #: to the saved state; :meth:`TestProgramArtifact.load` refuses files
 #: from other versions with an actionable message.
-SCHEMA_VERSION = 1
+#:
+#: v2 adds the optional multi-bin state: a tolerance profile (stored
+#: as its plain JSON dict, never pickled objects) and a one-vs-rest
+#: grade bank.  v1 files keep loading -- they simply carry neither,
+#: which the floor treats as the degenerate 2-bin (pass/fail) case.
+SCHEMA_VERSION = 2
+
+#: Schema versions :meth:`TestProgramArtifact.loads` accepts.
+COMPATIBLE_VERSIONS = (1, 2)
 
 #: Builtin names the restricted unpickler will resolve.
 _SAFE_BUILTINS = frozenset({
@@ -128,11 +138,21 @@ class TestProgramArtifact:
     provenance:
         Free-form dict of training provenance; :meth:`from_result`
         fills the standard keys.
+    profile:
+        Optional :class:`~repro.rules.engine.ToleranceProfile` (or its
+        :meth:`~repro.rules.engine.ToleranceProfile.to_dict` payload)
+        for multi-bin disposition.  Validated -- including overlap and
+        coverage checks -- against the specification set immediately,
+        so a corrupt or overlapping profile is rejected at
+        construction/load time, never on the floor.
+    bank:
+        Optional fitted :class:`~repro.learn.ovr.OneVsRestSVCBank`
+        grading shipped devices (see :meth:`with_profile`).
     """
 
     def __init__(self, model, specifications, cost_model=None,
                  lookup=None, baseline=None, train_metrics=None,
-                 provenance=None):
+                 provenance=None, profile=None, bank=None):
         if not isinstance(specifications, SpecificationSet):
             specifications = SpecificationSet(specifications)
         missing = set(model.feature_names) - set(specifications.names)
@@ -140,6 +160,14 @@ class TestProgramArtifact:
             raise ArtifactError(
                 "model feature(s) missing from the specification set: "
                 "{}".format(sorted(missing)))
+        if profile is not None:
+            if not isinstance(profile, ToleranceProfile):
+                profile = ToleranceProfile.from_dict(profile)
+            profile.validate(specifications)
+        if bank is not None and profile is None:
+            raise ArtifactError(
+                "a grade bank without a tolerance profile is "
+                "meaningless; attach the profile too")
         self.model = model
         self.specifications = specifications
         self.cost_model = cost_model
@@ -147,6 +175,8 @@ class TestProgramArtifact:
         self.baseline = baseline
         self.train_metrics = train_metrics
         self.provenance = dict(provenance or {})
+        self.profile = profile
+        self.bank = bank
 
     # -- construction ------------------------------------------------------
     @classmethod
@@ -213,6 +243,69 @@ class TestProgramArtifact:
                                   **kwargs)
         return self
 
+    def with_profile(self, profile, train=None, model_factory=None,
+                     train_bank=True):
+        """Attach a tolerance profile (and optionally train its bank).
+
+        Parameters
+        ----------
+        profile:
+            A :class:`~repro.rules.engine.ToleranceProfile` (or its
+            dict form); validated against the artifact's
+            specifications -- overlap, coverage, unknown specs.
+        train:
+            Optional training
+            :class:`~repro.process.dataset.SpecDataset`.  When given,
+            the drift baseline gains per-bin training rates (so the
+            floor can chart per-bin drift), and -- with ``train_bank``
+            and at least two grade bins -- a one-vs-rest grade bank is
+            fitted on the *passing* training devices' normalized kept
+            measurements, sharing one Gram matrix and SMO warm starts
+            across the member fits.
+        model_factory:
+            Zero-argument callable building each bank member
+            (default ``SVC(C=50.0, gamma="scale")``).
+
+        Returns ``self``.
+        """
+        if not isinstance(profile, ToleranceProfile):
+            profile = ToleranceProfile.from_dict(profile)
+        profile.validate(self.specifications)
+        self.profile = profile
+        self.bank = None
+        if train is None:
+            return self
+        import numpy as np
+
+        from repro.rules.binning import bin_histogram, grade_indices
+
+        bound = profile.bind(train.specifications)
+        truth_bins = bound.assign(train.values)
+        counts = bin_histogram(truth_bins, bound.bins)
+        if self.baseline is not None:
+            self.baseline = dataclasses.replace(
+                self.baseline,
+                bin_rates={name: counts[name] / len(train)
+                           for name in bound.bins})
+        grades = grade_indices(bound)
+        default = profile.bin_index(profile.default_bin)
+        passing = truth_bins != default
+        if train_bank and len(grades) >= 2 and int(passing.sum()) >= 2:
+            from repro.learn.ovr import OneVsRestSVCBank
+            from repro.runtime.kernel_cache import GramCache
+
+            X = train.normalized_values(self.kept)[passing]
+            y = np.asarray(bound.bins, dtype=object)[truth_bins[passing]]
+            cache = GramCache(X, self.kept)
+            bank = OneVsRestSVCBank(
+                tuple(bound.bins[g] for g in grades),
+                model_factory=model_factory,
+                gram_view=cache.view(self.kept))
+            bank.fit(X, y)
+            bank.set_train_gram_view(None)
+            self.bank = bank
+        return self
+
     # -- views -------------------------------------------------------------
     @property
     def kept(self):
@@ -226,12 +319,15 @@ class TestProgramArtifact:
             n for n in self.specifications.names
             if n not in set(self.model.feature_names))
 
-    def program(self, retest_policy=RETEST_FULL, use_lookup=None):
+    def program(self, retest_policy=RETEST_FULL, use_lookup=None,
+                boundary_margin=0.0):
         """A :class:`~repro.tester.program.TestProgram` over this artifact.
 
         ``use_lookup=None`` uses the lookup table when one is attached;
         pass ``False`` to force the live model or ``True`` to require
-        the table (raises when absent).
+        the table (raises when absent).  The artifact's tolerance
+        profile and grade bank (when present) ride along, so the
+        program bins as the floor would.
         """
         if use_lookup is None:
             use_lookup = self.lookup is not None
@@ -241,7 +337,9 @@ class TestProgramArtifact:
                 "with_lookup() before deploying in lookup mode")
         classifier = self.lookup if use_lookup else self.model
         return TestProgram(classifier, cost_model=self.cost_model,
-                           retest_policy=retest_policy)
+                           retest_policy=retest_policy,
+                           profile=self.profile, bank=self.bank,
+                           boundary_margin=boundary_margin)
 
     def validate_specifications(self, specifications):
         """Check the artifact matches a target bench's specifications.
@@ -292,6 +390,12 @@ class TestProgramArtifact:
                 "baseline": self.baseline,
                 "train_metrics": self.train_metrics,
                 "provenance": self.provenance,
+                # The profile travels as its plain JSON dict -- bin
+                # contracts stay reviewable in the file and the
+                # restricted unpickler never has to trust rule code.
+                "profile": (None if self.profile is None
+                            else self.profile.to_dict()),
+                "bank": self.bank,
             },
         }
         blob = pickle.dumps(payload, protocol=4)
@@ -328,12 +432,12 @@ class TestProgramArtifact:
                 "{!r} is not a repro test-program artifact".format(
                     source))
         version = payload.get("schema_version")
-        if version != SCHEMA_VERSION:
+        if version not in COMPATIBLE_VERSIONS:
             raise ArtifactError(
                 "artifact {!r} has schema version {!r}; this repro "
-                "build reads version {} -- re-deploy the program with "
-                "a matching version".format(
-                    source, version, SCHEMA_VERSION))
+                "build reads versions {} -- re-deploy the program "
+                "with a matching version".format(
+                    source, version, list(COMPATIBLE_VERSIONS)))
         state = payload.get("state")
         required = ("model", "specifications", "provenance")
         if (not isinstance(state, dict)
@@ -341,6 +445,11 @@ class TestProgramArtifact:
             raise ArtifactError(
                 "artifact {!r} is missing required state".format(
                     source))
+        # v1 files predate the binning layer: they carry no profile or
+        # bank, and the floor runs them as the degenerate 2-bin case.
+        # The constructor re-validates any v2 profile against the
+        # specifications, so a corrupt/overlapping profile in the file
+        # is rejected here with a clean RuleError.
         return cls(
             model=state["model"],
             specifications=state["specifications"],
@@ -349,6 +458,8 @@ class TestProgramArtifact:
             baseline=state.get("baseline"),
             train_metrics=state.get("train_metrics"),
             provenance=state["provenance"],
+            profile=state.get("profile"),
+            bank=state.get("bank"),
         )
 
     def describe(self):
@@ -368,6 +479,12 @@ class TestProgramArtifact:
                 ", ".join(self.eliminated) or "-"),
             "  lookup: {}".format(self.lookup or "none"),
             "  cost model: {}".format(self.cost_model or "none"),
+            "  profile: {}".format(
+                "{} ({} bins, bank {})".format(
+                    self.profile.name, self.profile.n_bins,
+                    "fitted" if self.bank is not None else "none")
+                if self.profile is not None
+                else "none (degenerate 2-bin)"),
         ]
         if self.train_metrics is not None:
             lines.append(

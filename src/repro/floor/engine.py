@@ -48,6 +48,8 @@ from repro.errors import ArtifactError, CompactionError
 from repro.floor.artifact import TestProgramArtifact
 from repro.floor.monitor import DriftMonitor
 from repro.floor.report import FloorReport, LotReport
+from repro.rules.binning import assign_bins, bin_histogram
+from repro.rules.engine import ToleranceProfile
 from repro.tester.program import (
     RETEST_FULL,
     apply_retest_policy,
@@ -102,17 +104,39 @@ class BatchDisposition:
     cost: float
     #: Cost of full-specification testing of the same batch.
     full_cost: float
+    #: Per-device bin indices into ``bin_names`` (always populated by
+    #: :meth:`TestFloor.dispose`; binary programs get the degenerate
+    #: PASS/FAIL pair).
+    bins: object = None
+    #: Profile truth-bin assignment of the full measurements.
+    truth_bins: object = None
+    #: Bin names, in profile order.
+    bin_names: tuple = ()
+    #: Shipped devices routed through the grade (bin) retest flow.
+    n_bin_retested: int = 0
 
     @property
     def n_devices(self):
         return int(self.decisions.shape[0])
 
     def counts(self):
-        """The :class:`LotReport` count fields for this batch."""
+        """The legacy :class:`LotReport` count fields for this batch.
+
+        Deliberately excludes the bin fields: these exact keys are the
+        binary-parity surface (service replies, lot reports) that must
+        stay bit-identical to pre-binning builds.  Bin histograms come
+        from :meth:`bin_counts`.
+        """
         out = disposition_counts(self.decisions, self.first_pass,
                                  self.truth)
         out["n_retested"] = int(self.n_retested)
         return out
+
+    def bin_counts(self):
+        """``{bin_name: count}`` histogram (``None`` without bins)."""
+        if self.bins is None:
+            return None
+        return bin_histogram(self.bins, self.bin_names)
 
 
 class TestFloor:
@@ -140,11 +164,16 @@ class TestFloor:
         :class:`~repro.floor.monitor.DriftMonitor` from the artifact's
         baseline when present; ``False`` disables monitoring; or pass
         a pre-configured monitor.
+    bin_boundary_margin:
+        Grade-bank top-2 margin below which a shipped device's bin is
+        taken from the full measurements (the grade-retest flow); only
+        meaningful on artifacts carrying a bank.  Never affects the
+        binary ship/scrap decision.
     """
 
     def __init__(self, artifact, retest_policy=RETEST_FULL,
                  batch_size=DEFAULT_BATCH_SIZE, use_lookup=None,
-                 monitor=None):
+                 monitor=None, bin_boundary_margin=0.0):
         if isinstance(artifact, (str, os.PathLike)):
             artifact = TestProgramArtifact.load(artifact)
         check_retest_policy(retest_policy)
@@ -171,6 +200,18 @@ class TestFloor:
         self._kept = artifact.kept
         self._kept_idx = np.array(
             [self._specs.index(name) for name in self._kept])
+        # Binning layer: every disposition also carries a bin.  Binary
+        # artifacts (no profile) get the degenerate PASS/FAIL profile,
+        # which relabels the decisions exactly -- the parity guarantee.
+        profile = getattr(artifact, "profile", None)
+        if profile is None:
+            profile = ToleranceProfile.binary_default(self._specs)
+        self._bound = profile.bind(self._specs)
+        self._bank = getattr(artifact, "bank", None)
+        self.bin_boundary_margin = float(bin_boundary_margin)
+        #: Bin names, in profile order (default bin last).
+        self.bin_names = self._bound.bins
+        self._kept_specs = self._specs.subset(self._kept)
 
     @classmethod
     def from_file(cls, path, **kwargs):
@@ -221,11 +262,22 @@ class TestFloor:
         cost, full_cost = policy_cost(
             self.artifact.cost_model, self._kept, batch.shape[0],
             n_guard, self.retest_policy)
+        truth_bins = self._bound.assign(batch)
+        kept_norm = (self._kept_specs.normalize(kept_values)
+                     if self._bank is not None else None)
+        bins, n_bin_retested = assign_bins(
+            self._bound, decisions, truth_bins, kept_norm=kept_norm,
+            bank=self._bank,
+            boundary_margin=self.bin_boundary_margin)
         if self.monitor is not None:
-            self.monitor.update(kept_values, first)
+            self.monitor.update(kept_values, first, bins=bins,
+                                bin_names=self.bin_names)
         return BatchDisposition(
             decisions=decisions, first_pass=first, truth=truth,
-            n_retested=n_retested, cost=cost, full_cost=full_cost)
+            n_retested=n_retested, cost=cost, full_cost=full_cost,
+            bins=bins, truth_bins=truth_bins,
+            bin_names=self.bin_names,
+            n_bin_retested=n_bin_retested)
 
     @staticmethod
     def _rebatch(stream, batch_size):
@@ -295,18 +347,30 @@ class TestFloor:
                       n_defect_escape=0)
         total_cost = 0.0
         full_cost = 0.0
+        n_bin_retested = 0
+        bin_totals = {name: 0 for name in self.bin_names}
         decision_parts = [] if keep_decisions else None
+        bin_parts = [] if keep_decisions else None
 
-        start = time.perf_counter()
+        # Wall time covers only disposition work: the stream iterator
+        # (traffic generation, simulation, transport) runs outside the
+        # timed region, so throughput figures measure the floor, not
+        # the test harness feeding it.
+        wall = 0.0
         for batch in self._rebatch(stream, batch_size):
+            t0 = time.perf_counter()
             outcome = self.dispose(batch)
+            wall += time.perf_counter() - t0
             for key, value in outcome.counts().items():
                 counts[key] += value
             total_cost += outcome.cost
             full_cost += outcome.full_cost
+            n_bin_retested += outcome.n_bin_retested
+            for name, value in outcome.bin_counts().items():
+                bin_totals[name] += value
             if keep_decisions:
                 decision_parts.append(outcome.decisions)
-        wall = time.perf_counter() - start
+                bin_parts.append(outcome.bins)
 
         # The report carries the charts' *lot-end* state: the rolling
         # window is exactly the most recent traffic, so a transient
@@ -315,10 +379,13 @@ class TestFloor:
         alarms = (self.monitor.alarms()
                   if self.monitor is not None else ())
         decisions_out = None
+        bins_out = None
         if keep_decisions:
             decisions_out = (np.concatenate(decision_parts)
                              if decision_parts
                              else np.empty(0, dtype=int))
+            bins_out = (np.concatenate(bin_parts) if bin_parts
+                        else np.empty(0, dtype=int))
         return LotReport(
             lot=lot,
             total_cost=total_cost,
@@ -326,6 +393,10 @@ class TestFloor:
             wall_seconds=wall,
             alarms=alarms,
             decisions=decisions_out,
+            n_bin_retested=n_bin_retested,
+            bin_counts=dict(bin_totals),
+            bin_names=self.bin_names,
+            bins=bins_out,
             **counts)
 
     def run_dataset(self, dataset, lot="dataset", batch_size=None,

@@ -55,6 +55,12 @@ class DriftBaseline:
     guard_rate: float
     #: Training-population size the statistics were computed from.
     n_train: int
+    #: Optional ``{bin_name: training rate}`` of the tolerance
+    #: profile's truth-bin assignment (set by
+    #: :meth:`repro.floor.artifact.TestProgramArtifact.with_profile`);
+    #: ``None`` on binary programs and on baselines saved before the
+    #: binning layer existed.
+    bin_rates: object = None
 
     @classmethod
     def from_dataset(cls, dataset, kept_names, guard_rate):
@@ -154,6 +160,17 @@ class DriftMonitor:
         # training count so a zero observed rate keeps a finite chart.
         half = 0.5 / max(baseline.n_train, 1)
         self._p0 = min(max(baseline.guard_rate, half), 1.0 - half)
+        # Per-bin rate charts; old pickled baselines predate the
+        # attribute, so read it defensively.
+        bin_rates = getattr(baseline, "bin_rates", None)
+        if bin_rates:
+            self._bin_names = tuple(bin_rates)
+            self._bin_p0 = {
+                name: min(max(float(rate), half), 1.0 - half)
+                for name, rate in bin_rates.items()}
+        else:
+            self._bin_names = ()
+            self._bin_p0 = {}
         self._window = deque(maxlen=int(window_batches))
         #: Total devices observed since construction / last reset.
         self.n_seen = 0
@@ -163,7 +180,7 @@ class DriftMonitor:
         self._window.clear()
         self.n_seen = 0
 
-    def update(self, kept_values, first_pass):
+    def update(self, kept_values, first_pass, bins=None, bin_names=()):
         """Feed one disposition batch; returns the current alarms.
 
         Parameters
@@ -174,6 +191,12 @@ class DriftMonitor:
         first_pass:
             The batch's first-pass predictions (+1/-1/0); only the
             guard count is used.
+        bins, bin_names:
+            Optional per-device bin indices and the bin-name order
+            they index into.  Charted against the baseline's per-bin
+            training rates when those are available; otherwise the
+            counts are still windowed (see :meth:`bin_rates_window`)
+            but raise no alarms.
 
         Returns
         -------
@@ -189,20 +212,40 @@ class DriftMonitor:
                 "batch has {} measured specs; baseline covers {}".format(
                     kept_values.shape[1], len(self.baseline.names)))
         first_pass = np.asarray(first_pass)
+        bin_counts = None
+        if bins is not None:
+            bins = np.asarray(bins)
+            bin_counts = {name: int(np.sum(bins == i))
+                          for i, name in enumerate(bin_names)}
         self._window.append((
             kept_values.shape[0],
             kept_values.sum(axis=0),
             int(np.sum(first_pass == GUARD)),
+            bin_counts,
         ))
         self.n_seen += kept_values.shape[0]
         return self.alarms()
 
+    def bin_rates_window(self):
+        """``{bin_name: rate}`` over the current window (``{}`` when
+        the stream carries no bins)."""
+        totals = {}
+        n_window = 0
+        for n, _, _, bin_counts in self._window:
+            n_window += n
+            if bin_counts:
+                for name, count in bin_counts.items():
+                    totals[name] = totals.get(name, 0) + count
+        if not totals or n_window == 0:
+            return {}
+        return {name: count / n_window for name, count in totals.items()}
+
     def alarms(self):
         """Evaluate the control charts over the current window."""
-        n_window = sum(n for n, _, _ in self._window)
+        n_window = sum(n for n, _, _, _ in self._window)
         if n_window < self.min_devices:
             return ()
-        total = np.sum([s for _, s, _ in self._window], axis=0)
+        total = np.sum([s for _, s, _, _ in self._window], axis=0)
         mean_window = total / n_window
         stderr = self._sigma0 / np.sqrt(n_window)
         z_specs = (mean_window - self._mu0) / stderr
@@ -218,7 +261,7 @@ class DriftMonitor:
                     threshold=self.z_threshold,
                     window_devices=n_window))
 
-        n_guard = sum(g for _, _, g in self._window)
+        n_guard = sum(g for _, _, g, _ in self._window)
         p_window = n_guard / n_window
         sigma_p = np.sqrt(self._p0 * (1.0 - self._p0) / n_window)
         z_guard = (p_window - self._p0) / sigma_p
@@ -230,6 +273,27 @@ class DriftMonitor:
                 z_score=float(z_guard),
                 threshold=self.guard_z_threshold,
                 window_devices=n_window))
+
+        # Per-bin rate charts: same binomial construction as the guard
+        # chart, one per bin the baseline carries a training rate for.
+        if self._bin_p0:
+            observed = self.bin_rates_window()
+            bin_rates = getattr(self.baseline, "bin_rates", {}) or {}
+            for name in self._bin_names:
+                if name not in observed:
+                    continue
+                p0 = self._bin_p0[name]
+                sigma = np.sqrt(p0 * (1.0 - p0) / n_window)
+                z = (observed[name] - p0) / sigma
+                if abs(z) > self.guard_z_threshold:
+                    out.append(DriftAlarm(
+                        kind="bin-rate",
+                        subject="bin {!r} rate".format(name),
+                        observed=float(observed[name]),
+                        expected=float(bin_rates.get(name, p0)),
+                        z_score=float(z),
+                        threshold=self.guard_z_threshold,
+                        window_devices=n_window))
         return tuple(out)
 
     def __repr__(self):

@@ -51,6 +51,15 @@ class LotReport:
     #: Final per-device dispositions, kept only when the caller asked
     #: for them (``keep_decisions=True``); ``None`` otherwise.
     decisions: object = None
+    #: Shipped devices routed through the grade (bin) retest flow.
+    n_bin_retested: int = 0
+    #: ``{bin_name: count}`` lot histogram (``None`` on reports built
+    #: before the binning layer).
+    bin_counts: object = None
+    #: Bin names, in profile order (default bin last).
+    bin_names: tuple = ()
+    #: Per-device bin indices (``keep_decisions=True`` only).
+    bins: object = None
 
     @property
     def yield_loss_rate(self):
@@ -162,6 +171,26 @@ class FloorReport:
         if self.wall_seconds <= 0:
             return float("inf")
         return self.n_devices * 60.0 / self.wall_seconds
+
+    @property
+    def n_bin_retested(self):
+        return sum(getattr(lot, "n_bin_retested", 0)
+                   for lot in self.lots)
+
+    @property
+    def bin_counts(self):
+        """Merged ``{bin_name: count}`` across lots (``None`` when no
+        lot carries bin histograms)."""
+        totals = None
+        for lot in self.lots:
+            counts = getattr(lot, "bin_counts", None)
+            if not counts:
+                continue
+            if totals is None:
+                totals = {}
+            for name, count in counts.items():
+                totals[name] = totals.get(name, 0) + count
+        return totals
 
     @property
     def alarms(self):

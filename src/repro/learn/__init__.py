@@ -11,6 +11,9 @@ is assumed, this subpackage implements the full stack:
   set selection and a kernel cache;
 * :mod:`repro.learn.svm` -- the :class:`~repro.learn.svm.SVC` public
   estimator (fit / predict / decision_function);
+* :mod:`repro.learn.ovr` -- one-vs-rest :class:`SVC` banks for
+  multi-bin grade prediction, sharing one training Gram matrix and
+  SMO warm starts across the member fits;
 * :mod:`repro.learn.model_selection` -- train/test splitting, k-fold
   cross-validation and grid search;
 * :mod:`repro.learn.preprocessing` -- range normalization (paper
@@ -26,12 +29,14 @@ from repro.learn.model_selection import (
     grid_search,
     train_test_split,
 )
+from repro.learn.ovr import OneVsRestSVCBank
 from repro.learn.preprocessing import RangeNormalizer, StandardScaler
 from repro.learn.ridge import RidgeRegressor
 from repro.learn.svm import SVC
 
 __all__ = [
     "SVC",
+    "OneVsRestSVCBank",
     "kernel_function",
     "KERNELS",
     "train_test_split",

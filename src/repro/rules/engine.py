@@ -1,0 +1,678 @@
+"""Declarative tolerance rules: measured specs -> disposition bins.
+
+A production test floor rarely stops at pass/fail.  Measured
+specifications map to *bins* -- speed grades, quality tiers,
+per-customer tolerance profiles -- and the mapping is a contract that
+must be reviewable, serializable and validated, not code.  This module
+is that contract layer:
+
+* :class:`ToleranceRule` -- one axis-aligned spec-range predicate
+  ("gain in [5000, inf) and bandwidth in [1 MHz, inf) -> PREMIUM"),
+  with an optional per-spec **guard band**: the measurement
+  uncertainty below which a value this close to a rule boundary cannot
+  be trusted to stay on its side.
+* :class:`ToleranceProfile` -- an ordered rule set plus a default
+  (fallback) bin.  Validation rejects rules whose regions overlap with
+  positive measure while assigning different bins (the classic silent
+  mis-binning bug) and can prove the acceptable region is fully
+  covered by grading rules (no passing device ever falls through to
+  the fallback).  Because validated rules never materially overlap,
+  the documented first-match semantics are *order-independent*
+  everywhere except exact shared boundaries -- deterministic by
+  construction.
+* :class:`Verdict` -- one device's structured disposition: the bin,
+  the rule that fired, whether the match is *clear* (robust to the
+  declared measurement uncertainty) or *boundary*, and per-spec
+  exceedances against the acceptability ranges.
+
+Everything the streaming floor needs is vectorized through
+:meth:`ToleranceProfile.bind`, which pre-compiles the rule set against
+a :class:`~repro.core.specs.SpecificationSet` into dense bound
+matrices -- one broadcasted comparison per batch, no per-device
+Python.
+
+The binary floor is the degenerate case: the 2-bin profile built by
+:meth:`ToleranceProfile.binary_default` has one rule (every
+specification inside its acceptability range -> ``PASS``) over a
+``FAIL`` fallback, and reproduces
+:meth:`~repro.core.specs.SpecificationSet.labels` decision-for-
+decision.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import RuleError
+
+#: Identifier stored in every serialized profile.
+PROFILE_FORMAT = "repro/tolerance-profile"
+#: Serialized profile schema version.
+PROFILE_VERSION = 1
+
+#: Bin names of the degenerate binary profile.
+PASS_BIN = "PASS"
+FAIL_BIN = "FAIL"
+
+#: The coverage check enumerates the arrangement cells induced by the
+#: rule boundaries; beyond this many cells it refuses (with a clear
+#: error) rather than stalling the caller.
+MAX_COVERAGE_CELLS = 200_000
+
+
+def _interval(value) -> tuple[float | None, float | None]:
+    """Normalize a condition bound pair; ``None`` = unbounded side."""
+    try:
+        low, high = value
+    except (TypeError, ValueError):
+        raise RuleError(
+            "a condition must be a (low, high) pair; got {!r}".format(
+                value)) from None
+    low = None if low is None else float(low)
+    high = None if high is None else float(high)
+    if low is None and high is None:
+        raise RuleError("a condition cannot be unbounded on both sides")
+    if low is not None and high is not None and not low < high:
+        raise RuleError(
+            "condition low bound {} must be below high bound {}".format(
+                low, high))
+    if (low is not None and not math.isfinite(low)) or (
+            high is not None and not math.isfinite(high)):
+        raise RuleError("condition bounds must be finite (use None "
+                        "for an unbounded side)")
+    return low, high
+
+
+@dataclass(frozen=True)
+class ToleranceRule:
+    """One declarative bin-assignment rule.
+
+    Parameters
+    ----------
+    bin:
+        The bin this rule assigns when it matches.
+    conditions:
+        ``{spec_name: (low, high)}`` -- the rule matches a device when
+        every conditioned specification value lies inside its closed
+        interval.  Either side may be ``None`` (unbounded).
+        Unconditioned specifications are unconstrained.
+    guard:
+        Optional ``{spec_name: half_width}`` measurement-uncertainty
+        guard bands, in specification units, for conditioned specs: a
+        device within ``half_width`` of that condition's boundary is a
+        *boundary* (uncertain) match rather than a clear one.
+    description:
+        Free-form documentation.
+    """
+
+    bin: str
+    conditions: dict = field(default_factory=dict)
+    guard: dict = field(default_factory=dict)
+    description: str = ""
+
+    def __post_init__(self):
+        if not self.bin or not isinstance(self.bin, str):
+            raise RuleError("rule bin name must be a non-empty string")
+        conditions = {}
+        for name, bounds in dict(self.conditions).items():
+            conditions[str(name)] = _interval(bounds)
+        if not conditions:
+            raise RuleError(
+                "rule for bin {!r} has no conditions; catch-all "
+                "behaviour belongs to the profile's default bin".format(
+                    self.bin))
+        guard = {}
+        for name, width in dict(self.guard or {}).items():
+            width = float(width)
+            if not (math.isfinite(width) and width >= 0.0):
+                raise RuleError(
+                    "guard half-width for {!r} must be a finite "
+                    "non-negative number; got {}".format(name, width))
+            if name not in conditions:
+                raise RuleError(
+                    "guard band on {!r} but the rule has no condition "
+                    "on it".format(name))
+            guard[str(name)] = width
+        object.__setattr__(self, "conditions", conditions)
+        object.__setattr__(self, "guard", guard)
+
+    def matches(self, measurements: dict) -> bool:
+        """Whether a ``{spec: value}`` mapping satisfies every condition."""
+        for name, (low, high) in self.conditions.items():
+            if name not in measurements:
+                raise RuleError(
+                    "measurement for conditioned spec {!r} missing".format(
+                        name))
+            value = float(measurements[name])
+            if low is not None and value < low:
+                return False
+            if high is not None and value > high:
+                return False
+        return True
+
+    def to_dict(self) -> dict:
+        out = {
+            "bin": self.bin,
+            "conditions": {
+                name: list(bounds)
+                for name, bounds in self.conditions.items()
+            },
+        }
+        if self.guard:
+            out["guard"] = dict(self.guard)
+        if self.description:
+            out["description"] = self.description
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ToleranceRule":
+        if not isinstance(payload, dict):
+            raise RuleError("a rule must be a JSON object")
+        unknown = set(payload) - {"bin", "conditions", "guard",
+                                  "description"}
+        if unknown:
+            raise RuleError(
+                "unknown rule field(s): {}".format(sorted(unknown)))
+        return cls(
+            bin=payload.get("bin", ""),
+            conditions=payload.get("conditions", {}),
+            guard=payload.get("guard", {}),
+            description=payload.get("description", ""),
+        )
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """One device's structured disposition through a profile.
+
+    ``clear`` is False for *boundary* matches: the declared
+    measurement uncertainty could move the device into a different
+    bin, so a floor running a boundary-retest policy re-measures it.
+    """
+
+    #: Assigned bin name.
+    bin: str
+    #: The :class:`ToleranceRule` that fired (None = default bin).
+    rule: ToleranceRule | None
+    #: Whether the assignment is robust to the guard-band uncertainty.
+    clear: bool
+    #: Spec name -> how far the value lies outside its acceptability
+    #: range (0.0 for passing specs); empty when no specification set
+    #: was supplied.
+    exceedances: dict = field(default_factory=dict)
+
+    def __str__(self):
+        worst = {k: v for k, v in self.exceedances.items() if v > 0}
+        return "Verdict({}{}{})".format(
+            self.bin,
+            "" if self.clear else ", boundary",
+            ", exceeds {}".format(sorted(worst)) if worst else "")
+
+
+class ToleranceProfile:
+    """An ordered, validated tolerance-rule set for one customer/grade.
+
+    Parameters
+    ----------
+    name:
+        Profile identifier (customer or grade-set name).
+    rules:
+        Ordered :class:`ToleranceRule` sequence.  Rules assigning
+        *different* bins must not overlap with positive measure
+        (checked by :meth:`validate`); first match wins on shared
+        boundaries, making the semantics deterministic and -- away
+        from exact boundaries -- independent of rule order.
+    default_bin:
+        Fallback bin for devices matching no rule (typically the
+        scrap/FAIL bin); guarantees full coverage structurally.
+    description:
+        Free-form documentation.
+    """
+
+    def __init__(self, name: str, rules, default_bin: str,
+                 description: str = ""):
+        if not name or not isinstance(name, str):
+            raise RuleError("profile name must be a non-empty string")
+        if not default_bin or not isinstance(default_bin, str):
+            raise RuleError("default bin must be a non-empty string")
+        self.name = name
+        self.rules = tuple(
+            rule if isinstance(rule, ToleranceRule)
+            else ToleranceRule.from_dict(rule)
+            for rule in rules)
+        self.default_bin = default_bin
+        self.description = str(description)
+        bins = []
+        for rule in self.rules:
+            if rule.bin not in bins:
+                bins.append(rule.bin)
+        if default_bin not in bins:
+            bins.append(default_bin)
+        #: Bin names in first-appearance order, fallback last.
+        self.bins = tuple(bins)
+
+    # -- equality (JSON round-trip contract) ------------------------------
+    def __eq__(self, other):
+        return (isinstance(other, ToleranceProfile)
+                and self.to_dict() == other.to_dict())
+
+    def __hash__(self):
+        return hash((self.name, self.rules, self.default_bin))
+
+    @property
+    def n_bins(self) -> int:
+        return len(self.bins)
+
+    def bin_index(self, bin_name: str) -> int:
+        try:
+            return self.bins.index(bin_name)
+        except ValueError:
+            raise RuleError(
+                "unknown bin {!r}; profile {!r} defines {}".format(
+                    bin_name, self.name, list(self.bins))) from None
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def binary_default(cls, specifications) -> "ToleranceProfile":
+        """The degenerate 2-bin profile over a specification set.
+
+        One rule -- every specification inside its acceptability range
+        -> ``PASS`` -- over a ``FAIL`` fallback.  Reproduces
+        :meth:`~repro.core.specs.SpecificationSet.labels` exactly:
+        both use closed-interval comparisons against the same bounds.
+        """
+        rule = ToleranceRule(
+            bin=PASS_BIN,
+            conditions={s.name: (s.low, s.high) for s in specifications},
+            description="every specification inside its "
+                        "acceptability range")
+        return cls(
+            name="binary-default",
+            rules=(rule,),
+            default_bin=FAIL_BIN,
+            description="degenerate pass/fail profile (2-bin "
+                        "compatibility contract)")
+
+    # -- validation --------------------------------------------------------
+    def validate(self, specifications=None,
+                 check_coverage: bool = True) -> "ToleranceProfile":
+        """Check the profile is safe to disposition devices with.
+
+        * every conditioned spec exists in ``specifications`` (when
+          given);
+        * no two rules assigning different bins overlap with positive
+          measure (axis-aligned box intersection; rules for the *same*
+          bin may overlap -- a bin region may be a union of boxes);
+        * with ``check_coverage`` and ``specifications``, the
+          acceptability box is fully covered by the rules, so no
+          passing device silently falls through to the default bin.
+
+        Returns ``self``; raises :class:`~repro.errors.RuleError` on
+        any violation.
+        """
+        if not self.rules:
+            raise RuleError(
+                "profile {!r} has no rules; even the binary profile "
+                "declares its PASS region".format(self.name))
+        if specifications is not None:
+            known = set(specifications.names)
+            for rule in self.rules:
+                unknown = set(rule.conditions) - known
+                if unknown:
+                    raise RuleError(
+                        "rule for bin {!r} conditions on unknown "
+                        "specification(s) {}".format(
+                            rule.bin, sorted(unknown)))
+        self._check_overlaps()
+        if check_coverage and specifications is not None:
+            self._check_coverage(specifications)
+        return self
+
+    def _check_overlaps(self):
+        for i, a in enumerate(self.rules):
+            for b in self.rules[i + 1:]:
+                if a.bin == b.bin:
+                    continue
+                if _boxes_overlap(a.conditions, b.conditions):
+                    raise RuleError(
+                        "rules for bins {!r} and {!r} overlap with "
+                        "positive measure; a device in the overlap "
+                        "would be binned by rule order alone -- split "
+                        "the ranges".format(a.bin, b.bin))
+
+    def _check_coverage(self, specifications):
+        """Prove the acceptability box is covered by the rules.
+
+        The rules are axis-aligned boxes, so the arrangement induced
+        by their boundaries (clipped to the acceptability box) tiles
+        the box into cells each lying entirely inside or outside every
+        rule; testing one midpoint per cell is therefore *exact*, not
+        a heuristic.  Only dimensions some rule conditions on need
+        splitting.
+        """
+        conditioned = [s for s in specifications
+                       if any(s.name in r.conditions for r in self.rules)]
+        if not conditioned:
+            raise RuleError(
+                "profile {!r} conditions on none of the target "
+                "specifications".format(self.name))
+        axes = []
+        n_cells = 1
+        for spec in conditioned:
+            cuts = {spec.low, spec.high}
+            for rule in self.rules:
+                bounds = rule.conditions.get(spec.name)
+                if bounds is None:
+                    continue
+                for edge in bounds:
+                    if edge is not None and spec.low < edge < spec.high:
+                        cuts.add(edge)
+            edges = sorted(cuts)
+            mids = [(a + b) / 2.0 for a, b in zip(edges, edges[1:])]
+            axes.append((spec.name, mids))
+            n_cells *= len(mids)
+            if n_cells > MAX_COVERAGE_CELLS:
+                raise RuleError(
+                    "coverage check would enumerate more than {} "
+                    "cells; simplify the profile or validate with "
+                    "check_coverage=False".format(MAX_COVERAGE_CELLS))
+        # Build the midpoint grid over conditioned dims; unconditioned
+        # dims sit at their nominal (they cannot affect any rule).
+        grids = np.meshgrid(*[mids for _, mids in axes], indexing="ij")
+        points = {name: grid.ravel()
+                  for (name, _), grid in zip(axes, grids)}
+        n = next(iter(points.values())).shape[0]
+        covered = np.zeros(n, dtype=bool)
+        for rule in self.rules:
+            mask = np.ones(n, dtype=bool)
+            for name, (low, high) in rule.conditions.items():
+                if name not in points:
+                    continue  # unconditioned dim: nominal, in range
+                v = points[name]
+                if low is not None:
+                    mask &= v >= low
+                if high is not None:
+                    mask &= v <= high
+            covered |= mask
+        if not covered.all():
+            hole = int(np.flatnonzero(~covered)[0])
+            witness = {name: float(v[hole]) for name, v in points.items()}
+            raise RuleError(
+                "profile {!r} leaves a coverage gap inside the "
+                "acceptable region: no rule matches a passing device "
+                "at {} -- it would silently fall to the default bin "
+                "{!r}".format(self.name, witness, self.default_bin))
+
+    # -- matching ----------------------------------------------------------
+    def bind(self, specifications) -> "BoundProfile":
+        """Pre-compile the rule set against a specification set.
+
+        Returns the vectorized matcher the floor's hot path uses; the
+        profile is validated (including coverage) first.
+        """
+        self.validate(specifications)
+        return BoundProfile(self, specifications)
+
+    def assign(self, values, specifications) -> np.ndarray:
+        """Per-device bin indices for a full measurement matrix."""
+        return self.bind(specifications).assign(values)
+
+    def verdict(self, row, specifications,
+                uncertainty_scale: float = 1.0) -> Verdict:
+        """Structured :class:`Verdict` for one device row."""
+        return self.bind(specifications).verdict(
+            row, uncertainty_scale=uncertainty_scale)
+
+    # -- persistence -------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "format": PROFILE_FORMAT,
+            "version": PROFILE_VERSION,
+            "name": self.name,
+            "description": self.description,
+            "default_bin": self.default_bin,
+            "rules": [rule.to_dict() for rule in self.rules],
+        }
+
+    @classmethod
+    def from_dict(cls, payload) -> "ToleranceProfile":
+        if not isinstance(payload, dict):
+            raise RuleError("a profile must be a JSON object")
+        if payload.get("format", PROFILE_FORMAT) != PROFILE_FORMAT:
+            raise RuleError(
+                "{!r} is not a tolerance-profile document".format(
+                    payload.get("format")))
+        version = payload.get("version", PROFILE_VERSION)
+        if version != PROFILE_VERSION:
+            raise RuleError(
+                "profile document version {!r}; this build reads "
+                "version {}".format(version, PROFILE_VERSION))
+        return cls(
+            name=payload.get("name", ""),
+            rules=payload.get("rules", ()),
+            default_bin=payload.get("default_bin", ""),
+            description=payload.get("description", ""),
+        )
+
+    def save(self, path) -> "ToleranceProfile":
+        """Write the profile as a JSON document (validated first)."""
+        self.validate()
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        return self
+
+    @classmethod
+    def load(cls, path) -> "ToleranceProfile":
+        """Read a JSON profile written by :meth:`save`."""
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError) as exc:
+            raise RuleError(
+                "cannot read tolerance profile {!r}: {}".format(
+                    os.fspath(path), exc)) from exc
+        profile = cls.from_dict(payload)
+        profile.validate()
+        return profile
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary."""
+        lines = ["ToleranceProfile {!r}: {} bin(s) {}".format(
+            self.name, self.n_bins, " > ".join(self.bins))]
+        for rule in self.rules:
+            conds = ", ".join(
+                "{}{}".format(name, _format_interval(bounds))
+                for name, bounds in rule.conditions.items())
+            lines.append("  {} <- {}".format(rule.bin, conds))
+        lines.append("  {} <- (no rule matches)".format(self.default_bin))
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return "ToleranceProfile({!r}, {} rules, bins={})".format(
+            self.name, len(self.rules), list(self.bins))
+
+
+def _format_interval(bounds) -> str:
+    low, high = bounds
+    return " in [{}, {}]".format(
+        "-inf" if low is None else "{:g}".format(low),
+        "inf" if high is None else "{:g}".format(high))
+
+
+def _boxes_overlap(a: dict, b: dict) -> bool:
+    """Positive-measure intersection of two condition boxes.
+
+    Unconditioned dimensions are unbounded; closed intervals that
+    merely share an edge (measure zero) do not count as overlap.
+    """
+    for name in set(a) | set(b):
+        a_low, a_high = a.get(name, (None, None))
+        b_low, b_high = b.get(name, (None, None))
+        low = max(_lo(a_low), _lo(b_low))
+        high = min(_hi(a_high), _hi(b_high))
+        if not low < high:
+            return False
+    return True
+
+
+def _lo(bound):
+    return -math.inf if bound is None else bound
+
+
+def _hi(bound):
+    return math.inf if bound is None else bound
+
+
+class BoundProfile:
+    """A :class:`ToleranceProfile` compiled against a specification set.
+
+    Dense per-rule bound matrices make matching one broadcasted
+    comparison per batch; everything is a pure function of the
+    profile, the specification order and the measurements, so
+    assignments are identical at any batch size or engine.
+    """
+
+    def __init__(self, profile: ToleranceProfile, specifications):
+        self.profile = profile
+        self.specifications = specifications
+        names = specifications.names
+        r, m = len(profile.rules), len(names)
+        index = {name: j for j, name in enumerate(names)}
+        self._lows = np.full((r, m), -np.inf)
+        self._highs = np.full((r, m), np.inf)
+        self._guards = np.zeros((r, m))
+        for i, rule in enumerate(profile.rules):
+            for name, (low, high) in rule.conditions.items():
+                j = index[name]
+                if low is not None:
+                    self._lows[i, j] = low
+                if high is not None:
+                    self._highs[i, j] = high
+            for name, width in rule.guard.items():
+                self._guards[i, index[name]] = width
+        self._rule_bins = np.array(
+            [profile.bin_index(rule.bin) for rule in profile.rules])
+        self._default_bin = profile.bin_index(profile.default_bin)
+        # conflicts[i, k]: rule k fires earlier than rule i and would
+        # assign a different bin -- uncertainty pushing a device from
+        # rule i's region into rule k's changes the outcome.
+        self._earlier_conflicts = [
+            np.array([k for k in range(i)
+                      if profile.rules[k].bin != profile.rules[i].bin],
+                     dtype=int)
+            for i in range(r)]
+        self._nondefault_rules = np.array(
+            [i for i in range(r)
+             if profile.rules[i].bin != profile.default_bin], dtype=int)
+
+    @property
+    def bins(self):
+        return self.profile.bins
+
+    def _check(self, values) -> np.ndarray:
+        values = np.asarray(values, dtype=float)
+        if values.ndim == 1:
+            values = values[None, :]
+        if values.ndim != 2 or values.shape[1] != self._lows.shape[1]:
+            raise RuleError(
+                "measurement matrix must be (n, {}) in specification "
+                "order; got shape {}".format(
+                    self._lows.shape[1], np.shape(values)))
+        return values
+
+    def _masks(self, values, lows, highs) -> np.ndarray:
+        """(r, n) rule-match masks for the given bound matrices."""
+        V = values[None, :, :]
+        return ((V >= lows[:, None, :])
+                & (V <= highs[:, None, :])).all(axis=2)
+
+    def match(self, values, uncertainty_scale: float = 1.0):
+        """Vectorized first-match assignment of a measurement batch.
+
+        Returns ``(bin_idx, rule_idx, clear)``:
+
+        * ``bin_idx`` -- per-device index into ``profile.bins``;
+        * ``rule_idx`` -- the rule that fired (``-1`` = default bin);
+        * ``clear`` -- True where the assignment is robust to the
+          declared per-spec measurement uncertainty (scaled by
+          ``uncertainty_scale``): the device stays inside its rule
+          with every conditioned value pulled ``guard`` inward, and no
+          earlier different-bin rule could capture it with its bounds
+          pushed ``guard`` outward.  Widening the uncertainty never
+          changes ``bin_idx`` -- it only moves devices from clear to
+          boundary.
+        """
+        if uncertainty_scale < 0:
+            raise RuleError("uncertainty_scale must be non-negative")
+        values = self._check(values)
+        nominal = self._masks(values, self._lows, self._highs)
+        any_match = nominal.any(axis=0)
+        rule_idx = np.where(any_match,
+                            nominal.argmax(axis=0), -1)
+        bin_idx = np.where(any_match,
+                           self._rule_bins[nominal.argmax(axis=0)],
+                           self._default_bin)
+
+        g = self._guards * float(uncertainty_scale)
+        if not g.any():
+            return bin_idx, rule_idx, np.ones(values.shape[0], bool)
+        shrunk = self._masks(values, self._lows + g, self._highs - g)
+        widened = self._masks(values, self._lows - g, self._highs + g)
+        clear = np.empty(values.shape[0], dtype=bool)
+        default_mask = rule_idx < 0
+        if default_mask.any():
+            reachable = (widened[self._nondefault_rules].any(axis=0)
+                         if self._nondefault_rules.size
+                         else np.zeros(values.shape[0], bool))
+            clear[default_mask] = ~reachable[default_mask]
+        for i in range(len(self.profile.rules)):
+            mine = rule_idx == i
+            if not mine.any():
+                continue
+            ok = shrunk[i]
+            conflicts = self._earlier_conflicts[i]
+            if conflicts.size:
+                ok = ok & ~widened[conflicts].any(axis=0)
+            clear[mine] = ok[mine]
+        return bin_idx, rule_idx, clear
+
+    def assign(self, values) -> np.ndarray:
+        """Per-device bin indices (nominal conditions only)."""
+        bin_idx, _, _ = self.match(values, uncertainty_scale=0.0)
+        return bin_idx
+
+    def bin_counts(self, bin_idx) -> dict:
+        """``{bin_name: count}`` histogram of an index array."""
+        bin_idx = np.asarray(bin_idx)
+        return {name: int(np.sum(bin_idx == i))
+                for i, name in enumerate(self.bins)}
+
+    def verdict(self, row, uncertainty_scale: float = 1.0) -> Verdict:
+        """Structured :class:`Verdict` for one device row."""
+        values = self._check(row)
+        if values.shape[0] != 1:
+            raise RuleError("verdict() takes a single device row")
+        bin_idx, rule_idx, clear = self.match(
+            values, uncertainty_scale=uncertainty_scale)
+        specs = self.specifications
+        v = values[0]
+        exceedances = {
+            spec.name: float(max(0.0, spec.low - v[j], v[j] - spec.high))
+            for j, spec in enumerate(specs)}
+        return Verdict(
+            bin=self.bins[int(bin_idx[0])],
+            rule=(self.profile.rules[int(rule_idx[0])]
+                  if rule_idx[0] >= 0 else None),
+            clear=bool(clear[0]),
+            exceedances=exceedances)
+
+    def __repr__(self):
+        return "BoundProfile({!r}, {} rules over {} specs)".format(
+            self.profile.name, len(self.profile.rules),
+            self._lows.shape[1])

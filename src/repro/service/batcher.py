@@ -43,6 +43,7 @@ from repro.floor.engine import (
     TestFloor,
     disposition_counts,
 )
+from repro.rules.binning import bin_histogram
 
 #: Default rows per coalesced floor batch.
 DEFAULT_MAX_BATCH_SIZE = 512
@@ -66,8 +67,10 @@ class BatcherStats:
     n_scrapped: int = 0
     n_guard: int = 0
     n_retested: int = 0
+    n_bin_retested: int = 0
     total_cost: float = 0.0
     busy_seconds: float = 0.0
+    bin_counts: dict = field(default_factory=dict)
 
     @property
     def devices_per_minute(self) -> float:
@@ -247,7 +250,14 @@ class MicroBatcher:
         self.stats.n_scrapped += counts["n_scrapped"]
         self.stats.n_guard += counts["n_guard"]
         self.stats.n_retested += counts["n_retested"]
+        self.stats.n_bin_retested += outcome.n_bin_retested
         self.stats.total_cost += outcome.cost
+        bin_counts = outcome.bin_counts()
+        if bin_counts:
+            for name, value in bin_counts.items():
+                self.stats.bin_counts[name] = (
+                    self.stats.bin_counts.get(name, 0) + value
+                )
 
         offset = 0
         for request in batch_requests:
@@ -275,7 +285,7 @@ def _slice_result(
 ) -> dict:
     """One request's view of the combined batch outcome."""
     decisions = outcome.decisions[start:stop]
-    return {
+    result = {
         "decisions": decisions,
         "counts": disposition_counts(
             decisions,
@@ -285,3 +295,11 @@ def _slice_result(
         "batch_rows": int(outcome.n_devices),
         "flush_reason": reason,
     }
+    # Additive bin view -- the legacy keys above are the binary-parity
+    # surface and never change shape or meaning.
+    if outcome.bins is not None:
+        bins = outcome.bins[start:stop]
+        result["bins"] = bins
+        result["bin_names"] = outcome.bin_names
+        result["bin_counts"] = bin_histogram(bins, outcome.bin_names)
+    return result

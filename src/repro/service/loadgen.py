@@ -16,8 +16,9 @@ proves the contract on every run:
 3. ``n_clients`` keep-alive connections replay the requests
    concurrently (concurrency shapes the coalescing, never a
    decision), retrying on 429 backpressure;
-4. every plan's served decisions are reassembled by device index and
-   compared against an offline floor run over the same rows.
+4. every plan's served decisions *and* served bins are reassembled by
+   device index and compared against an offline floor run over the
+   same rows.
 
 The traffic *content* is deterministic given the seeds; wall-clock
 figures of course are not.
@@ -77,8 +78,13 @@ class PlanOutcome:
     n_retried: int
     #: Served decisions, reassembled in device order.
     decisions: np.ndarray
-    #: ``None`` when the plan carried no reference floor.
-    equivalent: bool | None
+    #: Served bin names, reassembled in device order (``None`` when
+    #: the server predates the binning layer).
+    bins: object = None
+    #: ``None`` when the plan carried no reference floor; ``True``
+    #: requires served decisions *and* served bins to match the
+    #: offline floor device for device.
+    equivalent: bool | None = None
 
     def summary(self) -> str:
         verdict = {True: "bit-identical to offline floor",
@@ -282,6 +288,10 @@ async def run_load(
         index: np.zeros(populations[index].shape[0], dtype=int)
         for index in range(len(plans))
     }
+    served_bins = {
+        index: np.empty(populations[index].shape[0], dtype=object)
+        for index in range(len(plans))
+    }
     n_requests = [0] * len(plans)
     n_retried = [0] * len(plans)
     queue: asyncio.Queue = asyncio.Queue()
@@ -318,6 +328,9 @@ async def run_load(
                         "{}".format(status, reply.get("error", reply)))
                 decisions[request["plan"]][
                     request["start"]:request["stop"]] = reply["decisions"]
+                if reply.get("bins") is not None:
+                    served_bins[request["plan"]][
+                        request["start"]:request["stop"]] = reply["bins"]
                 n_requests[request["plan"]] += 1
         finally:
             await client.close()
@@ -337,18 +350,29 @@ async def run_load(
 
     outcomes = []
     for index, plan in enumerate(plans):
+        # Old servers reply without bins; distinguish "not served"
+        # from "served" so the equivalence check knows what to hold.
+        plan_bins = served_bins[index]
+        if all(b is None for b in plan_bins):
+            plan_bins = None
         equivalent = None
         if plan.reference is not None:
             offline = plan.reference.run_stream(
                 [populations[index]], keep_decisions=True)
             equivalent = bool(np.array_equal(
                 offline.decisions, decisions[index]))
+            if equivalent and plan_bins is not None:
+                offline_names = np.asarray(
+                    offline.bin_names, dtype=object)[offline.bins]
+                equivalent = bool(np.array_equal(
+                    offline_names, plan_bins))
         outcomes.append(PlanOutcome(
             device=plan.device,
             n_devices=populations[index].shape[0],
             n_requests=n_requests[index],
             n_retried=n_retried[index],
             decisions=decisions[index],
+            bins=plan_bins,
             equivalent=equivalent,
         ))
     return LoadReport(plans=outcomes, wall_seconds=wall,

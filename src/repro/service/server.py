@@ -17,9 +17,11 @@ Endpoints
     ``{"device": ..., "version"?: ..., "measurements": [[...], ...]}``
     -- full-specification rows, one per device.  Replies with the
     per-device ``decisions`` (+1 ship / -1 scrap), the request's
-    quality counts and the resolved artifact key.  Queue-full replies
-    are ``429`` with a ``Retry-After`` header -- explicit backpressure
-    instead of unbounded buffering.
+    quality counts and the resolved artifact key, plus the per-device
+    ``bins`` (tolerance-profile bin names; binary programs serve the
+    degenerate PASS/FAIL pair) and the request's ``bin_counts``
+    histogram.  Queue-full replies are ``429`` with a ``Retry-After``
+    header -- explicit backpressure instead of unbounded buffering.
 ``GET /artifacts``
     Registry listing (versions, checksums, residency, retirement).
 ``POST /artifacts``
@@ -40,8 +42,9 @@ calls with ``403``.
 ``GET /health``
     Liveness plus uptime and registration count.
 ``GET /metrics``
-    Per-artifact throughput, realized coalescing, queue depth and the
-    drift-monitor state (devices seen, active alarms).
+    Per-artifact throughput, realized coalescing, queue depth, served
+    bin histograms and the drift-monitor state (devices seen, active
+    alarms).
 
 Decisions served here are bit-identical to an offline
 :class:`~repro.floor.engine.TestFloor` pass over the same devices at
@@ -218,7 +221,7 @@ class FloorService:
         """Disposition rows through the batching queue; JSON-ready reply."""
         key = self.registry.resolve(device, version)
         result = await self.batcher(*key).submit(measurements)
-        return {
+        reply = {
             "device": key[0],
             "version": key[1],
             "decisions": [int(d) for d in result["decisions"]],
@@ -226,6 +229,14 @@ class FloorService:
             "batch_rows": result["batch_rows"],
             "flush_reason": result["flush_reason"],
         }
+        # Additive bin view (tolerance-profile disposition): per-device
+        # bin names plus the request's histogram.  The legacy keys
+        # above are the binary-parity surface and never change.
+        if result.get("bins") is not None:
+            names = result["bin_names"]
+            reply["bins"] = [names[b] for b in result["bins"]]
+            reply["bin_counts"] = result["bin_counts"]
+        return reply
 
     # -- control/observability planes --------------------------------------
     def health(self) -> dict:

@@ -103,6 +103,24 @@ class TestOutcome:
     total_cost: float
     #: Cost of testing the same population with the full test set.
     full_cost: float
+    #: Per-device bin indices into ``bin_names`` (``None`` when the
+    #: program carries no tolerance profile).
+    bins: object = None
+    #: Profile bin assignment of the full measurements (no
+    #: disposition override; ``None`` without a profile).
+    truth_bins: object = None
+    #: Bin names, in profile order (empty without a profile).
+    bin_names: tuple = ()
+    #: Shipped devices routed through the grade (bin) retest flow.
+    n_bin_retested: int = 0
+
+    def bin_counts(self):
+        """``{bin_name: count}`` histogram (``None`` without a profile)."""
+        if self.bins is None:
+            return None
+        from repro.rules.binning import bin_histogram
+
+        return bin_histogram(self.bins, self.bin_names)
 
     @property
     def cost_per_device(self):
@@ -144,14 +162,31 @@ class TestProgram:
         specification test (kept and eliminated).
     retest_policy:
         ``"full_retest"`` (default), ``"accept"`` or ``"reject"``.
+    profile:
+        Optional :class:`~repro.rules.engine.ToleranceProfile`; when
+        given, :meth:`run` additionally assigns every device a bin.
+        Binning *refines* the binary disposition -- it never changes a
+        ship/scrap decision (see :mod:`repro.rules.binning`).
+    bank:
+        Optional fitted :class:`~repro.learn.ovr.OneVsRestSVCBank`
+        grading shipped devices from the kept measurements (classes
+        must be grade bin names of ``profile``).
+    boundary_margin:
+        Bank top-2 margin below which a shipped device is routed
+        through the grade retest (full-measurement grade); counted in
+        :attr:`TestOutcome.n_bin_retested`.
     """
 
     def __init__(self, classifier, cost_model=None,
-                 retest_policy=RETEST_FULL):
+                 retest_policy=RETEST_FULL, profile=None, bank=None,
+                 boundary_margin=0.0):
         check_retest_policy(retest_policy)
         self.classifier = classifier
         self.cost_model = cost_model
         self.retest_policy = retest_policy
+        self.profile = profile
+        self.bank = bank
+        self.boundary_margin = float(boundary_margin)
         self.kept = tuple(classifier.feature_names)
 
     def _first_pass(self, dataset):
@@ -178,6 +213,20 @@ class TestProgram:
             self.cost_model, self.kept, len(dataset), n_guard,
             self.retest_policy)
 
+        bins = truth_bins = None
+        bin_names = ()
+        n_bin_retested = 0
+        if self.profile is not None:
+            from repro.rules.binning import assign_bins
+
+            bound = self.profile.bind(dataset.specifications)
+            truth_bins = bound.assign(dataset.values)
+            bins, n_bin_retested = assign_bins(
+                bound, decisions, truth_bins,
+                kept_norm=dataset.normalized_values(self.kept),
+                bank=self.bank, boundary_margin=self.boundary_margin)
+            bin_names = bound.bins
+
         return TestOutcome(
             decisions=decisions,
             first_pass=first,
@@ -185,4 +234,8 @@ class TestProgram:
             n_retested=n_retested,
             total_cost=total_cost,
             full_cost=full_cost,
+            bins=bins,
+            truth_bins=truth_bins,
+            bin_names=bin_names,
+            n_bin_retested=n_bin_retested,
         )

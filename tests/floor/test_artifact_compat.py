@@ -1,0 +1,180 @@
+"""Artifact schema compatibility across the binning upgrade.
+
+Schema v2 added the tolerance profile and grade bank to the artifact
+file.  These tests pin the compatibility contract from the ISSUE: a
+committed v1 file keeps loading (as the degenerate 2-bin program), a
+v2 file round-trips its profile and bank, and corrupt payloads --
+overlapping profiles, garbage profile documents, unknown schema
+versions, a bank without its profile -- are rejected at *load* time
+with a clean :class:`~repro.errors.ReproError` subclass, never
+surfacing later on the floor.
+
+The tamper tests rewrite the pickled payload directly: ``save()``
+trusts its in-memory objects, so a hostile or bit-rotted file can hold
+states no code path would construct -- exactly what ``loads()`` must
+refuse.
+"""
+
+import copy
+import io
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.errors import ArtifactError, ReproError, RuleError
+from repro.floor import TestFloor as Floor
+from repro.floor import TestProgramArtifact as Artifact
+from repro.rules import ToleranceProfile, ToleranceRule
+
+FIXTURE_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "fixtures")
+V1_PATH = os.path.join(FIXTURE_DIR, "v1_artifact.rtp")
+
+
+def speed_profile():
+    """A 3-grade speed profile over the synthetic s0..s5 universe."""
+    return ToleranceProfile(
+        "speed-grades",
+        [ToleranceRule("FAST", {"s0": (0.5, 1.0)}),
+         ToleranceRule("TYP", {"s0": (-0.5, 0.5)}),
+         ToleranceRule("SLOW", {"s0": (-1.0, -0.5)})],
+        default_bin="REJECT")
+
+
+@pytest.fixture(scope="module")
+def v2_blob(tmp_path_factory):
+    """Bytes of a saved v2 artifact carrying a profile and a bank.
+
+    Built from the committed v1 file so the tamper tests do not depend
+    on the (slower) package compaction fixtures.
+    """
+    artifact = copy.copy(Artifact.load(V1_PATH))
+    from tests.synthetic import make_synthetic_dataset
+
+    artifact.with_profile(speed_profile(),
+                          train=make_synthetic_dataset(n=300, seed=71))
+    path = tmp_path_factory.mktemp("compat") / "v2.rtp"
+    artifact.save(path)
+    return path.read_bytes()
+
+
+def tampered(blob, mutate):
+    """Re-serialize ``blob`` after ``mutate(payload)`` edits it."""
+    payload = pickle.load(io.BytesIO(blob))
+    mutate(payload)
+    return pickle.dumps(payload, protocol=4)
+
+
+class TestV1Compatibility:
+    def test_v1_file_loads_without_profile(self):
+        artifact = Artifact.load(V1_PATH)
+        assert artifact.profile is None
+        assert artifact.bank is None
+        assert "degenerate 2-bin" in artifact.describe()
+
+    def test_v1_file_runs_as_degenerate_two_bin_floor(self):
+        floor = Floor(Artifact.load(V1_PATH))
+        assert floor.bin_names == ("PASS", "FAIL")
+        rng = np.random.default_rng(4)
+        dut_rows = rng.uniform(-1.0, 1.0, (30, 6))
+        outcome = floor.dispose(dut_rows)
+        assert outcome.n_bin_retested == 0
+        assert outcome.bin_counts() == {
+            "PASS": int(np.sum(outcome.decisions == 1)),
+            "FAIL": int(np.sum(outcome.decisions == -1)),
+        }
+
+    def test_v1_payload_carries_no_binning_keys(self):
+        payload = pickle.load(io.BytesIO(open(V1_PATH, "rb").read()))
+        assert payload["schema_version"] == 1
+        assert "profile" not in payload["state"]
+        assert "bank" not in payload["state"]
+
+
+class TestV2RoundTrip:
+    def test_profile_and_bank_survive_save_load(self, v2_blob):
+        artifact = Artifact.loads(v2_blob)
+        assert artifact.profile is not None
+        assert artifact.profile.to_dict() == speed_profile().to_dict()
+        assert artifact.bank is not None
+        assert set(artifact.bank.classes) == {"FAST", "TYP", "SLOW"}
+
+    def test_profile_stored_as_reviewable_plain_dict(self, v2_blob):
+        """The file holds the JSON document, not pickled rule objects."""
+        payload = pickle.load(io.BytesIO(v2_blob))
+        profile = payload["state"]["profile"]
+        assert isinstance(profile, dict)
+        assert profile["name"] == "speed-grades"
+
+    def test_loaded_bank_grades_like_the_saved_one(self, v2_blob):
+        saved = Artifact.loads(v2_blob)
+        reloaded = Artifact.loads(v2_blob)
+        X = np.random.default_rng(7).normal(
+            0.0, 0.5, (25, saved.bank.n_features_))
+        assert (saved.bank.predict_index(X)
+                == reloaded.bank.predict_index(X)).all()
+
+
+class TestCorruptPayloadRejection:
+    def test_overlapping_profile_rejected_with_rule_error(self, v2_blob):
+        def overlap(payload):
+            rules = payload["state"]["profile"]["rules"]
+            slow = next(r for r in rules if r["bin"] == "SLOW")
+            slow["conditions"]["s0"] = [-1.0, 0.6]   # bites into TYP
+
+        blob = tampered(v2_blob, overlap)
+        with pytest.raises(RuleError, match="overlap"):
+            Artifact.loads(blob)
+
+    def test_garbage_profile_document_rejected(self, v2_blob):
+        blob = tampered(
+            v2_blob,
+            lambda p: p["state"].__setitem__("profile", {"bogus": 1}))
+        with pytest.raises(RuleError):
+            Artifact.loads(blob)
+
+    def test_profile_naming_unknown_spec_rejected(self, v2_blob):
+        def rename(payload):
+            rules = payload["state"]["profile"]["rules"]
+            for rule in rules:
+                rule["conditions"] = {
+                    "ghost": v for v in rule["conditions"].values()}
+
+        blob = tampered(v2_blob, rename)
+        with pytest.raises(RuleError):
+            Artifact.loads(blob)
+
+    def test_bank_without_profile_rejected(self, v2_blob):
+        blob = tampered(
+            v2_blob, lambda p: p["state"].__setitem__("profile", None))
+        with pytest.raises(ArtifactError, match="without a tolerance"):
+            Artifact.loads(blob)
+
+    def test_unknown_schema_version_rejected(self, v2_blob):
+        blob = tampered(
+            v2_blob, lambda p: p.__setitem__("schema_version", 99))
+        with pytest.raises(ArtifactError, match="schema version 99"):
+            Artifact.loads(blob)
+
+    def test_wrong_magic_rejected(self, v2_blob):
+        blob = tampered(
+            v2_blob, lambda p: p.__setitem__("magic", "not/anything"))
+        with pytest.raises(ArtifactError, match="not a repro"):
+            Artifact.loads(blob)
+
+    def test_missing_required_state_rejected(self, v2_blob):
+        blob = tampered(
+            v2_blob, lambda p: p["state"].pop("specifications"))
+        with pytest.raises(ArtifactError, match="missing required state"):
+            Artifact.loads(blob)
+
+    def test_truncated_file_rejected(self, v2_blob):
+        with pytest.raises(ArtifactError, match="cannot read"):
+            Artifact.loads(v2_blob[:100])
+
+    def test_rejections_are_repro_errors(self, v2_blob):
+        """Every load failure is catchable as the library root error."""
+        for exc in (ArtifactError, RuleError):
+            assert issubclass(exc, ReproError)

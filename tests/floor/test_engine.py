@@ -7,6 +7,7 @@ across a save/load into a fresh process.
 
 import subprocess
 import sys
+import time
 from pathlib import Path
 
 import numpy as np
@@ -231,3 +232,29 @@ class TestConfiguration:
     def test_repr_mentions_mode(self, artifact):
         text = repr(Floor(artifact))
         assert "live model" in text and "full_retest" in text
+
+
+class TestThroughputAccounting:
+    def test_wall_time_excludes_stream_generation(self, artifact,
+                                                  populations):
+        """devices_per_minute measures the floor, not the traffic source.
+
+        Regression test: wall_seconds used to clock the whole stream
+        loop, so a slow generator (circuit simulation, network
+        transport) deflated the reported disposition throughput.  The
+        stub below sleeps 150ms across three chunks while the actual
+        disposition work is a few milliseconds; the report must see
+        only the latter.
+        """
+        train, _ = populations
+        rows = train.values[:120]
+
+        def slow_stream():
+            for start in (0, 40, 80):
+                time.sleep(0.05)
+                yield rows[start:start + 40]
+
+        report = Floor(artifact).run_stream(slow_stream(), batch_size=40)
+        assert report.n_devices == 120
+        assert 0.0 < report.wall_seconds < 0.10
+        assert report.devices_per_minute > 120 * 60.0 / 0.10

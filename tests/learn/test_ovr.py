@@ -1,0 +1,202 @@
+"""One-vs-rest SVC bank: equivalence to cold fits, sharing, pickling.
+
+The bank is an *optimization* of K independent one-vs-rest SVC fits
+(shared training Gram, SMO warm starts) -- so the load-bearing test is
+that it predicts exactly like the unoptimized construction.  The rest
+pins the degenerate-class behaviour, the margin definition, label
+validation and the prediction-only pickle contract.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.errors import LearningError
+from repro.learn.ovr import OneVsRestSVCBank
+from repro.learn.svm import SVC
+from repro.runtime.kernel_cache import GramCache
+
+CLASSES = ("FAST", "TYP", "SLOW")
+
+
+def factory():
+    return SVC(C=50.0, gamma="scale")
+
+
+@pytest.fixture(scope="module")
+def blobs():
+    """Three well-separated Gaussian blobs in 3 features."""
+    rng = np.random.default_rng(17)
+    centers = {"FAST": (2.0, 0.0, 0.0),
+               "TYP": (0.0, 2.0, 0.0),
+               "SLOW": (0.0, 0.0, 2.0)}
+    X, y = [], []
+    for name, center in centers.items():
+        X.append(rng.normal(center, 0.4, (60, 3)))
+        y.extend([name] * 60)
+    return np.vstack(X), np.asarray(y, dtype=object)
+
+
+@pytest.fixture(scope="module")
+def query(blobs):
+    rng = np.random.default_rng(23)
+    return rng.normal(0.7, 1.0, (80, 3))
+
+
+def cold_prediction(X, y, query):
+    """The unoptimized construction: K independent cold SVC fits."""
+    scores = np.empty((query.shape[0], len(CLASSES)))
+    for k, cls in enumerate(CLASSES):
+        model = factory()
+        model.fit(X, np.where(y == cls, 1.0, -1.0))
+        scores[:, k] = model.decision_function(query)
+    return scores.argmax(axis=1)
+
+
+class TestEquivalenceToColdFits:
+    def test_warm_started_bank_predicts_like_cold_fits(self, blobs,
+                                                       query):
+        X, y = blobs
+        bank = OneVsRestSVCBank(CLASSES, model_factory=factory).fit(X, y)
+        assert (bank.predict_index(query)
+                == cold_prediction(X, y, query)).all()
+
+    def test_warm_start_off_is_also_equivalent(self, blobs, query):
+        X, y = blobs
+        bank = OneVsRestSVCBank(CLASSES, model_factory=factory,
+                                warm_start=False).fit(X, y)
+        assert (bank.predict_index(query)
+                == cold_prediction(X, y, query)).all()
+
+    def test_shared_gram_view_changes_nothing_and_hits_cache(
+            self, blobs, query):
+        X, y = blobs
+        names = ("a", "b", "c")
+        cache = GramCache(X, names)
+        shared = OneVsRestSVCBank(CLASSES, model_factory=factory,
+                                  gram_view=cache.view(names)).fit(X, y)
+        plain = OneVsRestSVCBank(CLASSES, model_factory=factory).fit(X, y)
+        assert (shared.predict_index(query)
+                == plain.predict_index(query)).all()
+        # One Gram build, K-1 reuses: the whole point of the bank.
+        assert cache.stats["gram_misses"] == 1
+        assert cache.stats["gram_hits"] == len(CLASSES) - 1
+
+
+class TestPredictionSurface:
+    def test_predict_returns_class_identifiers(self, blobs):
+        X, y = blobs
+        bank = OneVsRestSVCBank(CLASSES, model_factory=factory).fit(X, y)
+        predicted = bank.predict(X)
+        assert set(predicted) <= set(CLASSES)
+        # Blobs are well separated: training accuracy is essentially 1.
+        assert bank.score(X, y) > 0.95
+
+    def test_decision_matrix_shape_and_argmax(self, blobs, query):
+        X, y = blobs
+        bank = OneVsRestSVCBank(CLASSES, model_factory=factory).fit(X, y)
+        scores = bank.decision_matrix(query)
+        assert scores.shape == (query.shape[0], 3)
+        assert (scores.argmax(axis=1) == bank.predict_index(query)).all()
+
+    def test_margins_are_top1_minus_top2(self, blobs, query):
+        X, y = blobs
+        bank = OneVsRestSVCBank(CLASSES, model_factory=factory).fit(X, y)
+        scores = bank.decision_matrix(query)
+        top2 = np.sort(scores, axis=1)[:, -2:]
+        assert bank.margins(query) == pytest.approx(
+            top2[:, 1] - top2[:, 0])
+        assert (bank.margins(query) >= 0.0).all()
+
+    def test_deep_interior_devices_out_margin_boundary_ones(self, blobs):
+        X, y = blobs
+        bank = OneVsRestSVCBank(CLASSES, model_factory=factory).fit(X, y)
+        interior = np.array([[2.0, 0.0, 0.0]])       # dead center FAST
+        boundary = np.array([[1.0, 1.0, 0.0]])       # between FAST/TYP
+        assert bank.margins(interior)[0] > bank.margins(boundary)[0]
+
+    def test_single_row_input_accepted(self, blobs):
+        X, y = blobs
+        bank = OneVsRestSVCBank(CLASSES, model_factory=factory).fit(X, y)
+        assert bank.predict_index(X[0]).shape == (1,)
+
+
+class TestDegenerateClasses:
+    def test_absent_class_never_predicted(self, blobs, query):
+        X, y = blobs
+        present = y != "SLOW"
+        bank = OneVsRestSVCBank(CLASSES, model_factory=factory)
+        bank.fit(X[present], y[present])
+        predicted = set(bank.predict(query))
+        assert "SLOW" not in predicted
+        assert predicted <= {"FAST", "TYP"}
+
+    def test_two_degenerate_members_tie_at_zero_margin(self):
+        """inf - inf collapses to the documented zero margin."""
+        X = np.array([[0.0], [1.0]])
+        bank = OneVsRestSVCBank(("A", "B", "C"), model_factory=factory)
+        bank.fit(X, np.array(["A", "A"], dtype=object))
+        # B and C are both constant -inf; A is constant +inf: the
+        # winner has no finite runner-up, so the margin is +inf.
+        assert np.isinf(bank.margins(X)).all()
+        # Flip: only degenerate members -> all -inf scores tie at 0.
+        lonely = OneVsRestSVCBank(("B", "C"), model_factory=factory)
+        lonely.fit(X, np.array(["B", "B"], dtype=object))
+        scores = lonely.decision_matrix(X)
+        assert np.isinf(scores).all()
+
+
+class TestValidation:
+    def test_fewer_than_two_classes_rejected(self):
+        with pytest.raises(LearningError, match="at least 2"):
+            OneVsRestSVCBank(("only",))
+
+    def test_duplicate_classes_rejected(self):
+        with pytest.raises(LearningError, match="unique"):
+            OneVsRestSVCBank(("A", "A"))
+
+    def test_unknown_labels_rejected(self, blobs):
+        X, y = blobs
+        bank = OneVsRestSVCBank(("FAST", "TYP"), model_factory=factory)
+        with pytest.raises(LearningError, match="not among the bank"):
+            bank.fit(X, y)          # y also holds "SLOW"
+
+    def test_empty_training_set_rejected(self):
+        bank = OneVsRestSVCBank(CLASSES, model_factory=factory)
+        with pytest.raises(LearningError, match="empty"):
+            bank.fit(np.empty((0, 3)), np.empty(0))
+
+    def test_shape_mismatch_rejected(self, blobs):
+        X, y = blobs
+        bank = OneVsRestSVCBank(CLASSES, model_factory=factory)
+        with pytest.raises(LearningError, match="matching"):
+            bank.fit(X, y[:-5])
+
+    def test_predict_before_fit_rejected(self):
+        bank = OneVsRestSVCBank(CLASSES, model_factory=factory)
+        with pytest.raises(LearningError, match="not fitted"):
+            bank.predict_index(np.zeros((2, 3)))
+
+
+class TestPickling:
+    def test_round_trip_predicts_identically(self, blobs, query):
+        X, y = blobs
+        names = ("a", "b", "c")
+        cache = GramCache(X, names)
+        bank = OneVsRestSVCBank(CLASSES, model_factory=factory,
+                                gram_view=cache.view(names)).fit(X, y)
+        clone = pickle.loads(pickle.dumps(bank))
+        assert clone.classes == bank.classes
+        assert (clone.predict_index(query)
+                == bank.predict_index(query)).all()
+        # Process-local caches never travel.
+        assert clone._gram_view is None
+
+    def test_unpickled_bank_can_refit(self, blobs):
+        """The default factory restored on load keeps fit() working."""
+        X, y = blobs
+        bank = OneVsRestSVCBank(CLASSES, model_factory=factory).fit(X, y)
+        clone = pickle.loads(pickle.dumps(bank))
+        clone.fit(X[:60], y[:60])
+        assert clone.n_features_ == 3

@@ -1,0 +1,202 @@
+"""Disposition-aware bin assignment: the decisions/bins contract.
+
+:func:`repro.rules.binning.assign_bins` may never contradict the
+binary disposition -- these tests pin that invariant, the escape
+clamping, the bank path (with a stub bank whose margins are exactly
+controllable) and the degenerate-binary relabeling guarantee.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.specs import BAD, GOOD, Specification, SpecificationSet
+from repro.errors import RuleError
+from repro.rules import (
+    ToleranceProfile,
+    ToleranceRule,
+    assign_bins,
+    bin_histogram,
+    grade_indices,
+)
+
+from tests.synthetic import make_synthetic_dataset
+
+
+def grade_specs():
+    return SpecificationSet([
+        Specification("gain", "V/V", 5.0, 0.0, 10.0),
+    ])
+
+
+def grade_profile():
+    return ToleranceProfile(
+        "grades",
+        [ToleranceRule("FAST", {"gain": (7.0, 10.0)}),
+         ToleranceRule("TYP", {"gain": (3.0, 7.0)}),
+         ToleranceRule("SLOW", {"gain": (0.0, 3.0)})],
+        default_bin="REJECT")
+
+
+class StubBank:
+    """A bank with scripted predictions and margins."""
+
+    def __init__(self, classes, predictions, margins):
+        self.classes = tuple(classes)
+        self._predictions = np.asarray(predictions)
+        self._margins = np.asarray(margins, dtype=float)
+
+    def predict_index(self, X):
+        assert X.shape[0] == self._predictions.shape[0]
+        return self._predictions
+
+    def margins(self, X):
+        return self._margins
+
+
+class TestAssignBins:
+    def test_scrapped_always_default(self):
+        specs, profile = grade_specs(), grade_profile()
+        bound = profile.bind(specs)
+        values = np.array([[8.0], [5.0], [1.0], [20.0]])
+        decisions = np.array([BAD, BAD, BAD, BAD])
+        bins, n = assign_bins(bound, decisions, bound.assign(values))
+        assert n == 0
+        assert (bins == profile.bin_index("REJECT")).all()
+
+    def test_shipped_get_truth_grade_without_bank(self):
+        specs, profile = grade_specs(), grade_profile()
+        bound = profile.bind(specs)
+        values = np.array([[8.0], [5.0], [1.0]])
+        decisions = np.array([GOOD, GOOD, GOOD])
+        bins, n = assign_bins(bound, decisions, bound.assign(values))
+        assert n == 0
+        names = np.asarray(bound.bins, dtype=object)[bins]
+        assert list(names) == ["FAST", "TYP", "SLOW"]
+
+    def test_escape_clamped_to_lowest_grade(self):
+        """A shipped device whose measurements match no grade rule (a
+        defect escape) carries the lowest grade, never the scrap bin."""
+        specs, profile = grade_specs(), grade_profile()
+        bound = profile.bind(specs)
+        values = np.array([[42.0]])        # outside every rule
+        decisions = np.array([GOOD])       # ...but the floor shipped it
+        bins, _ = assign_bins(bound, decisions, bound.assign(values))
+        assert bound.bins[bins[0]] == "SLOW"
+
+    def test_bins_never_contradict_decisions(self):
+        specs, profile = grade_specs(), grade_profile()
+        bound = profile.bind(specs)
+        rng = np.random.default_rng(5)
+        values = rng.uniform(-5.0, 15.0, (200, 1))
+        decisions = rng.choice([GOOD, BAD], 200)
+        bins, _ = assign_bins(bound, decisions, bound.assign(values))
+        default = profile.bin_index("REJECT")
+        assert ((bins == default) == (decisions == BAD)).all()
+
+    def test_degenerate_binary_profile_is_pure_relabeling(self):
+        dataset = make_synthetic_dataset(n=150, seed=9)
+        specs = dataset.specifications
+        bound = ToleranceProfile.binary_default(specs).bind(specs)
+        rng = np.random.default_rng(1)
+        decisions = rng.choice([GOOD, BAD], len(dataset))
+        bins, n = assign_bins(
+            bound, decisions, bound.assign(dataset.values))
+        assert n == 0
+        names = np.asarray(bound.bins, dtype=object)[bins]
+        assert (names == np.where(decisions == GOOD, "PASS", "FAIL")).all()
+
+    def test_grade_only_profile_rejected(self):
+        specs = grade_specs()
+        profile = ToleranceProfile(
+            "only-default",
+            [ToleranceRule("REJECT", {"gain": (0.0, 10.0)})],
+            default_bin="REJECT")
+        bound = profile.bind(specs)
+        with pytest.raises(RuleError, match="no grade bin"):
+            assign_bins(bound, np.array([GOOD]), np.array([0]))
+
+
+class TestBankPath:
+    def test_bank_grades_shipped_devices(self):
+        specs, profile = grade_specs(), grade_profile()
+        bound = profile.bind(specs)
+        values = np.array([[8.0], [5.0], [1.0], [5.0]])
+        decisions = np.array([GOOD, GOOD, BAD, GOOD])
+        # bank classes deliberately NOT in profile-bin order
+        bank = StubBank(("SLOW", "FAST", "TYP"),
+                        predictions=[1, 0, 2],     # FAST, SLOW, TYP
+                        margins=[9.0, 9.0, 9.0])
+        bins, n = assign_bins(
+            bound, decisions, bound.assign(values),
+            kept_norm=values, bank=bank, boundary_margin=0.5)
+        assert n == 0
+        names = np.asarray(bound.bins, dtype=object)[bins]
+        # shipped devices take the bank's word; scrapped stays REJECT
+        assert list(names) == ["FAST", "SLOW", "REJECT", "TYP"]
+
+    def test_boundary_margin_routes_to_truth_grade(self):
+        specs, profile = grade_specs(), grade_profile()
+        bound = profile.bind(specs)
+        values = np.array([[8.0], [5.0], [1.0]])
+        decisions = np.array([GOOD, GOOD, GOOD])
+        # bank wants SLOW for everything, but devices 0 and 2 are
+        # below the margin -> full-measurement grades win for them.
+        bank = StubBank(("SLOW", "FAST", "TYP"),
+                        predictions=[0, 0, 0],
+                        margins=[0.1, 2.0, 0.05])
+        bins, n = assign_bins(
+            bound, decisions, bound.assign(values),
+            kept_norm=values, bank=bank, boundary_margin=0.5)
+        assert n == 2
+        names = np.asarray(bound.bins, dtype=object)[bins]
+        assert list(names) == ["FAST", "SLOW", "SLOW"]
+
+    def test_zero_margin_disables_retest(self):
+        specs, profile = grade_specs(), grade_profile()
+        bound = profile.bind(specs)
+        values = np.array([[8.0]])
+        bank = StubBank(("SLOW", "FAST", "TYP"),
+                        predictions=[0], margins=[0.0])
+        bins, n = assign_bins(
+            bound, np.array([GOOD]), bound.assign(values),
+            kept_norm=values, bank=bank, boundary_margin=0.0)
+        assert n == 0
+        assert bound.bins[bins[0]] == "SLOW"
+
+    def test_bank_without_features_rejected(self):
+        specs, profile = grade_specs(), grade_profile()
+        bound = profile.bind(specs)
+        bank = StubBank(("SLOW", "FAST", "TYP"), [0], [1.0])
+        with pytest.raises(RuleError, match="normalized kept"):
+            assign_bins(bound, np.array([GOOD]), np.array([0]),
+                        bank=bank)
+
+    def test_bank_ignored_when_nothing_shipped(self):
+        specs, profile = grade_specs(), grade_profile()
+        bound = profile.bind(specs)
+        values = np.array([[8.0], [5.0]])
+
+        class ExplodingBank(StubBank):
+            def predict_index(self, X):
+                raise AssertionError("bank must not be consulted")
+
+        bins, n = assign_bins(
+            bound, np.array([BAD, BAD]), bound.assign(values),
+            kept_norm=values,
+            bank=ExplodingBank(("SLOW", "FAST"), [0], [1.0]))
+        assert n == 0
+        assert (bins == profile.bin_index("REJECT")).all()
+
+
+class TestHelpers:
+    def test_grade_indices_exclude_default(self):
+        bound = grade_profile().bind(grade_specs())
+        grades = grade_indices(bound)
+        assert bound.profile.bin_index("REJECT") not in grades
+        assert [bound.bins[g] for g in grades] == ["FAST", "TYP", "SLOW"]
+
+    def test_bin_histogram_covers_every_name(self):
+        names = ("A", "B", "C")
+        hist = bin_histogram(np.array([0, 0, 2]), names)
+        assert hist == {"A": 2, "B": 0, "C": 1}
+        assert sum(hist.values()) == 3

@@ -1,0 +1,180 @@
+"""Bins over the wire: /disposition, /metrics and loadgen bin checks.
+
+The serving contract for the binning layer is strictly additive: every
+pre-binning reply key is untouched, and graded artifacts add ``bins``
+(names, device order) and ``bin_counts`` to each reply.  The load
+generator's per-plan equivalence verdict covers the served bins too,
+so a service that ships the right decisions but scrambles the grades
+fails the acceptance gate.
+"""
+
+import asyncio
+import copy
+
+import numpy as np
+import pytest
+
+from repro.floor import TestFloor as Floor
+from repro.floor import TestProgramArtifact as Artifact
+from repro.rules import ToleranceProfile, ToleranceRule
+from repro.service import (
+    ArtifactRegistry,
+    FloorService,
+    HttpClient,
+    TrafficPlan,
+    offline_reference,
+    run_load,
+)
+
+from tests.synthetic import make_synthetic_dataset
+
+
+def speed_profile():
+    return ToleranceProfile(
+        "speed-grades",
+        [ToleranceRule("FAST", {"s0": (0.5, 1.0)}),
+         ToleranceRule("TYP", {"s0": (-0.5, 0.5)}),
+         ToleranceRule("SLOW", {"s0": (-1.0, -0.5)})],
+        default_bin="REJECT")
+
+
+@pytest.fixture(scope="module")
+def graded_artifact(lookup_pair):
+    """The lookup artifact upgraded with a 4-bin speed-grade profile."""
+    _, artifact = lookup_pair
+    artifact = copy.copy(artifact)
+    return artifact.with_profile(
+        speed_profile(),
+        train=make_synthetic_dataset(n=300, seed=1, dut_seed=99))
+
+
+@pytest.fixture
+def graded_registry(tmp_path, saved, graded_artifact):
+    path = str(tmp_path / "graded.rtp")
+    graded_artifact.save(path)
+    registry = ArtifactRegistry()
+    registry.register("graded", "1", path)
+    registry.register("binary", "1", saved["lookup"])
+    return registry
+
+
+def _rows(dut, n, seed):
+    rng = np.random.default_rng(seed)
+    return np.vstack([dut.measure(dut.sample_parameters(rng))
+                      for _ in range(n)])
+
+
+def run_with_service(scenario, registry, timeout=30, **service_kwargs):
+    async def main():
+        service = FloorService(registry, **service_kwargs)
+        await service.start("127.0.0.1", 0)
+        client = HttpClient("127.0.0.1", service.port)
+        try:
+            return await scenario(service, client)
+        finally:
+            await client.close()
+            await service.stop()
+
+    return asyncio.run(asyncio.wait_for(main(), timeout))
+
+
+class TestDispositionReplies:
+    def test_graded_reply_adds_bins_additively(self, graded_registry,
+                                               lookup_pair,
+                                               graded_artifact):
+        dut, _ = lookup_pair
+        rows = _rows(dut, 25, seed=11)
+
+        async def scenario(service, client):
+            return await client.request("POST", "/disposition", {
+                "device": "graded", "measurements": rows.tolist()})
+
+        status, reply = run_with_service(scenario, graded_registry)
+        assert status == 200
+        # Legacy surface is untouched...
+        offline = Floor(graded_artifact, monitor=False).dispose(rows)
+        assert reply["decisions"] == [int(d) for d in offline.decisions]
+        assert reply["counts"]["n_devices"] == 25
+        # ...and the graded surface rides on top, in device order.
+        assert len(reply["bins"]) == 25
+        names = np.asarray(offline.bin_names, dtype=object)
+        assert reply["bins"] == list(names[offline.bins])
+        assert reply["bin_counts"] == offline.bin_counts()
+        assert sum(reply["bin_counts"].values()) == 25
+
+    def test_binary_reply_bins_relabel_decisions(self, graded_registry,
+                                                 lookup_pair):
+        dut, _ = lookup_pair
+        rows = _rows(dut, 18, seed=12)
+
+        async def scenario(service, client):
+            return await client.request("POST", "/disposition", {
+                "device": "binary", "measurements": rows.tolist()})
+
+        status, reply = run_with_service(scenario, graded_registry)
+        assert status == 200
+        assert set(reply["bin_counts"]) == {"PASS", "FAIL"}
+        expected = ["PASS" if d == 1 else "FAIL"
+                    for d in reply["decisions"]]
+        assert reply["bins"] == expected
+
+    def test_bins_never_contradict_decisions(self, graded_registry,
+                                             lookup_pair):
+        dut, _ = lookup_pair
+        rows = _rows(dut, 40, seed=13)
+
+        async def scenario(service, client):
+            return await client.request("POST", "/disposition", {
+                "device": "graded", "measurements": rows.tolist()})
+
+        _, reply = run_with_service(scenario, graded_registry)
+        for decision, name in zip(reply["decisions"], reply["bins"]):
+            assert (name == "REJECT") == (decision == -1)
+
+
+class TestMetrics:
+    def test_metrics_accumulate_bin_histograms(self, graded_registry,
+                                               lookup_pair):
+        dut, _ = lookup_pair
+
+        async def scenario(service, client):
+            for seed in (21, 22):
+                rows = _rows(dut, 30, seed=seed)
+                status, _ = await client.request("POST", "/disposition", {
+                    "device": "graded", "measurements": rows.tolist()})
+                assert status == 200
+            return await client.request("GET", "/metrics")
+
+        status, reply = run_with_service(scenario, graded_registry)
+        assert status == 200
+        entry = reply["artifacts"]["graded@1"]
+        assert entry["n_devices"] == 60
+        assert sum(entry["bin_counts"].values()) == 60
+        assert set(entry["bin_counts"]) == {"FAST", "TYP", "SLOW",
+                                            "REJECT"}
+        assert entry["n_bin_retested"] >= 0
+
+
+class TestLoadgenBinEquivalence:
+    def test_served_bins_checked_against_offline_floor(
+            self, graded_registry, lookup_pair, graded_artifact):
+        dut, _ = lookup_pair
+        plan = TrafficPlan("graded", dut, 120, seed=31,
+                           reference=offline_reference(graded_artifact))
+
+        async def main():
+            service = FloorService(graded_registry, max_batch_size=32,
+                                   max_latency=0.002)
+            await service.start("127.0.0.1", 0)
+            try:
+                return await run_load("127.0.0.1", service.port, [plan],
+                                      n_clients=3, max_chunk=11, seed=1)
+            finally:
+                await service.stop()
+
+        report = asyncio.run(asyncio.wait_for(main(), 60))
+        (outcome,) = report.plans
+        assert outcome.equivalent is True
+        assert outcome.bins is not None
+        assert len(outcome.bins) == 120
+        assert set(outcome.bins) <= {"FAST", "TYP", "SLOW", "REJECT"}
