@@ -3,8 +3,10 @@
 Every benchmark regenerates one table or figure of the paper.  Dataset
 generation is the expensive part (each op-amp instance is five real
 circuit simulations), so populations are cached on disk under
-``.cache/`` keyed by device, size and seed -- the first benchmark run
-pays the simulation cost, later runs load from disk.
+``.cache/`` as manifested shard stores keyed by device and seed
+(:func:`repro.data.ensure_dataset`) -- the first benchmark run pays
+the simulation cost, later runs memory-map from disk, and a larger
+request *extends* the cached store instead of re-simulating it.
 
 Scaling
 -------
@@ -13,9 +15,9 @@ The paper uses 5000/1000 (op-amp) and 1000/1000 (MEMS) instances.  The
 default benchmark scale is reduced to keep a full ``pytest
 benchmarks/`` run in minutes; set ``REPRO_BENCH_SCALE=full`` to run at
 paper scale (the cached full-size op-amp population takes ~5 minutes
-to create on a laptop).  Whenever a cached population at least as
-large as the request exists, the benchmark subsamples it instead of
-simulating.
+to create on a laptop).  Whenever the cached store holds at least as
+many rows as the request, the benchmark takes its head instead of
+simulating; a shorter store is extended in place.
 
 Set ``REPRO_BENCH_SIM_JOBS=N`` (``-1`` = all CPUs) to fan uncached
 population generation out across worker processes through
@@ -30,10 +32,6 @@ import os
 import time
 from pathlib import Path
 
-import numpy as np
-
-from repro.process.dataset import SpecDataset
-
 #: Cache directory for Monte-Carlo populations (repo-local).
 CACHE_DIR = Path(__file__).resolve().parent.parent / ".cache"
 
@@ -45,13 +43,6 @@ SCALES = {
 
 #: Fixed generation seeds (train, test) per device.
 SEEDS = {"opamp": (1001, 2002), "mems": (7, 8)}
-
-#: Generation-scheme tag baked into cache filenames.  ``pi`` is the
-#: per-instance seed tree introduced with the parallel generation
-#: engine; files from the legacy sequential stream carried no tag, so
-#: they can never be confused with (or silently served as)
-#: per-instance populations.
-CACHE_TAG = "pi"
 
 
 def bench_scale():
@@ -85,45 +76,27 @@ def _make_bench(device):
     raise ValueError("unknown device {!r}".format(device))
 
 
-def _cache_path(device, n, seed):
-    return CACHE_DIR / "{}_{}_{}.{}.npz".format(device, n, seed,
-                                                CACHE_TAG)
-
-
 def load_population(device, n, seed, n_jobs=None):
     """Load (or simulate and cache) a Monte-Carlo population.
 
-    Subsamples a larger cached population with the same seed when one
-    is available; the subsample is deterministic (first ``n`` rows,
-    which per-instance seeding makes identical to a fresh ``n``-row
-    generation) so results are stable across runs.  ``n_jobs``
-    parallelizes an uncached generation (default: the
-    ``REPRO_BENCH_SIM_JOBS`` environment override) without changing
-    any value in the cached file.
+    Populations live in manifested shard stores under ``.cache/``,
+    one per ``(device, seed)``: a store holding at least ``n`` rows is
+    memory-mapped and its first ``n`` rows returned (per-instance
+    seeding makes the prefix identical to a fresh ``n``-row
+    generation); a shorter store is *extended* -- only the shortfall
+    is simulated.  ``n_jobs`` parallelizes that generation (default:
+    the ``REPRO_BENCH_SIM_JOBS`` environment override) without
+    changing any cached byte.
     """
+    from repro.data import ensure_dataset
+
     CACHE_DIR.mkdir(exist_ok=True)
-    exact = _cache_path(device, n, seed)
     bench = _make_bench(device)
-    if exact.exists():
-        ds = SpecDataset.load(exact)
-        return SpecDataset(bench.specifications, ds.values)
-
-    # A larger cached population with the same seed can be subsampled.
-    pattern = "{}_*_{}.{}.npz".format(device, seed, CACHE_TAG)
-    for path in sorted(CACHE_DIR.glob(pattern)):
-        try:
-            cached_n = int(path.name.split("_")[1])
-        except (IndexError, ValueError):
-            continue
-        if cached_n >= n:
-            ds = SpecDataset.load(path)
-            return SpecDataset(bench.specifications, ds.values[:n])
-
-    ds = bench.generate_dataset(
-        n, seed=seed, n_jobs=sim_jobs() if n_jobs is None else n_jobs,
+    store = ensure_dataset(
+        CACHE_DIR, bench, n, seed,
+        n_jobs=sim_jobs() if n_jobs is None else n_jobs,
         engine=sim_engine())
-    ds.save(exact)
-    return ds
+    return store.head(n)
 
 
 def datasets(device, scale=None, n_jobs=None):

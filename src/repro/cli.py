@@ -96,13 +96,36 @@ def cmd_table2(args):
     return 0
 
 
-def _simulate_pair(bench, args):
-    """Train/test populations through the parallel generation engine."""
+def _populations(bench, requests, args):
+    """Populations for ``(n, seed)`` requests: simulate or replay.
+
+    Without ``--dataset`` every request is simulated on the fly
+    through the parallel generation engine.  With ``--dataset DIR``
+    each population comes from a manifested shard store under ``DIR``
+    (:func:`repro.data.ensure_dataset`): rows already on disk are
+    memory-mapped and only the shortfall is simulated -- and the rows
+    are bit-identical to the direct simulation, so results match
+    either way.
+    """
+    root = getattr(args, "dataset", None)
+    if root is not None:
+        from repro.data import ensure_dataset
+
+        return [ensure_dataset(root, bench, n, seed,
+                               n_jobs=args.sim_jobs,
+                               engine=args.sim_engine).head(n)
+                for n, seed in requests]
     from repro.process.montecarlo import generate_many
 
-    return generate_many(
-        [(bench, args.train, args.seed), (bench, args.test, args.seed + 1)],
-        n_jobs=args.sim_jobs, engine=args.sim_engine)
+    return generate_many([(bench, n, seed) for n, seed in requests],
+                         n_jobs=args.sim_jobs, engine=args.sim_engine)
+
+
+def _simulate_pair(bench, args):
+    """Train/test populations through the parallel generation engine."""
+    return _populations(
+        bench,
+        [(args.train, args.seed), (args.test, args.seed + 1)], args)
 
 
 def _bench(device):
@@ -205,7 +228,6 @@ def cmd_cost(args):
 
 def cmd_batch(args):
     """Compact several Monte-Carlo lots through one batch scheduler."""
-    from repro.process.montecarlo import generate_many
     from repro.runtime import CompactionEngine
 
     bench = _bench(args.device)
@@ -214,13 +236,12 @@ def cmd_batch(args):
     requests = []
     for lot in range(args.lots):
         seed = args.seed + 2 * lot
-        requests.append((bench, args.train, seed))
-        requests.append((bench, args.test, seed + 1))
+        requests.append((args.train, seed))
+        requests.append((args.test, seed + 1))
     # One scheduler simulates every lot's instances concurrently; the
     # per-instance seed tree keeps the datasets identical to 2*lots
     # separate generate_dataset calls at any --sim-jobs.
-    populations = generate_many(requests, n_jobs=args.sim_jobs,
-                                engine=args.sim_engine)
+    populations = _populations(bench, requests, args)
     pairs = list(zip(populations[0::2], populations[1::2]))
 
     engine = CompactionEngine(
@@ -339,7 +360,8 @@ def cmd_floor(args):
         args.lots, args.devices, device), file=sys.stderr)
     try:
         report = floor.run_lots(bench, lots, n_jobs=args.sim_jobs,
-                                engine=args.sim_engine)
+                                engine=args.sim_engine,
+                                dataset_root=args.dataset)
     except ReproError as exc:
         # e.g. an artifact trained on a different bench's ranges, or
         # an exhausted simulation failure budget.
@@ -363,6 +385,110 @@ def cmd_floor(args):
         print(alarm)
         print("  -> {}".format(alarm.recommendation))
     print(report.summary().splitlines()[-1])
+    return 0
+
+
+def _default_shard_rows():
+    from repro.data import DEFAULT_SHARD_ROWS
+
+    return DEFAULT_SHARD_ROWS
+
+
+def _print_dataset(store):
+    """One summary block per store: identity line, shards, last event."""
+    print(repr(store))
+    print("root: {}".format(store.root))
+    print("seed: {}  engine: {}  dtype: {}".format(
+        store.seed, store.engine, store.manifest.dtype))
+    events = store.manifest.events
+    if events:
+        last = events[-1]
+        rate = last.get("instances_per_minute")
+        print("last {}: rows {} -> {} in {:.2f}s{}".format(
+            last.get("op", "?"), last.get("start", "?"),
+            last.get("stop", "?"), last.get("elapsed_s", 0.0),
+            "" if rate is None else
+            " ({:.0f} instances/min)".format(rate)))
+
+
+def cmd_dataset_generate(args):
+    """Generate a manifested shard store for a device population."""
+    from repro.data import generate_shards
+    from repro.errors import ReproError
+
+    bench = _bench(args.device)
+    print("Generating {} {} instances into {}...".format(
+        args.rows, args.device, args.root), file=sys.stderr)
+    shard_rows = args.shard_rows or _default_shard_rows()
+    try:
+        store = generate_shards(
+            args.root, bench, args.rows, args.seed,
+            shard_rows=shard_rows, n_jobs=args.sim_jobs,
+            engine=args.sim_engine)
+    except ReproError as exc:
+        return _fail(exc)
+    _print_dataset(store)
+    return 0
+
+
+def cmd_dataset_extend(args):
+    """Grow an existing shard store without re-simulating its prefix."""
+    from repro.data import ShardedSpecDataset, extend_shards
+    from repro.errors import ReproError
+
+    aliases = {"mems-accelerometer": "mems"}
+    try:
+        existing = ShardedSpecDataset(args.root)
+    except ReproError as exc:
+        return _fail(exc)
+    device = args.device or aliases.get(existing.device, existing.device)
+    if device not in ("opamp", "mems"):
+        return _fail("store names unknown device {!r}; pass "
+                     "--device".format(existing.device))
+    bench = _bench(device)
+    print("Extending {} from {} to {} rows...".format(
+        args.root, existing.n_rows, args.rows), file=sys.stderr)
+    try:
+        store = extend_shards(args.root, bench, args.rows,
+                              n_jobs=args.sim_jobs)
+    except ReproError as exc:
+        return _fail(exc)
+    _print_dataset(store)
+    return 0
+
+
+def cmd_dataset_info(args):
+    """Print a shard store's manifest summary."""
+    from repro.data import ShardedSpecDataset
+    from repro.errors import ReproError
+
+    try:
+        store = ShardedSpecDataset(args.root)
+    except ReproError as exc:
+        return _fail(exc)
+    _print_dataset(store)
+    print()
+    _print_rows(
+        ["shard", "rows", "failed", "simulated", "sha256"],
+        [(entry["file"], "{}:{}".format(entry["start"], entry["stop"]),
+          entry["n_failed"], entry["n_simulated"],
+          entry["sha256"][:12])
+         for entry in store.manifest.shards])
+    return 0
+
+
+def cmd_dataset_verify(args):
+    """Re-hash every shard against the manifest; fail on any mismatch."""
+    from repro.data import ShardedSpecDataset
+    from repro.errors import ReproError
+
+    try:
+        store = ShardedSpecDataset(args.root)
+        checked = store.verify()
+    except ReproError as exc:
+        return _fail(exc)
+    print("ok: {} shard(s), {} rows verified".format(
+        checked, store.n_rows))
     return 0
 
 
@@ -525,6 +651,12 @@ def build_parser():
                             "stacks whole instance populations into "
                             "single LAPACK solves (identical datasets "
                             "either way; composes with --sim-jobs)")
+        p.add_argument("--dataset", default=None, metavar="DIR",
+                       help="source populations from manifested shard "
+                            "stores cached under DIR (rows already on "
+                            "disk are memory-mapped, only the "
+                            "shortfall is simulated; results are "
+                            "bit-identical to direct simulation)")
         return p
 
     add("table1", cmd_table1)
@@ -638,13 +770,63 @@ def build_parser():
                          help="seconds to wait for the service to become "
                               "healthy")
     loadgen.set_defaults(func=cmd_loadgen)
+
+    # `dataset` manages on-disk shard stores directly.
+    dataset = sub.add_parser(
+        "dataset",
+        help="generate, grow, inspect and verify shard-store datasets")
+    dsub = dataset.add_subparsers(dest="dataset_command", required=True)
+
+    gen = dsub.add_parser("generate", help=cmd_dataset_generate.__doc__)
+    gen.add_argument("root", help="store directory to create")
+    gen.add_argument("--device", choices=("opamp", "mems"),
+                     default="opamp")
+    gen.add_argument("--rows", type=int, required=True,
+                     help="population size to simulate")
+    gen.add_argument("--seed", type=int, default=1)
+    gen.add_argument("--shard-rows", type=int, default=None,
+                     help="rows per shard (default {}; fixed for the "
+                          "store's lifetime)".format(
+                              _default_shard_rows()))
+    gen.add_argument("--sim-jobs", type=int, default=1,
+                     help="worker processes (-1 = all CPUs; identical "
+                          "shards at any count)")
+    gen.add_argument("--sim-engine", choices=("scalar", "batched"),
+                     default="scalar")
+    gen.set_defaults(func=cmd_dataset_generate)
+
+    ext = dsub.add_parser("extend", help=cmd_dataset_extend.__doc__)
+    ext.add_argument("root", help="existing store directory")
+    ext.add_argument("--rows", type=int, required=True,
+                     help="target population size (prefix rows are "
+                          "never re-simulated)")
+    ext.add_argument("--device", choices=("opamp", "mems"), default=None,
+                     help="override the manifest's device label")
+    ext.add_argument("--sim-jobs", type=int, default=1,
+                     help="worker processes (-1 = all CPUs)")
+    ext.set_defaults(func=cmd_dataset_extend)
+
+    info = dsub.add_parser("info", help=cmd_dataset_info.__doc__)
+    info.add_argument("root", help="store directory")
+    info.set_defaults(func=cmd_dataset_info)
+
+    verify = dsub.add_parser("verify", help=cmd_dataset_verify.__doc__)
+    verify.add_argument("root", help="store directory")
+    verify.set_defaults(func=cmd_dataset_verify)
     return parser
 
 
 def main(argv=None):
     """CLI entry point."""
+    from repro.errors import DatasetError
+
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except DatasetError as exc:
+        # e.g. a corrupt shard store behind --dataset; same one-line
+        # contract as every other operator error.
+        return _fail(exc)
 
 
 if __name__ == "__main__":

@@ -134,16 +134,29 @@ class GuardBandedClassifier:
         model's dual solution.  The two label vectors differ only on
         guard-band devices, so the seed is near-optimal and the second
         fit converges in a fraction of the iterations.
+    column_budget:
+        Optional byte budget for out-of-core fits.  When set, the
+        strict/loose pair shares one bounded
+        :class:`~repro.learn.columns.KernelColumnCache` over the
+        training features instead of materializing quadratic Gram
+        matrices -- the fit path for shard-store populations far above
+        the SMO precompute limit.  Fits are bit-identical with or
+        without a budget; only the working set changes.
 
     The classifier is trained from a *full*
     :class:`~repro.process.dataset.SpecDataset` (all specifications
     measured) because the model's training labels are the pass/fail of
     the *eliminated* specifications; prediction then uses only the
-    ``feature_names`` columns, as on the real tester.
+    ``feature_names`` columns, as on the real tester.  A sharded
+    :class:`~repro.data.store.ShardedSpecDataset` works as well: its
+    label computations stream shard by shard (the ``shifted_labels``
+    protocol below), so only the thin ``(n, len(feature_names))``
+    feature matrix is ever materialized.
     """
 
     def __init__(self, feature_names, delta=0.05, model_factory=None,
-                 kernel_cache=None, warm_start=False):
+                 kernel_cache=None, warm_start=False,
+                 column_budget=None):
         self.feature_names = tuple(feature_names)
         if not self.feature_names:
             raise CompactionError(
@@ -162,6 +175,9 @@ class GuardBandedClassifier:
         self.model_factory = model_factory or AutoTunedSVCFactory()
         self.kernel_cache = kernel_cache
         self.warm_start = bool(warm_start)
+        self.column_budget = (None if column_budget is None
+                              else int(column_budget))
+        self._column_cache = None
 
     def _delta_for(self, names):
         """Per-spec delta array for the given specification names."""
@@ -195,12 +211,33 @@ class GuardBandedClassifier:
             self._loose = self._strict
             return self
 
+        if self.column_budget is not None:
+            from repro.learn.columns import KernelColumnCache
+
+            self._column_cache = KernelColumnCache(
+                X, max_bytes=self.column_budget)
         elim_specs = specs.subset(self.eliminated_names)
-        elim_values = train_dataset.project(self.eliminated_names).values
         elim_deltas = self._delta_for(self.eliminated_names)
+        # Sharded datasets compute shifted labels shard by shard (the
+        # element-wise comparisons are chunk-invariant, so the labels
+        # are bitwise those of the materialized computation); in-RAM
+        # datasets materialize the eliminated columns once.
+        streamed = hasattr(train_dataset, "shifted_labels")
+        if not streamed:
+            elim_values = train_dataset.project(
+                self.eliminated_names).values
+
+        def shifted(deltas):
+            if streamed:
+                return train_dataset.shifted_labels(
+                    self.eliminated_names, deltas)
+            if deltas is None:
+                return elim_specs.labels(elim_values)
+            return elim_specs.shifted(deltas).labels(elim_values)
+
         self._no_guard = self._no_guard and not np.any(elim_deltas)
         if self._no_guard:
-            y = elim_specs.labels(elim_values)
+            y = shifted(None)
             if hasattr(self.model_factory, "tune"):
                 self.model_factory.tune(X, y)
             self._strict = self._new_model().fit(X, y)
@@ -208,9 +245,9 @@ class GuardBandedClassifier:
         else:
             # Strict model: eliminated ranges shrunk inward, so
             # boundary devices are labeled bad.
-            y_strict = elim_specs.shifted(elim_deltas).labels(elim_values)
+            y_strict = shifted(elim_deltas)
             # Loose model: eliminated ranges widened outward.
-            y_loose = elim_specs.shifted(-elim_deltas).labels(elim_values)
+            y_loose = shifted(-elim_deltas)
             if hasattr(self.model_factory, "tune"):
                 self.model_factory.tune(X, y_strict)
             self._strict = self._new_model().fit(X, y_strict)
@@ -224,6 +261,9 @@ class GuardBandedClassifier:
                 and hasattr(model, "set_train_gram_view")):
             model.set_train_gram_view(
                 self.kernel_cache.view(self.feature_names))
+        cache = getattr(self, "_column_cache", None)
+        if cache is not None and hasattr(model, "set_train_columns"):
+            model.set_train_columns(cache)
         return model
 
     def _fit_loose(self, X, y_loose):
@@ -251,10 +291,13 @@ class GuardBandedClassifier:
         hands back.
         """
         self.kernel_cache = None
+        self._column_cache = None
         for model in (getattr(self, "_strict", None),
                       getattr(self, "_loose", None)):
             if model is not None and hasattr(model, "set_train_gram_view"):
                 model.set_train_gram_view(None)
+            if model is not None and hasattr(model, "set_train_columns"):
+                model.set_train_columns(None)
         return self
 
     # The cache must never ride along on pickles either -- a model
@@ -263,6 +306,7 @@ class GuardBandedClassifier:
     def __getstate__(self):
         state = self.__dict__.copy()
         state["kernel_cache"] = None
+        state["_column_cache"] = None
         return state
 
     # -- prediction ---------------------------------------------------------

@@ -53,11 +53,24 @@ class CompactionPipeline:
             self.compactor = CompactionEngine(n_jobs=n_jobs, **common)
 
     def run(self, train, test):
-        """Run the greedy compaction; returns a ``CompactionResult``."""
+        """Run the greedy compaction; returns a ``CompactionResult``.
+
+        ``train`` / ``test`` may be in-RAM
+        :class:`~repro.process.dataset.SpecDataset` objects or sharded
+        :class:`~repro.data.store.ShardedSpecDataset` stores; sharded
+        inputs are materialized through ``to_dataset()``, which is
+        bit-identical to the in-RAM generation of the same rows (the
+        compaction search re-slices the training set per candidate, so
+        it runs on the materialized form).
+        """
+        if hasattr(train, "to_dataset"):
+            train = train.to_dataset()
+        if hasattr(test, "to_dataset"):
+            test = test.to_dataset()
         return self.compactor.run(train, test)
 
     def run_simulated(self, dut, n_train, n_test, seed=0, sim_jobs=None,
-                      seed_mode="per-instance"):
+                      seed_mode="per-instance", dataset_root=None):
         """Paper Fig. 1 end to end: simulate the populations, then run.
 
         The training population is generated with ``seed`` and the
@@ -66,7 +79,26 @@ class CompactionPipeline:
         (:func:`repro.process.montecarlo.generate_many`) so the two
         simulations share one worker pool when ``sim_jobs`` is set --
         the result is identical at any ``sim_jobs``.
+
+        ``dataset_root`` sources both populations from manifested
+        shard stores under that directory instead
+        (:func:`repro.data.ensure_dataset`): existing rows are
+        memory-mapped and only the shortfall is simulated, and the
+        rows are bit-identical to the direct generation (requires the
+        default ``seed_mode="per-instance"``).
         """
+        if dataset_root is not None:
+            if seed_mode != "per-instance":
+                raise CompactionError(
+                    "shard stores record per-instance seed trees; "
+                    "seed_mode={!r} cannot be cached".format(seed_mode))
+            from repro.data import ensure_dataset
+
+            train = ensure_dataset(dataset_root, dut, n_train, seed,
+                                   n_jobs=sim_jobs).head(n_train)
+            test = ensure_dataset(dataset_root, dut, n_test, seed + 1,
+                                  n_jobs=sim_jobs).head(n_test)
+            return self.run(train, test)
         from repro.process.montecarlo import generate_many
 
         train, test = generate_many(

@@ -1,0 +1,150 @@
+"""Columnar shard files: uncompressed ``.npz`` + zero-copy memmap reads.
+
+One shard holds one contiguous row range of a Monte-Carlo population
+as a single ``values`` member of shape ``(n_specs, n_rows)`` --
+*spec-major*, so reading one specification's measurement vector is one
+contiguous slice of the file.  Members are stored uncompressed, which
+makes every array a flat byte run inside the zip container; the reader
+locates that run once and hands back a read-only :class:`numpy.memmap`
+over it, so opening a million-row dataset touches no data pages until
+a consumer actually slices rows out of it.
+
+Integrity is content-addressed: :func:`array_sha256` hashes the array
+*bytes* (plus dtype and shape), not the container file -- zip headers
+carry timestamps, so file-level hashes would never be reproducible,
+while the stored bytes of a deterministic generation run are.
+"""
+
+import hashlib
+import os
+import struct
+import tempfile
+import zipfile
+
+import numpy as np
+
+from repro.errors import DatasetError
+
+#: The single array member every shard file carries.
+MEMBER = "values"
+
+#: Size of the fixed portion of a zip local file header (APPNOTE 4.3.7).
+_ZIP_LOCAL_HEADER = 30
+
+
+def array_sha256(array):
+    """Content hash of an array: dtype, shape and C-order bytes."""
+    array = np.asarray(array)
+    digest = hashlib.sha256()
+    digest.update("{}:{}".format(array.dtype.str,
+                                 array.shape).encode("ascii"))
+    digest.update(np.ascontiguousarray(array).tobytes())
+    return digest.hexdigest()
+
+
+def write_shard(path, values):
+    """Write one spec-major shard file atomically; returns its hash.
+
+    ``values`` must be a 2-D ``(n_specs, n_rows)`` float64 matrix.  The
+    file appears under ``path`` only complete (write to a temp file in
+    the same directory, then :func:`os.replace`), so a crashed or
+    interrupted generation run can never leave a half-written shard
+    that later loads as data.
+    """
+    values = np.ascontiguousarray(values, dtype=float)
+    if values.ndim != 2:
+        raise DatasetError("shard values must be 2-D (n_specs, n_rows)")
+    path = os.fspath(path)
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            # np.savez (not savez_compressed): members are ZIP_STORED,
+            # the precondition for memory-mapped reads.
+            np.savez(handle, **{MEMBER: values})
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+    return array_sha256(values)
+
+
+def _member_layout(path):
+    """(data offset, dtype, shape) of the stored member inside the zip."""
+    try:
+        with zipfile.ZipFile(path) as archive:
+            try:
+                info = archive.getinfo(MEMBER + ".npy")
+            except KeyError:
+                raise DatasetError(
+                    "shard {} has no {!r} member".format(path, MEMBER))
+            if info.compress_type != zipfile.ZIP_STORED:
+                raise DatasetError(
+                    "shard {} is compressed; only uncompressed shards "
+                    "support memory-mapped reads".format(path))
+            with archive.open(info) as member:
+                version = np.lib.format.read_magic(member)
+                if version == (1, 0):
+                    shape, fortran, dtype = \
+                        np.lib.format.read_array_header_1_0(member)
+                elif version == (2, 0):
+                    shape, fortran, dtype = \
+                        np.lib.format.read_array_header_2_0(member)
+                else:
+                    raise DatasetError(
+                        "shard {} uses unsupported npy format "
+                        "{}".format(path, version))
+                npy_header = member.tell()
+    except zipfile.BadZipFile as exc:
+        raise DatasetError(
+            "shard {} is not a readable zip archive: {}".format(
+                path, exc))
+    if fortran:
+        raise DatasetError(
+            "shard {} stores Fortran-order data; shards are "
+            "C-order".format(path))
+    # The zip local file header precedes the member data and carries
+    # variable-length name/extra fields; the central directory's
+    # header_offset points at it.
+    with open(path, "rb") as handle:
+        handle.seek(info.header_offset)
+        local = handle.read(_ZIP_LOCAL_HEADER)
+        if len(local) != _ZIP_LOCAL_HEADER or local[:4] != b"PK\x03\x04":
+            raise DatasetError(
+                "shard {} has a corrupt local file header".format(path))
+        name_len, extra_len = struct.unpack("<HH", local[26:30])
+    offset = (info.header_offset + _ZIP_LOCAL_HEADER + name_len
+              + extra_len + npy_header)
+    return offset, dtype, shape
+
+
+def open_shard_values(path, expect_dtype=None, expect_shape=None):
+    """Read-only memmap over a shard's ``values`` member.
+
+    Optional ``expect_dtype`` (a dtype string such as ``"<f8"``) and
+    ``expect_shape`` validate the stored array against the manifest
+    before any data is touched; a mismatch -- wrong endianness, a
+    truncated rewrite, a foreign file dropped into the dataset
+    directory -- raises :class:`~repro.errors.DatasetError`.
+    """
+    path = os.fspath(path)
+    if not os.path.exists(path):
+        raise DatasetError("missing shard file: {}".format(path))
+    offset, dtype, shape = _member_layout(path)
+    if expect_dtype is not None and np.dtype(expect_dtype) != dtype:
+        raise DatasetError(
+            "shard {} stores dtype {} but the manifest records {} -- "
+            "refusing a mismatched (e.g. foreign-endian) load".format(
+                path, dtype.str, np.dtype(expect_dtype).str))
+    if expect_shape is not None and tuple(expect_shape) != tuple(shape):
+        raise DatasetError(
+            "shard {} stores shape {} but the manifest records "
+            "{}".format(path, tuple(shape), tuple(expect_shape)))
+    expected_end = offset + dtype.itemsize * int(np.prod(shape, dtype=np.int64))
+    if os.path.getsize(path) < expected_end:
+        raise DatasetError(
+            "shard {} is truncated ({} bytes; member needs {})".format(
+                path, os.path.getsize(path), expected_end))
+    return np.memmap(path, dtype=dtype, mode="r", offset=offset,
+                     shape=tuple(shape), order="C")

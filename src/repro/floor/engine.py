@@ -406,10 +406,46 @@ class TestFloor:
         return self.run_stream([dataset.values], batch_size=batch_size,
                                lot=lot, keep_decisions=keep_decisions)
 
+    def run_sharded(self, dataset, n_devices=None, lot=None,
+                    batch_size=None, keep_decisions=False):
+        """Disposition a shard-store population, streaming shard by shard.
+
+        ``dataset`` is a :class:`~repro.data.store.ShardedSpecDataset`;
+        its memory-mapped shards are fed straight into
+        :meth:`run_stream` (the rebatcher regroups them to the floor's
+        batch geometry), so the population is never materialized.
+        ``n_devices`` takes only the first rows of the store (it must
+        hold at least that many).  Decisions are identical to
+        :meth:`run_simulated` with the store's ``(dut, seed)`` -- the
+        shards *are* that simulation, row for row.
+        """
+        self.artifact.validate_specifications(dataset.specifications)
+        n_devices = (dataset.n_rows if n_devices is None
+                     else int(n_devices))
+        if not 0 < n_devices <= dataset.n_rows:
+            raise CompactionError(
+                "store {!r} holds {} rows; cannot stream {}".format(
+                    dataset.root, dataset.n_rows, n_devices))
+
+        def stream():
+            remaining = n_devices
+            for batch in dataset.iter_batches():
+                if remaining <= 0:
+                    return
+                yield batch[:remaining] if remaining < len(batch) else batch
+                remaining -= min(remaining, len(batch))
+
+        return self.run_stream(
+            stream(), batch_size=batch_size,
+            lot=("dataset(seed={})".format(dataset.seed)
+                 if lot is None else lot),
+            keep_decisions=keep_decisions)
+
     # -- simulated traffic -------------------------------------------------
     def run_simulated(self, dut, n_devices, seed, n_jobs=None,
                       batch_size=None, lot=None, max_failures=None,
-                      keep_decisions=False, engine="scalar"):
+                      keep_decisions=False, engine="scalar",
+                      dataset=None):
         """Stream a simulated Monte-Carlo population through the floor.
 
         Devices come from the deterministic per-instance seed tree
@@ -419,10 +455,28 @@ class TestFloor:
         ``batch_size`` and either simulation ``engine``
         (``"batched"`` vectorizes the device simulations through the
         stacked MNA kernel), and is never materialized in full.
+
+        ``dataset`` optionally replays the population from a
+        pre-generated :class:`~repro.data.store.ShardedSpecDataset`
+        instead of simulating: the store must match the requested
+        ``seed`` and hold at least ``n_devices`` rows (a prefix of a
+        larger store is the smaller run, by the seed-tree construction,
+        so the decisions are identical either way).
         """
         from repro.runtime.simulation import generate_instance_batches
 
         self.artifact.validate_specifications(dut.specifications)
+        if dataset is not None:
+            if dataset.seed != int(seed):
+                raise CompactionError(
+                    "store {!r} was generated with seed {}, not {}; "
+                    "replaying it would stream a different "
+                    "population".format(dataset.root, dataset.seed,
+                                        seed))
+            return self.run_sharded(
+                dataset, n_devices=n_devices, batch_size=batch_size,
+                lot=("seed={}".format(seed) if lot is None else lot),
+                keep_decisions=keep_decisions)
         batch_size = (self.batch_size if batch_size is None
                       else int(batch_size))
         stream = generate_instance_batches(
@@ -434,21 +488,37 @@ class TestFloor:
             keep_decisions=keep_decisions)
 
     def run_lots(self, dut, lots, n_jobs=None, batch_size=None,
-                 keep_decisions=False, engine="scalar"):
+                 keep_decisions=False, engine="scalar",
+                 dataset_root=None):
         """Run a lot schedule; returns a :class:`FloorReport`.
 
         ``lots`` is a sequence of ``(n_devices, seed)`` pairs, one per
         production lot.  Lots stream in order; within a lot the
         simulation fans out across ``n_jobs`` workers (and/or through
         the batched kernel with ``engine="batched"``).
+
+        ``dataset_root`` sources every lot from a manifested shard
+        store under that directory (:func:`repro.data.ensure_dataset`
+        keyed by ``(device, seed)``): already-generated rows are
+        memory-mapped and replayed, missing rows are generated once and
+        persisted -- repeated schedules never re-simulate, and the
+        reports are identical to direct simulation.
         """
+        if dataset_root is not None:
+            from repro.data import ensure_dataset
         reports = []
         for index, (n_devices, seed) in enumerate(lots):
+            dataset = None
+            if dataset_root is not None:
+                dataset = ensure_dataset(dataset_root, dut, n_devices,
+                                         seed, n_jobs=n_jobs,
+                                         engine=engine)
             reports.append(self.run_simulated(
                 dut, n_devices, seed, n_jobs=n_jobs,
                 batch_size=batch_size,
                 lot="lot{}(seed={})".format(index, seed),
-                keep_decisions=keep_decisions, engine=engine))
+                keep_decisions=keep_decisions, engine=engine,
+                dataset=dataset))
         return FloorReport(tuple(reports))
 
     def __repr__(self):

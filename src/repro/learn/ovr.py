@@ -49,7 +49,7 @@ class OneVsRestSVCBank:
     """
 
     def __init__(self, classes, model_factory=None, gram_view=None,
-                 warm_start=True):
+                 warm_start=True, column_source=None):
         self.classes = tuple(classes)
         if len(self.classes) < 2:
             raise LearningError(
@@ -60,6 +60,7 @@ class OneVsRestSVCBank:
         self.model_factory = model_factory or (
             lambda: SVC(C=50.0, gamma="scale"))
         self._gram_view = gram_view
+        self._column_source = column_source
         self.warm_start = bool(warm_start)
         self._fitted = False
 
@@ -73,6 +74,21 @@ class OneVsRestSVCBank:
         for model in getattr(self, "models_", ()):
             if hasattr(model, "set_train_gram_view"):
                 model.set_train_gram_view(view)
+        return self
+
+    def set_train_columns(self, source):
+        """Attach/detach a shared bounded kernel-column source.
+
+        The out-of-core sibling of :meth:`set_train_gram_view`: every
+        member fit above the precompute limit draws kernel columns
+        from one :class:`~repro.learn.columns.KernelColumnCache`
+        instead of K per-member caches -- the bank-level analogue of
+        sharing the Gram matrix, at a bounded working set.
+        """
+        self._column_source = source
+        for model in getattr(self, "models_", ()):
+            if hasattr(model, "set_train_columns"):
+                model.set_train_columns(source)
         return self
 
     # -- training ---------------------------------------------------------
@@ -106,6 +122,9 @@ class OneVsRestSVCBank:
             if (self._gram_view is not None
                     and hasattr(model, "set_train_gram_view")):
                 model.set_train_gram_view(self._gram_view)
+            if (self._column_source is not None
+                    and hasattr(model, "set_train_columns")):
+                model.set_train_columns(self._column_source)
             if self.warm_start and alpha_prev is not None:
                 try:
                     model.fit(X, target, alpha_init=alpha_prev)
@@ -176,12 +195,14 @@ class OneVsRestSVCBank:
     def __getstate__(self):
         state = self.__dict__.copy()
         state["_gram_view"] = None
+        state["_column_source"] = None
         state.pop("model_factory", None)
         return state
 
     def __setstate__(self, state):
         self.__dict__.update(state)
         self.__dict__.setdefault("_gram_view", None)
+        self.__dict__.setdefault("_column_source", None)
         # The factory is only needed for (re)fitting; a deserialized
         # bank is for prediction, so a default factory suffices.
         self.__dict__.setdefault(

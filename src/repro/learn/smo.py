@@ -35,31 +35,59 @@ PRECOMPUTE_LIMIT = 6000
 
 
 class _ColumnCache:
-    """Bounded cache of kernel-matrix columns, FIFO eviction."""
+    """Bounded LRU cache of kernel-matrix column *blocks*.
 
-    def __init__(self, kernel, X, max_columns):
+    Columns are fetched a block at a time through one
+    ``kernel(X, X[i0:i1])`` call.  Column blocks of width >= 2 go
+    through the general GEMM kernel, whose columns are bit-identical
+    for **any** block width and alignment (single-column GEMV fetches
+    are not), so every column handed out here is independent of the
+    blocking -- the invariant that keeps large-problem fits identical
+    between this cache and the out-of-core column providers of
+    :mod:`repro.learn.columns`.  (The full ``kernel(X, X)`` product
+    takes BLAS's symmetric-rank-k path and differs from GEMM in the
+    last ulp, which is why column sources only serve problems above
+    :data:`PRECOMPUTE_LIMIT`.)
+    """
+
+    #: Columns fetched per kernel call.
+    BLOCK = 64
+
+    def __init__(self, kernel, X, max_columns, block=None):
         self._kernel = kernel
         self._X = X
-        self._max = max(2, int(max_columns))
-        self._columns = {}
+        self._n = X.shape[0]
+        block = self.BLOCK if block is None else int(block)
+        self._block = max(2, min(block, max(2, self._n)))
+        self._max_blocks = max(1, max(2, int(max_columns)) // self._block)
+        self._blocks = {}
         self._order = []
 
-    def column(self, i):
-        col = self._columns.get(i)
-        if col is None:
-            col = self._kernel(self._X, self._X[i:i + 1]).ravel()
-            if len(self._order) >= self._max:
-                oldest = self._order.pop(0)
-                del self._columns[oldest]
-            self._columns[i] = col
-            self._order.append(i)
-        return col
+    def block_start(self, i):
+        """First column of the block serving column ``i``."""
+        i0 = (i // self._block) * self._block
+        i1 = min(self._n, i0 + self._block)
+        if i1 - i0 < 2:
+            # Never fetch a width-1 trailing block (GEMV bits differ
+            # from GEMM); widen it backward instead.
+            i0 = max(0, i1 - 2)
+        return i0
 
-    def diag(self):
-        X = self._X
-        return np.array([
-            float(self._kernel(X[i:i + 1], X[i:i + 1])[0, 0])
-            for i in range(X.shape[0])])
+    def column(self, i):
+        i0 = self.block_start(i)
+        block = self._blocks.get(i0)
+        if block is None:
+            i1 = min(self._n, i0 + max(self._block, 2))
+            block = self._kernel(self._X, self._X[i0:i1])
+            if len(self._order) >= self._max_blocks:
+                oldest = self._order.pop(0)
+                del self._blocks[oldest]
+            self._blocks[i0] = block
+            self._order.append(i0)
+        elif self._order[-1] != i0:
+            self._order.remove(i0)
+            self._order.append(i0)
+        return block[:, i - i0]
 
 
 def repair_alpha(alpha, y, C):
@@ -118,7 +146,8 @@ def _low_entry(alpha_k, y_k, C):
 
 
 def solve_smo(kernel, X, y, C, tol=DEFAULT_TOL, max_iter=None,
-              cache_columns=512, gram=None, alpha_init=None):
+              cache_columns=512, gram=None, columns=None,
+              alpha_init=None):
     """Run SMO on ``(X, y)`` with penalty ``C`` and kernel ``kernel``.
 
     Parameters
@@ -144,6 +173,15 @@ def solve_smo(kernel, X, y, C, tol=DEFAULT_TOL, max_iter=None,
     gram:
         Optional precomputed ``(n, n)`` Gram matrix; skips all kernel
         evaluations (used by the :mod:`repro.runtime` kernel cache).
+    columns:
+        Optional external column source with a ``column(i)`` method
+        returning kernel column ``i`` (e.g. the bounded block cache of
+        :mod:`repro.learn.columns`).  Consulted only for problems
+        *above* :data:`PRECOMPUTE_LIMIT`: below it the Gram matrix is
+        precomputed exactly as without a source, so attaching one
+        never changes small-problem results, while large problems get
+        block-fetched columns that are bit-identical to the internal
+        cache's at a caller-bounded working set.
     alpha_init:
         Optional dual warm start; repaired with :func:`repair_alpha`
         and silently ignored when no feasible repair exists.
@@ -171,15 +209,14 @@ def solve_smo(kernel, X, y, C, tol=DEFAULT_TOL, max_iter=None,
                 "precomputed gram must be ({n}, {n}); got {shape}".format(
                     n=n, shape=K.shape))
         get_col = lambda i: K[i]
-        diag = np.diagonal(K).copy()
     elif n <= PRECOMPUTE_LIMIT:
         K = kernel(X, X)
         get_col = lambda i: K[i]
-        diag = np.diagonal(K).copy()
+    elif columns is not None:
+        get_col = columns.column
     else:
         cache = _ColumnCache(kernel, X, cache_columns)
         get_col = cache.column
-        diag = cache.diag()
 
     alpha = np.zeros(n)
     if alpha_init is not None:
@@ -231,7 +268,10 @@ def solve_smo(kernel, X, y, C, tol=DEFAULT_TOL, max_iter=None,
 
         Ki = get_col(i)
         Kj = get_col(j)
-        eta = diag[i] + diag[j] - 2.0 * Ki[j]
+        # The diagonal terms come from the fetched columns themselves
+        # (Ki[i] is exactly K[i, i]), so no route needs an upfront
+        # diagonal pass and all routes agree bitwise.
+        eta = Ki[i] + Kj[j] - 2.0 * Ki[j]
         if eta <= 1e-12:
             eta = 1e-12
 

@@ -58,6 +58,23 @@ class SVC:
         self._fitted = False
         self._constant = None
         self._gram_view = None
+        self._column_source = None
+
+    def set_train_columns(self, source):
+        """Attach a bounded kernel-column source (or ``None``).
+
+        ``source`` must expose ``matches(X)`` and ``provider(gamma)``
+        returning a ``column(i)`` object -- see
+        :class:`repro.learn.columns.KernelColumnCache`.  Like the Gram
+        view, it is consulted only for the RBF kernel and only when
+        ``matches(X)`` confirms the training matrix; unlike the Gram
+        view it keeps memory bounded (an LRU set of column blocks), so
+        it is the fit path for out-of-core training on populations far
+        above :data:`repro.learn.smo.PRECOMPUTE_LIMIT`.  A precomputed
+        Gram view, when also attached and matching, wins.
+        """
+        self._column_source = source
+        return self
 
     def set_train_gram_view(self, view):
         """Attach a precomputed training-Gram provider (or ``None``).
@@ -108,9 +125,14 @@ class SVC:
         if (view is not None and self.kernel == "rbf"
                 and view.matches(X)):
             gram = view.gram(self.gamma_)
+        columns = None
+        source = self._column_source
+        if (gram is None and source is not None and self.kernel == "rbf"
+                and source.matches(X)):
+            columns = source.provider(self.gamma_)
         result = solve_smo(self._kernel, X, y, self.C, tol=self.tol,
                            max_iter=self.max_iter, gram=gram,
-                           alpha_init=alpha_init)
+                           columns=columns, alpha_init=alpha_init)
         self.converged_ = result.converged
         self.n_iter_ = result.iterations
         self.intercept_ = result.bias
@@ -201,11 +223,13 @@ class SVC:
         state = self.__dict__.copy()
         state.pop("_kernel", None)
         state["_gram_view"] = None
+        state["_column_source"] = None
         return state
 
     def __setstate__(self, state):
         self.__dict__.update(state)
         self.__dict__.setdefault("_gram_view", None)
+        self.__dict__.setdefault("_column_source", None)
         if self._fitted and self._constant is None and hasattr(self, "gamma_"):
             self._kernel = kernel_function(
                 self.kernel, gamma=self.gamma_, degree=self.degree,

@@ -78,16 +78,27 @@ class GenerationReport:
     ``n_failed`` is the authoritative failure count; ``failures``
     retains only the most recent :data:`MAX_STORED_FAILURES` messages
     so a pathological DUT in a million-instance run cannot grow an
-    unbounded list.
+    unbounded list.  ``elapsed_s`` is the wall-clock spent simulating
+    (stamped by every generation entry point), so benches, the CLI
+    ``dataset`` commands and the shard stores of :mod:`repro.data` all
+    report throughput from the same figure.
     """
 
     n_requested: int
     n_simulated: int = 0
     n_failed: int = 0
     failures: list = field(default_factory=list)
+    elapsed_s: float = 0.0
 
     #: Cap on retained failure messages (count is never capped).
     MAX_STORED_FAILURES = 50
+
+    @property
+    def instances_per_minute(self):
+        """Generation throughput (0.0 until ``elapsed_s`` is stamped)."""
+        if self.elapsed_s <= 0.0:
+            return 0.0
+        return 60.0 * self.n_requested / self.elapsed_s
 
     def record_failure(self, message):
         """Count one failure, keeping at most the newest messages."""
@@ -98,8 +109,10 @@ class GenerationReport:
                               - self.MAX_STORED_FAILURES]
 
     def __str__(self):
-        return ("GenerationReport(requested={}, simulated={}, failed={})"
-                .format(self.n_requested, self.n_simulated, self.n_failed))
+        return ("GenerationReport(requested={}, simulated={}, "
+                "failed={}, {:.0f} inst/min)".format(
+                    self.n_requested, self.n_simulated, self.n_failed,
+                    self.instances_per_minute))
 
 
 class BatchPopulation:
@@ -262,6 +275,8 @@ def generate_dataset(dut, n_instances, seed, on_error="resample",
 
 def _generate_sequential(dut, n_instances, seed, on_error, max_failures):
     """The legacy single-stream generation loop (serial by nature)."""
+    import time
+
     if max_failures is None:
         max_failures = default_max_failures(n_instances)
 
@@ -269,6 +284,7 @@ def _generate_sequential(dut, n_instances, seed, on_error, max_failures):
     n_specs = len(dut.specifications)
     values = np.empty((n_instances, n_specs))
     report = GenerationReport(n_requested=n_instances)
+    t_start = time.perf_counter()
 
     filled = 0
     while filled < n_instances:
@@ -301,6 +317,7 @@ def _generate_sequential(dut, n_instances, seed, on_error, max_failures):
             continue
         values[filled] = row
         filled += 1
+    report.elapsed_s = time.perf_counter() - t_start
     return values, report
 
 

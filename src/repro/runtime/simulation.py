@@ -72,6 +72,7 @@ pool so small lots cannot leave workers idle.  Both are wrapped by
 :class:`~repro.process.dataset.SpecDataset` packaging.
 """
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -129,6 +130,22 @@ def instance_streams(seed, n_instances):
     is always a prefix of ``instance_streams(seed, n)`` for ``k <= n``.
     """
     return np.random.SeedSequence(seed).spawn(n_instances)
+
+
+def instance_streams_range(seed, start, stop):
+    """Child streams for slots ``[start, stop)`` of a run's seed tree.
+
+    ``SeedSequence.spawn`` keys child ``i`` as ``SeedSequence(entropy,
+    spawn_key=(i,))``, so the children of any slot range can be built
+    directly without materializing (or re-spawning) the prefix --
+    bit-identical to ``instance_streams(seed, n)[start:stop]`` for any
+    ``n >= stop``.  This is what lets the sharded dataset layer
+    (:mod:`repro.data`) simulate any shard, or resume generation at an
+    arbitrary slot, in isolation.
+    """
+    entropy = np.random.SeedSequence(seed).entropy
+    return [np.random.SeedSequence(entropy, spawn_key=(i,))
+            for i in range(start, stop)]
 
 
 @dataclass
@@ -374,6 +391,7 @@ def generate_lot_instances(lots, n_jobs=None, on_error="resample",
 
     task_fn = (_simulate_chunk_task if engine == "batched"
                else _simulate_slot_task)
+    t_start = time.perf_counter()
 
     def feed(lot_index, result):
         collector = collectors[lot_index]
@@ -398,6 +416,11 @@ def generate_lot_instances(lots, n_jobs=None, on_error="resample",
                 feed(task[0], result)
         finally:
             pool.shutdown(wait=True, cancel_futures=True)
+    # One shared scheduler simulated every lot; the whole run's wall
+    # clock is the honest per-report figure (lots overlap in time).
+    elapsed = time.perf_counter() - t_start
+    for collector in collectors:
+        collector.report.elapsed_s = elapsed
     return [collector.finish() for collector in collectors]
 
 
@@ -417,7 +440,8 @@ def generate_instances(dut, n_instances, seed, n_jobs=None,
 
 def generate_instance_batches(dut, n_instances, seed, batch_size,
                               n_jobs=None, on_error="resample",
-                              max_failures=None, engine="scalar"):
+                              max_failures=None, engine="scalar",
+                              first_slot=0, report=None):
     """Stream one Monte-Carlo population as consecutive value batches.
 
     A generator yielding ``(batch, n_specs)`` value arrays of at most
@@ -435,36 +459,50 @@ def generate_instance_batches(dut, n_instances, seed, batch_size,
     (default :func:`~repro.process.montecarlo.default_max_failures`)
     spans all batches, failures replay in slot order, and the abort
     decision is identical at any worker count.  One worker pool is
-    reused across all batches, and seed-tree children are spawned one
-    batch at a time (``SeedSequence.spawn`` numbers children by a
-    running spawn index, so consecutive per-batch spawns produce
-    exactly the slots a one-shot spawn would), keeping memory
-    proportional to ``batch_size`` rather than ``n_instances``.
+    reused across all batches, and seed-tree children are built one
+    batch at a time from their spawn keys
+    (:func:`instance_streams_range`), keeping memory proportional to
+    ``batch_size`` rather than ``n_instances``.
 
     ``engine="batched"`` simulates each batch's slots through
     ``dut.measure_batch`` and the stacked MNA kernel (in sub-chunks of
     :data:`BATCH_SLOTS`) instead of one ``dut.measure`` per slot --
     same rows, same failure accounting, at any ``batch_size``.
+
+    ``first_slot`` starts the stream at that slot of the seed tree
+    instead of slot 0: the yielded rows equal rows ``[first_slot,
+    first_slot + n_instances)`` of a cold run with the same seed.
+    Together with a caller-provided ``report`` (which carries the
+    failure accounting of the already-generated prefix), this is the
+    *resume* primitive of :mod:`repro.data`: extending a dataset never
+    re-simulates the rows it already holds.  ``report.elapsed_s``
+    accumulates the wall-clock spent simulating (consumer time between
+    batches is excluded).
     """
     if n_instances <= 0:
         raise DatasetError("n_instances must be positive")
     batch_size = int(batch_size)
     if batch_size < 1:
         raise DatasetError("batch_size must be positive")
+    first_slot = int(first_slot)
+    if first_slot < 0:
+        raise DatasetError("first_slot must be non-negative")
     if on_error not in ("resample", "raise"):
         raise DatasetError("on_error must be 'resample' or 'raise'")
     _require_engine(engine, [dut])
     n_specs = len(dut.specifications)
     budget = (default_max_failures(n_instances)
               if max_failures is None else int(max_failures))
-    parent = np.random.SeedSequence(seed)
-    report = GenerationReport(n_requested=n_instances)
+    if report is None:
+        report = GenerationReport(n_requested=n_instances)
 
     def batches():
-        remaining = n_instances
-        while remaining > 0:
-            chunk = parent.spawn(min(batch_size, remaining))
-            remaining -= len(chunk)
+        produced = 0
+        while produced < n_instances:
+            take = min(batch_size, n_instances - produced)
+            start = first_slot + produced
+            chunk = instance_streams_range(seed, start, start + take)
+            produced += take
             yield chunk, _LotCollector(len(chunk), n_specs, on_error,
                                        budget, report=report)
 
@@ -481,6 +519,7 @@ def generate_instance_batches(dut, n_instances, seed, batch_size,
         # alternate several streams), so the serial path must not
         # touch the process-global _WORKER configuration.
         for chunk, collector in batches():
+            t0 = time.perf_counter()
             if engine == "batched":
                 for result in chunk_results(chunk):
                     collector.add(result)
@@ -488,6 +527,7 @@ def generate_instance_batches(dut, n_instances, seed, batch_size,
                 for stream in chunk:
                     collector.add(simulate_slot(dut, stream, n_specs,
                                                 on_error, budget))
+            report.elapsed_s += time.perf_counter() - t0
             yield collector.finish()[0]
         return
 
@@ -496,6 +536,7 @@ def generate_instance_batches(dut, n_instances, seed, batch_size,
                      initargs=((dut,), (n_specs,), on_error, (budget,)))
     try:
         for chunk, collector in batches():
+            t0 = time.perf_counter()
             if engine == "batched":
                 size = _batched_chunk_size(len(chunk), n_jobs)
                 chunk_tasks = [
@@ -509,6 +550,7 @@ def generate_instance_batches(dut, n_instances, seed, batch_size,
                 for result in pool.map(_simulate_slot_task,
                                        [(0, stream) for stream in chunk]):
                     collector.add(result)
+            report.elapsed_s += time.perf_counter() - t0
             yield collector.finish()[0]
     finally:
         pool.shutdown(wait=True, cancel_futures=True)

@@ -1,0 +1,122 @@
+"""Shard file format: write/memmap round trips and defensive loads."""
+
+import os
+import zipfile
+
+import numpy as np
+import pytest
+
+from repro.data.shard import (
+    MEMBER,
+    array_sha256,
+    open_shard_values,
+    write_shard,
+)
+from repro.errors import DatasetError
+
+
+def _values(n_specs=4, rows=9, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.normal(0.0, 1.0, (n_specs, rows))
+
+
+class TestRoundTrip:
+    def test_write_then_memmap_is_bitwise(self, tmp_path):
+        values = _values()
+        path = tmp_path / "shard-00000.npz"
+        digest = write_shard(path, values)
+        loaded = open_shard_values(path)
+        assert loaded.dtype == values.dtype
+        assert loaded.shape == values.shape
+        assert np.array_equal(np.asarray(loaded), values)
+        assert array_sha256(loaded) == digest
+
+    def test_memmap_is_read_only_view(self, tmp_path):
+        path = tmp_path / "s.npz"
+        write_shard(path, _values())
+        loaded = open_shard_values(path)
+        assert isinstance(loaded, np.memmap)
+        with pytest.raises((ValueError, OSError)):
+            loaded[0, 0] = 1.0
+
+    def test_hash_covers_content_not_file_bytes(self, tmp_path):
+        """Two writes of the same array hash identically (zip
+        timestamps may differ), and any value change is detected."""
+        values = _values(seed=3)
+        d1 = write_shard(tmp_path / "a.npz", values)
+        d2 = write_shard(tmp_path / "b.npz", values.copy())
+        assert d1 == d2
+        changed = values.copy()
+        changed[0, 0] += 1e-12
+        assert write_shard(tmp_path / "c.npz", changed) != d1
+
+    def test_hash_distinguishes_shape_and_dtype(self):
+        a = np.zeros((2, 6))
+        assert array_sha256(a) != array_sha256(a.reshape(3, 4))
+        assert array_sha256(a) != array_sha256(
+            np.zeros((2, 6), dtype=np.float32))
+
+    def test_expectations_enforced(self, tmp_path):
+        path = tmp_path / "s.npz"
+        write_shard(path, _values(n_specs=3, rows=5))
+        assert open_shard_values(
+            path, expect_dtype="<f8", expect_shape=(3, 5)) is not None
+        with pytest.raises(DatasetError):
+            open_shard_values(path, expect_shape=(3, 6))
+        with pytest.raises(DatasetError):
+            open_shard_values(path, expect_dtype="<f4")
+
+
+class TestRejection:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DatasetError):
+            open_shard_values(tmp_path / "absent.npz")
+
+    def test_not_a_zip(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"not a zip archive at all")
+        with pytest.raises(DatasetError):
+            open_shard_values(path)
+
+    def test_compressed_member_rejected(self, tmp_path):
+        """A deflated npz cannot be memory-mapped; refuse it cleanly."""
+        path = tmp_path / "compressed.npz"
+        np.savez_compressed(path, **{MEMBER: _values()})
+        with pytest.raises(DatasetError):
+            open_shard_values(path)
+
+    def test_missing_member_rejected(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, other=_values())
+        with pytest.raises(DatasetError):
+            open_shard_values(path)
+
+    def test_truncated_file_rejected(self, tmp_path):
+        path = tmp_path / "s.npz"
+        write_shard(path, _values())
+        data = path.read_bytes()
+        path.write_bytes(data[:len(data) // 2])
+        with pytest.raises(DatasetError):
+            open_shard_values(path)
+
+    def test_fortran_order_rejected(self, tmp_path):
+        path = tmp_path / "fortran.npz"
+        handle = zipfile.ZipFile(path, "w", zipfile.ZIP_STORED)
+        import io
+
+        buf = io.BytesIO()
+        np.save(buf, np.asfortranarray(_values()))
+        handle.writestr(MEMBER + ".npy", buf.getvalue())
+        handle.close()
+        with pytest.raises(DatasetError):
+            open_shard_values(path)
+
+    def test_write_rejects_non_2d(self, tmp_path):
+        with pytest.raises(DatasetError):
+            write_shard(tmp_path / "bad.npz", np.zeros(5))
+
+    def test_failed_write_leaves_no_partial_file(self, tmp_path):
+        target = tmp_path / "sub" / "s.npz"
+        with pytest.raises(Exception):
+            write_shard(target, _values())  # parent dir doesn't exist
+        assert not os.path.exists(target)

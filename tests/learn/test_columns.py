@@ -1,0 +1,90 @@
+"""KernelColumnCache: the shared, bounded kernel-column source."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LearningError
+from repro.learn.columns import KernelColumnCache
+from repro.learn.kernels import kernel_function
+from repro.learn.smo import _ColumnCache
+
+
+def _points(n=50, d=3, seed=0):
+    return np.random.default_rng(seed).normal(0.0, 1.0, (n, d))
+
+
+class TestContract:
+    def test_columns_match_internal_cache_bitwise(self):
+        """The external cache must serve the *same bytes* the SMO
+        solver's internal cache would fetch -- that equality is what
+        makes out-of-core fits bit-identical to in-RAM fits."""
+        X = _points()
+        gamma = 0.7
+        external = KernelColumnCache(X, max_bytes=1 << 20)
+        internal = _ColumnCache(kernel_function("rbf", gamma=gamma), X,
+                                max_columns=512)
+        provider = external.provider(gamma)
+        for i in range(len(X)):
+            assert np.array_equal(provider.column(i), internal.column(i))
+
+    def test_block_width_is_invisible(self):
+        X = _points(seed=1)
+        a = KernelColumnCache(X, max_bytes=1 << 20, block_columns=4)
+        b = KernelColumnCache(X, max_bytes=1 << 20, block_columns=13)
+        for i in range(len(X)):
+            assert np.array_equal(a.column(0.5, i), b.column(0.5, i))
+
+    def test_multiple_gammas_coexist(self):
+        X = _points()
+        cache = KernelColumnCache(X, max_bytes=1 << 20)
+        k1 = kernel_function("rbf", gamma=0.3)(X, X[0:4].copy())[:, 2]
+        k2 = kernel_function("rbf", gamma=3.0)(X, X[0:4].copy())[:, 2]
+        # Served per (gamma, block): distinct entries, correct bytes.
+        assert np.array_equal(
+            KernelColumnCache(X, max_bytes=1 << 20,
+                              block_columns=4).column(0.3, 2), k1)
+        assert np.array_equal(cache.provider(3.0).column(2),
+                              kernel_function("rbf", gamma=3.0)(
+                                  X, X[0:64].copy())[:, 2])
+        assert not np.array_equal(k1, k2)
+
+    def test_matches(self):
+        X = _points()
+        cache = KernelColumnCache(X, max_bytes=1 << 20)
+        assert cache.matches(X)
+        assert cache.matches(X.copy())
+        assert not cache.matches(X[:-1])
+        assert not cache.matches(X + 1e-9)
+
+
+class TestBounds:
+    def test_lru_eviction_respects_budget(self):
+        X = _points(n=64)
+        block = 8
+        # Budget for exactly 3 blocks.
+        budget = 3 * 8 * len(X) * block
+        cache = KernelColumnCache(X, max_bytes=budget,
+                                  block_columns=block)
+        for i in range(len(X)):
+            cache.column(1.0, i)
+        assert cache.n_cached_blocks <= cache.max_blocks == 3
+        # Evicted blocks refetch to the same bytes.
+        reference = kernel_function("rbf", gamma=1.0)(
+            X, X[0:block].copy())[:, 0]
+        assert np.array_equal(cache.column(1.0, 0), reference)
+
+    def test_hit_and_fetch_stats(self):
+        X = _points(n=20)
+        cache = KernelColumnCache(X, max_bytes=1 << 20, block_columns=8)
+        cache.column(1.0, 0)
+        assert (cache.n_fetches, cache.n_hits) == (1, 0)
+        cache.column(1.0, 5)  # same block
+        assert (cache.n_fetches, cache.n_hits) == (1, 1)
+        cache.column(1.0, 15)  # new block
+        assert (cache.n_fetches, cache.n_hits) == (2, 1)
+
+    def test_rejects_degenerate_inputs(self):
+        with pytest.raises(LearningError):
+            KernelColumnCache(np.zeros(5))
+        with pytest.raises(LearningError):
+            KernelColumnCache(np.zeros((0, 3)))

@@ -120,3 +120,29 @@ class TestGenerationReport:
                                       return_report=True)
         assert report.n_failed > cap
         assert len(report.failures) == cap
+
+
+class TestThroughputReporting:
+    """elapsed_s / instances_per_minute: one figure for every surface."""
+
+    def test_elapsed_defaults_to_zero(self):
+        report = GenerationReport(n_requested=10)
+        assert report.elapsed_s == 0.0
+        assert report.instances_per_minute == 0.0
+
+    def test_rate_is_rows_per_minute(self):
+        report = GenerationReport(n_requested=120, elapsed_s=30.0)
+        assert report.instances_per_minute == 240.0
+
+    def test_generation_stamps_elapsed(self):
+        _, report = generate_dataset(SyntheticDut(), 25, seed=0,
+                                     return_report=True)
+        assert report.elapsed_s > 0.0
+        assert report.instances_per_minute == pytest.approx(
+            60.0 * 25 / report.elapsed_s)
+
+    def test_parallel_generation_stamps_elapsed(self):
+        _, report = generate_dataset(SyntheticDut(), 25, seed=0,
+                                     n_jobs=2, return_report=True)
+        assert report.elapsed_s > 0.0
+        assert report.instances_per_minute > 0.0

@@ -606,3 +606,74 @@ class TestInstanceBatchStreaming:
         ref_b, _ = generate_instances(dut_b, 24, seed=2)
         assert np.array_equal(np.vstack(got_a), ref_a)
         assert np.array_equal(np.vstack(got_b), ref_b)
+
+
+class TestSeedTreeRanges:
+    """instance_streams_range / first_slot: the resume primitives."""
+
+    def test_range_equals_slice_of_full_spawn(self):
+        from repro.runtime.simulation import instance_streams_range
+
+        full = instance_streams(7, 40)
+        ranged = instance_streams_range(7, 12, 25)
+        for got, want in zip(ranged, full[12:25]):
+            assert got.spawn_key == want.spawn_key
+            assert got.entropy == want.entropy
+            assert np.array_equal(got.generate_state(4),
+                                  want.generate_state(4))
+
+    def test_range_is_independent_of_total_size(self):
+        from repro.runtime.simulation import instance_streams_range
+
+        a = instance_streams_range(3, 5, 9)
+        b = instance_streams(3, 1000)[5:9]
+        assert [s.generate_state(2).tolist() for s in a] == \
+            [s.generate_state(2).tolist() for s in b]
+
+    def test_first_slot_yields_suffix_rows(self):
+        from repro.runtime.simulation import (
+            generate_instance_batches, generate_instances,
+        )
+
+        dut = SyntheticDut()
+        reference, _ = generate_instances(dut, 50, seed=17)
+        for first in (1, 20, 49):
+            suffix = np.vstack(list(generate_instance_batches(
+                dut, 50 - first, seed=17, batch_size=8,
+                first_slot=first)))
+            assert np.array_equal(suffix, reference[first:])
+
+    def test_first_slot_with_failures_matches_cold_suffix(self):
+        from repro.runtime.simulation import (
+            generate_instance_batches, generate_instances,
+        )
+
+        dut = PureFlakyDut()
+        reference, _ = generate_instances(dut, 40, seed=5,
+                                          max_failures=500)
+        suffix = np.vstack(list(generate_instance_batches(
+            dut, 25, seed=5, batch_size=6, first_slot=15,
+            max_failures=500)))
+        assert np.array_equal(suffix, reference[15:])
+
+    def test_negative_first_slot_rejected(self):
+        from repro.runtime.simulation import generate_instance_batches
+
+        with pytest.raises(DatasetError, match="first_slot"):
+            list(generate_instance_batches(SyntheticDut(), 10, seed=0,
+                                           batch_size=4, first_slot=-1))
+
+    def test_caller_report_accumulates_across_batches(self):
+        from repro.process.montecarlo import GenerationReport
+        from repro.runtime.simulation import generate_instance_batches
+
+        dut = PureFlakyDut()
+        report = GenerationReport(n_requested=30)
+        rows = np.vstack(list(generate_instance_batches(
+            dut, 30, seed=5, batch_size=7, max_failures=500,
+            report=report)))
+        assert len(rows) == 30
+        assert report.n_simulated >= 30
+        assert report.n_failed == report.n_simulated - 30
+        assert report.elapsed_s > 0.0
+        assert report.instances_per_minute > 0.0

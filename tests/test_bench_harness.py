@@ -41,11 +41,13 @@ class TestScales:
 
 
 class TestLoadPopulation:
+    STORE = "mems-accelerometer-s7"
+
     def test_generates_and_caches(self, tmp_path, monkeypatch):
         monkeypatch.setattr(harness, "CACHE_DIR", tmp_path)
         ds = harness.load_population("mems", 4, seed=7)
         assert len(ds) == 4
-        assert (tmp_path / "mems_4_7.pi.npz").exists()
+        assert (tmp_path / self.STORE / "manifest.json").exists()
         # Second call loads from disk (byte-identical values).
         again = harness.load_population("mems", 4, seed=7)
         assert np.array_equal(again.values, ds.values)
@@ -55,18 +57,31 @@ class TestLoadPopulation:
         big = harness.load_population("mems", 6, seed=7)
         small = harness.load_population("mems", 3, seed=7)
         assert np.array_equal(small.values, big.values[:3])
-        # The subsample did not create its own cache file.
-        assert not (tmp_path / "mems_3_7.pi.npz").exists()
+        # The subsample reused the one (device, seed) store.
+        assert [p.name for p in tmp_path.iterdir()] == [self.STORE]
+
+    def test_growing_request_extends_in_place(self, tmp_path,
+                                              monkeypatch):
+        """Asking for more rows resumes the existing store rather than
+        regenerating it -- and matches a cold cache bit for bit."""
+        monkeypatch.setattr(harness, "CACHE_DIR", tmp_path)
+        small = harness.load_population("mems", 3, seed=7)
+        grown = harness.load_population("mems", 5, seed=7)
+        assert np.array_equal(grown.values[:3], small.values)
+        assert [p.name for p in tmp_path.iterdir()] == [self.STORE]
 
     def test_untagged_legacy_cache_ignored(self, tmp_path, monkeypatch):
-        """Pre-engine caches (sequential draw order, no tag) must never
-        be served as per-instance populations."""
+        """Flat pre-data-plane cache files (sequential draw order or
+        per-instance ``.pi.npz``) must never be served as populations."""
         monkeypatch.setattr(harness, "CACHE_DIR", tmp_path)
         stale = harness.load_population("mems", 5, seed=7)
-        (tmp_path / "mems_5_7.pi.npz").rename(tmp_path / "mems_5_7.npz")
+        import shutil
+
+        shutil.rmtree(tmp_path / self.STORE)
+        (tmp_path / "mems_5_7.pi.npz").write_bytes(b"not a population")
         fresh = harness.load_population("mems", 3, seed=7)
         assert np.array_equal(fresh.values, stale.values[:3])
-        assert (tmp_path / "mems_3_7.pi.npz").exists()
+        assert (tmp_path / self.STORE / "manifest.json").exists()
 
     def test_relabels_with_current_specifications(self, tmp_path,
                                                   monkeypatch):
@@ -76,9 +91,11 @@ class TestLoadPopulation:
 
     def test_parallel_generation_caches_identical_bytes(self, tmp_path,
                                                         monkeypatch):
+        import shutil
+
         monkeypatch.setattr(harness, "CACHE_DIR", tmp_path)
         serial = harness.load_population("mems", 5, seed=3)
-        (tmp_path / "mems_5_3.pi.npz").unlink()
+        shutil.rmtree(tmp_path / "mems-accelerometer-s3")
         parallel = harness.load_population("mems", 5, seed=3, n_jobs=2)
         assert np.array_equal(serial.values, parallel.values)
 

@@ -13,7 +13,7 @@ class TestParser:
         assert set(sub.choices) == {"table1", "table2", "fig5",
                                     "table3", "cost", "batch",
                                     "deploy", "floor", "serve",
-                                    "loadgen"}
+                                    "loadgen", "dataset"}
 
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
@@ -238,3 +238,97 @@ class TestFastCommands:
         out = capsys.readouterr().out
         assert "quality_factor@-40C" in out
         assert "bw_3db@80C" in out
+
+
+class TestDatasetParser:
+    def test_generate_options(self):
+        args = build_parser().parse_args(
+            ["dataset", "generate", "/tmp/store", "--device", "mems",
+             "--rows", "500", "--seed", "3", "--shard-rows", "64",
+             "--sim-jobs", "2", "--sim-engine", "batched"])
+        assert (args.root, args.device, args.rows, args.seed) == \
+            ("/tmp/store", "mems", 500, 3)
+        assert (args.shard_rows, args.sim_jobs, args.sim_engine) == \
+            (64, 2, "batched")
+
+    def test_generate_requires_rows(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["dataset", "generate", "/tmp/s"])
+
+    def test_requires_a_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["dataset"])
+
+    def test_extend_has_no_engine_override(self):
+        """The manifest's engine wins on extend: no --sim-engine flag,
+        or an extension could silently change the store's bit stream."""
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["dataset", "extend", "/tmp/s", "--rows", "10",
+                 "--sim-engine", "scalar"])
+
+    def test_dataset_flag_on_simulating_commands(self):
+        for command in ("fig5", "table3", "cost", "batch"):
+            args = build_parser().parse_args(
+                [command, "--dataset", ".cache/ds"])
+            assert args.dataset == ".cache/ds"
+        args = build_parser().parse_args(
+            ["floor", "--artifact", "a.rtp", "--dataset", "d"])
+        assert args.dataset == "d"
+
+    def test_dataset_flag_defaults_off(self):
+        assert build_parser().parse_args(["fig5"]).dataset is None
+
+
+class TestDatasetCommands:
+    def _generate(self, root, rows=12, seed=5):
+        return main(["dataset", "generate", str(root),
+                     "--device", "opamp", "--rows", str(rows),
+                     "--seed", str(seed), "--shard-rows", "8"])
+
+    def test_generate_info_verify_extend(self, tmp_path, capsys):
+        root = tmp_path / "store"
+        assert self._generate(root) == 0
+        out = capsys.readouterr().out
+        assert "rows 0 -> 12" in out
+
+        assert main(["dataset", "info", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert "shard-00000.npz" in out
+        assert "8:12" in out  # second shard's row range
+
+        assert main(["dataset", "verify", str(root)]) == 0
+        assert "ok: 2 shard(s), 12 rows verified" in \
+            capsys.readouterr().out
+
+        assert main(["dataset", "extend", str(root),
+                     "--rows", "15"]) == 0
+        out = capsys.readouterr().out
+        assert "rows 12 -> 15" in out
+        assert main(["dataset", "verify", str(root)]) == 0
+
+    def test_generate_refuses_existing_store(self, tmp_path, capsys):
+        root = tmp_path / "store"
+        assert self._generate(root) == 0
+        capsys.readouterr()
+        assert self._generate(root) == 2
+        err = capsys.readouterr().err.splitlines()
+        assert err[-1].startswith("error:")
+        assert "already holds a shard store" in err[-1]
+
+    def test_info_on_missing_store_fails_cleanly(self, tmp_path,
+                                                 capsys):
+        assert main(["dataset", "info", str(tmp_path / "nope")]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and len(err.splitlines()) == 1
+
+    def test_verify_detects_corruption(self, tmp_path, capsys):
+        root = tmp_path / "store"
+        assert self._generate(root) == 0
+        capsys.readouterr()
+        path = root / "shard-00000.npz"
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0x01
+        path.write_bytes(bytes(data))
+        assert main(["dataset", "verify", str(root)]) == 2
+        assert capsys.readouterr().err.startswith("error:")
