@@ -155,6 +155,10 @@ def run_experiment():
             "devices_per_minute": report.devices_per_minute,
             "equivalent": report.equivalent,
         }
+        # Per-request latency percentiles and sustained request rate
+        # (empty only if no request succeeded, which the equivalence
+        # assert above already rules out).
+        record["configs"][name].update(report.latency_summary())
 
     print_table(
         "F2: floor-service throughput over HTTP ({} CPUs available)"

@@ -1,0 +1,198 @@
+"""Experiment T1 -- telemetry overhead and the determinism boundary.
+
+Runs one floor workload (deploy a synthetic test program, disposition
+a production population) three ways:
+
+1. **off** -- telemetry disabled (the module-level no-op singleton);
+2. **on** -- a live :class:`~repro.telemetry.Telemetry` registry with
+   a JSONL sink capturing the full span trace;
+3. **off-again** -- disabled once more, timing the no-op path after
+   the instrumented run (guards against lingering global state).
+
+Two claims are asserted unconditionally in every environment (the
+CI "equivalence-only" mode keeps exactly these):
+
+* **bit-identity** -- decisions, first-pass flags and total cost of
+  the instrumented run equal the uninstrumented run bit for bit, and
+  the trace actually recorded the work (spans + counters non-empty).
+  Telemetry observes; it never participates.
+* **well-formed export** -- the registry renders to Prometheus text
+  exposition that the repo's own strict parser accepts.
+
+The overhead bar (instrumented wall time within ``OVERHEAD_FACTOR``
+of uninstrumented) fires only on >= 4-CPU machines without
+``REPRO_BENCH_NO_SPEEDUP``, mirroring the other ``bench_*``
+experiments; shared-CI timing noise must not fail correctness runs.
+
+Results are printed and, when ``REPRO_BENCH_JSON`` names a path (or
+when run as a script), written as a JSON record (CI uploads it as the
+``BENCH_telemetry.json`` artifact).
+"""
+
+import json
+import os
+import tempfile
+import time
+
+if __name__ == "__main__":
+    # Allow `python benchmarks/bench_telemetry.py` without an
+    # installed package or PYTHONPATH (pytest gets these from
+    # pyproject.toml's pythonpath setting instead).
+    import pathlib
+    import sys
+
+    _root = pathlib.Path(__file__).resolve().parent.parent
+    sys.path[:0] = [str(_root), str(_root / "src")]
+
+import numpy as np
+
+from benchmarks.harness import print_table, run_once
+from repro.core.costmodel import TestCostModel as CostModel
+from repro.core.pipeline import CompactionPipeline
+from repro.floor import TestFloor as Floor
+from repro.learn import SVC
+from repro.runtime import cpu_count
+from repro.telemetry import (
+    JsonlSink,
+    Telemetry,
+    disable,
+    parse_prometheus,
+    prometheus_text,
+    read_trace,
+    set_telemetry,
+)
+
+from tests.synthetic import SyntheticDut, make_synthetic_dataset
+
+#: Training / held-out population sizes for the program build.
+N_TRAIN, N_TEST = 600, 300
+#: Production devices dispositioned per timed pass.
+N_DEVICES = 12_000
+#: Timed floor passes per mode (the floor is the steady-state path).
+N_PASSES = 10
+#: Instrumented wall time must stay within this factor of the
+#: uninstrumented baseline (generous: the claim is "cheap", not
+#: "free", and CI timers are noisy).
+OVERHEAD_FACTOR = 1.5
+
+
+class FixedSVCFactory:
+    """Picklable fixed-hyperparameter factory (no per-fit tuning)."""
+
+    def __call__(self):
+        return SVC(C=50.0, gamma="scale")
+
+
+def _build():
+    """Deploy the program and materialize the production population."""
+    dut = SyntheticDut(n_specs=6, seed=99)
+    train = make_synthetic_dataset(n=N_TRAIN, n_specs=6, seed=1,
+                                   dut_seed=99)
+    test = make_synthetic_dataset(n=N_TEST, n_specs=6, seed=2,
+                                  dut_seed=99)
+    pipeline = CompactionPipeline(tolerance=0.02, guard_band=0.06,
+                                  model_factory=FixedSVCFactory())
+    _, artifact = pipeline.deploy(
+        train, test, cost_model=CostModel.uniform(train.names),
+        device="synthetic", train_seed=1, lookup_resolution=17)
+    rng = np.random.default_rng(17)
+    rows = np.vstack([dut.measure(dut.sample_parameters(rng))
+                      for _ in range(N_DEVICES)])
+    return artifact, rows
+
+
+def _timed_floor(artifact, rows):
+    """``N_PASSES`` lot runs; returns (last report, wall seconds)."""
+    report = None
+    started = time.perf_counter()
+    for index in range(N_PASSES):
+        report = Floor(artifact).run_stream(
+            [rows], lot="bench-{}".format(index), keep_decisions=True)
+    return report, time.perf_counter() - started
+
+
+def run_experiment():
+    """Execute the three modes; returns the structured results."""
+    artifact, rows = _build()
+
+    disable()
+    baseline, seconds_off = _timed_floor(artifact, rows)
+
+    trace_path = os.path.join(tempfile.mkdtemp(prefix="repro-bench-"),
+                              "trace.jsonl")
+    tel = Telemetry(run_id="bench-telemetry",
+                    sink=JsonlSink(trace_path))
+    previous = set_telemetry(tel)
+    try:
+        observed, seconds_on = _timed_floor(artifact, rows)
+        exposition = prometheus_text(tel)
+        tel.close()
+    finally:
+        set_telemetry(previous)
+
+    disable()
+    _, seconds_off_again = _timed_floor(artifact, rows)
+
+    # Claim 1: the determinism boundary.  Instrumentation observed
+    # every pass yet changed nothing.
+    assert np.array_equal(baseline.decisions, observed.decisions)
+    assert baseline.n_shipped == observed.n_shipped
+    assert baseline.total_cost == observed.total_cost
+    spans, snapshots = read_trace(trace_path)
+    assert spans, "instrumented run recorded no spans"
+    assert snapshots, "closing the registry recorded no snapshot"
+    assert {s["name"] for s in spans} >= {"floor.lot"}
+
+    # Claim 2: the export is well-formed per the strict parser.
+    families = parse_prometheus(exposition)
+    assert "repro_stage_calls_total" in families
+
+    overhead = (seconds_on / seconds_off
+                if seconds_off > 0 else float("inf"))
+    print_table(
+        "T1: telemetry overhead on the floor path ({} CPUs available)"
+        .format(cpu_count()),
+        ["mode", "devices", "passes", "seconds", "vs off"],
+        [("off", N_DEVICES, N_PASSES, seconds_off, 1.0),
+         ("on", N_DEVICES, N_PASSES, seconds_on, overhead),
+         ("off-again", N_DEVICES, N_PASSES, seconds_off_again,
+          seconds_off_again / seconds_off if seconds_off > 0 else 1.0)])
+
+    record = {
+        "experiment": "bench_telemetry",
+        "unix_time": time.time(),
+        "cpus": cpu_count(),
+        "n_devices": N_DEVICES,
+        "n_passes": N_PASSES,
+        "seconds_off": seconds_off,
+        "seconds_on": seconds_on,
+        "seconds_off_again": seconds_off_again,
+        "overhead_factor": overhead,
+        "n_spans": len(spans),
+        "bit_identical": True,
+    }
+    out = os.environ.get("REPRO_BENCH_JSON")
+    if out:
+        with open(out, "w") as handle:
+            json.dump(record, handle, indent=2, sort_keys=True)
+        print("wrote {}".format(out))
+
+    # The overhead bar needs stable timing; acceptance is a 4-core run.
+    if cpu_count() >= 4 and not os.environ.get("REPRO_BENCH_NO_SPEEDUP"):
+        assert overhead <= OVERHEAD_FACTOR, (
+            "instrumented floor pass took {:.2f}x the uninstrumented "
+            "baseline (bar: {:.2f}x)".format(overhead, OVERHEAD_FACTOR))
+    return record
+
+
+def bench_telemetry(benchmark):
+    """pytest-benchmark entry point (records the whole comparison)."""
+    run_once(benchmark, run_experiment)
+
+
+if __name__ == "__main__":
+    os.environ.setdefault(
+        "REPRO_BENCH_JSON",
+        os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                     "BENCH_telemetry.json"))
+    run_experiment()

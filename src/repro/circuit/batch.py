@@ -65,6 +65,7 @@ from repro.circuit import devices as dev
 from repro.circuit import dc as _dc
 from repro.circuit import transient as _tran
 from repro.errors import AnalysisError, CircuitError, ConvergenceError
+from repro.telemetry import get_telemetry
 
 #: Upper bound on complex matrix entries per stacked AC solve chunk
 #: (~32 MiB of workspace at 16 bytes per entry).
@@ -878,6 +879,15 @@ class CircuitBatch:
             X[k] = res.x
             iterations[k] = res.iterations
             solved[k] = True
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.counter("repro_circuit_batch_solves_total", 1,
+                        analysis="dc")
+            tel.counter("repro_circuit_newton_iterations_total",
+                        int(np.sum(iters)), analysis="dc")
+            if failed:
+                tel.counter("repro_circuit_demotions_total",
+                            len(failed), analysis="dc")
         return BatchDCResult(self, X, iterations, errors, solved)
 
     def solve_ac(self, freqs, x_op, active=None):
@@ -922,8 +932,11 @@ class CircuitBatch:
                  for (i, j, vals) in self._reactive_entries]
 
         block = max(1, AC_CHUNK_ENTRIES // max(1, work.size * n * n))
+        n_chunks = 0
+        n_singular = 0
         start = 0
         while start < n_freqs and work.size:
+            n_chunks += 1
             f_blk = freqs[start:start + block]
             omega = 2.0 * np.pi * f_blk
             m, nb = work.size, f_blk.size
@@ -953,6 +966,7 @@ class CircuitBatch:
                             X[int(work[p])] = np.nan
                             break
                 if bad:
+                    n_singular += len(bad)
                     keep = np.ones(m, dtype=bool)
                     keep[bad] = False
                     work = work[keep]
@@ -962,6 +976,15 @@ class CircuitBatch:
                              for (i, j, coef) in coefs]
             start += block
         solved[work] = True
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.counter("repro_circuit_batch_solves_total", 1,
+                        analysis="ac")
+            tel.counter("repro_circuit_ac_chunks_total", n_chunks)
+            tel.gauge("repro_circuit_ac_chunk_freqs", block)
+            if n_singular:
+                tel.counter("repro_circuit_demotions_total",
+                            n_singular, analysis="ac")
         return BatchACResult(self, freqs, X, errors, solved)
 
     def solve_transient(self, t_stop, dt, active=None, method="trap"):
@@ -1000,6 +1023,7 @@ class CircuitBatch:
         G_main = (self._assemble_tran_G(dt, True, work)
                   if method != "be" else G_be)
 
+        newton_iters = 0
         for k in range(1, n_steps + 1):
             if work.size == 0:
                 break
@@ -1009,9 +1033,10 @@ class CircuitBatch:
             for handler, state in zip(self._reactive, states):
                 handler.prepare_step(state, dt, trap_step, work)
             b_step = self._assemble_tran_b(t_new, states, work)
-            x_new, _, failed = self._newton_masked(
+            x_new, step_iters, failed = self._newton_masked(
                 G_static, b_step, x, work, TRAN_MAX_STEP,
                 _tran.VTOL, _tran.MAX_ITER)
+            newton_iters += int(np.sum(step_iters))
             if failed:
                 demoted.extend(int(work[p]) for p in failed)
                 keep = np.ones(work.size, dtype=bool)
@@ -1041,6 +1066,15 @@ class CircuitBatch:
                 continue
             X[k] = res._X
             solved[k] = True
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.counter("repro_circuit_batch_solves_total", 1,
+                        analysis="tran")
+            tel.counter("repro_circuit_newton_iterations_total",
+                        newton_iters, analysis="tran")
+            if demoted:
+                tel.counter("repro_circuit_demotions_total",
+                            len(demoted), analysis="tran")
         return BatchTransientResult(self, t_grid, X, errors, solved)
 
     def __repr__(self):

@@ -14,6 +14,15 @@
     python -m repro.cli serve --artifact opamp=opamp.rtp --port 8731
     python -m repro.cli loadgen --url http://127.0.0.1:8731 \
         --artifact opamp.rtp --device opamp --devices 200
+    python -m repro.cli floor --artifact opamp.rtp --telemetry t.jsonl
+    python -m repro.cli telemetry-report t.jsonl
+
+The long-running commands accept ``--telemetry [PATH]``: spans and
+metrics from every layer the command touches are recorded into a
+process-local registry (JSONL trace to PATH, ``-`` = stderr) and
+summarized by ``telemetry-report``.  Telemetry is an observer only --
+datasets, decisions and artifacts are bit-identical with it on or
+off.
 
 Each subcommand simulates its Monte-Carlo populations on the fly (no
 cache) at a CLI-chosen scale, runs the corresponding experiment and
@@ -596,6 +605,25 @@ def cmd_loadgen(args):
     return 0
 
 
+def cmd_telemetry_report(args):
+    """Summarize a JSONL telemetry trace (per-stage time and counters)."""
+    from repro.telemetry import render_report
+
+    try:
+        rows = render_report(args.path)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early -- not an
+        # error with the trace.
+        return 0
+    except OSError as exc:
+        return _fail("cannot read trace {}: {}".format(args.path, exc))
+    except ValueError as exc:
+        return _fail("malformed trace {}: {}".format(args.path, exc))
+    if not rows:
+        print("no spans in {}".format(args.path), file=sys.stderr)
+    return 0
+
+
 def _lookup_resolution(value):
     """argparse type for --lookup-resolution: an int or 'auto'.
 
@@ -637,6 +665,7 @@ def build_parser():
         p.add_argument("--jobs", type=int, default=1,
                        help="worker processes for the runtime engine "
                             "(-1 = all CPUs; default serial)")
+        return p
 
     def add_sim_jobs(p):
         # Only the commands that simulate Monte-Carlo populations;
@@ -659,20 +688,32 @@ def build_parser():
                             "bit-identical to direct simulation)")
         return p
 
+    def add_telemetry(p):
+        # Long-running commands only; results are bit-identical with
+        # telemetry on or off (the observer never feeds back).
+        p.add_argument("--telemetry", nargs="?", const="-", default=None,
+                       metavar="PATH",
+                       help="enable tracing/metrics; write the JSONL "
+                            "trace to PATH ('-' or no value = stderr); "
+                            "summarize with `repro telemetry-report`")
+        return p
+
     add("table1", cmd_table1)
     add("table2", cmd_table2)
-    add_jobs(add_sim_jobs(add("fig5", cmd_fig5)))
-    add_sim_jobs(add("table3", cmd_table3, guard=0.03, train=1000,
-                     test=1000))
-    add_sim_jobs(add("cost", cmd_cost, guard=0.03, train=1000, test=1000))
-    batch = add_sim_jobs(add("batch", cmd_batch, train=300, test=200))
+    add_telemetry(add_jobs(add_sim_jobs(add("fig5", cmd_fig5))))
+    add_telemetry(add_sim_jobs(add("table3", cmd_table3, guard=0.03,
+                                   train=1000, test=1000)))
+    add_telemetry(add_sim_jobs(add("cost", cmd_cost, guard=0.03,
+                                   train=1000, test=1000)))
+    batch = add_telemetry(
+        add_sim_jobs(add("batch", cmd_batch, train=300, test=200)))
     add_jobs(batch)
     batch.add_argument("--lots", type=int, default=4,
                        help="number of independent Monte-Carlo lots")
     batch.add_argument("--device", choices=("opamp", "mems"),
                        default="opamp")
 
-    deploy = add_sim_jobs(add("deploy", cmd_deploy))
+    deploy = add_telemetry(add_sim_jobs(add("deploy", cmd_deploy)))
     add_jobs(deploy)
     deploy.add_argument("--device", choices=("opamp", "mems"),
                         default="opamp")
@@ -709,6 +750,7 @@ def build_parser():
                        default=None,
                        help="override the artifact's provenance device")
     add_sim_jobs(floor)
+    add_telemetry(floor)
     floor.set_defaults(func=cmd_floor)
 
     # `serve` hosts existing artifacts; `loadgen` drives a running
@@ -737,6 +779,7 @@ def build_parser():
                             "it the control plane is loopback-only")
     serve.add_argument("--max-resident", type=int, default=8,
                        help="LRU bound on in-memory artifacts")
+    add_telemetry(serve)
     serve.set_defaults(func=cmd_serve)
 
     loadgen = sub.add_parser("loadgen", help=cmd_loadgen.__doc__)
@@ -769,6 +812,7 @@ def build_parser():
     loadgen.add_argument("--timeout", type=float, default=30.0,
                          help="seconds to wait for the service to become "
                               "healthy")
+    add_telemetry(loadgen)
     loadgen.set_defaults(func=cmd_loadgen)
 
     # `dataset` manages on-disk shard stores directly.
@@ -793,6 +837,7 @@ def build_parser():
                           "shards at any count)")
     gen.add_argument("--sim-engine", choices=("scalar", "batched"),
                      default="scalar")
+    add_telemetry(gen)
     gen.set_defaults(func=cmd_dataset_generate)
 
     ext = dsub.add_parser("extend", help=cmd_dataset_extend.__doc__)
@@ -804,6 +849,7 @@ def build_parser():
                      help="override the manifest's device label")
     ext.add_argument("--sim-jobs", type=int, default=1,
                      help="worker processes (-1 = all CPUs)")
+    add_telemetry(ext)
     ext.set_defaults(func=cmd_dataset_extend)
 
     info = dsub.add_parser("info", help=cmd_dataset_info.__doc__)
@@ -813,6 +859,11 @@ def build_parser():
     verify = dsub.add_parser("verify", help=cmd_dataset_verify.__doc__)
     verify.add_argument("root", help="store directory")
     verify.set_defaults(func=cmd_dataset_verify)
+
+    report = sub.add_parser("telemetry-report",
+                            help=cmd_telemetry_report.__doc__)
+    report.add_argument("path", help="JSONL trace written by --telemetry")
+    report.set_defaults(func=cmd_telemetry_report)
     return parser
 
 
@@ -821,12 +872,23 @@ def main(argv=None):
     from repro.errors import DatasetError
 
     args = build_parser().parse_args(argv)
+    trace_path = getattr(args, "telemetry", None)
+    if trace_path is not None:
+        # Activate the process-wide registry before dispatch so every
+        # instrumented layer the command touches records into it; the
+        # final snapshot is flushed even when the command fails.
+        from repro.telemetry import configure, disable
+
+        configure(path=trace_path)
     try:
         return args.func(args)
     except DatasetError as exc:
         # e.g. a corrupt shard store behind --dataset; same one-line
         # contract as every other operator error.
         return _fail(exc)
+    finally:
+        if trace_path is not None:
+            disable()
 
 
 if __name__ == "__main__":

@@ -36,6 +36,7 @@ from repro.process.montecarlo import (
     default_max_failures,
 )
 from repro.runtime.simulation import generate_instance_batches
+from repro.telemetry import get_telemetry
 
 #: Default rows per shard: ~64k float64 cells per spec column -- large
 #: enough to amortize file and GEMM overheads, small enough that a
@@ -98,6 +99,13 @@ def _append_batches(root, manifest, batch_iter, report, prefix=None):
             instances_per_minute=round(rate, 3))
         manifest.save(root)
         appended += stop - start
+        # Per-shard throughput telemetry (the simulation inside
+        # batch_iter already carries its own sim.batch spans).
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.counter("repro_data_shards_total", 1)
+            tel.counter("repro_data_rows_total", values.shape[1])
+            tel.gauge("repro_data_instances_per_minute", rate)
     return appended
 
 
@@ -135,7 +143,9 @@ def generate_shards(root, dut, n_rows, seed, shard_rows=DEFAULT_SHARD_ROWS,
     batches = generate_instance_batches(
         dut, n_rows, seed, batch_size=manifest.shard_rows,
         n_jobs=n_jobs, engine=engine, max_failures=budget, report=report)
-    _append_batches(root, manifest, batches, report)
+    with get_telemetry().span("data.generate", rows=n_rows,
+                              device=manifest.device, engine=engine):
+        _append_batches(root, manifest, batches, report)
     return ShardedSpecDataset(root)
 
 
@@ -165,6 +175,10 @@ def extend_shards(root, dut, n_rows, seed=None, n_jobs=None,
     if n_rows <= old_n:
         return store
     engine = manifest.engine if engine is None else engine
+    # A resume event: the store grows from old_n without re-simulating
+    # its prefix.  Count it and span the whole extension.
+    tel = get_telemetry()
+    tel.counter("repro_data_resume_total", 1)
     budget = (default_max_failures(n_rows)
               if max_failures is None else int(max_failures))
     # Seed the report with the prefix's accounting so the shared
@@ -182,29 +196,31 @@ def extend_shards(root, dut, n_rows, seed=None, n_jobs=None,
 
     shard_rows = manifest.shard_rows
     row = old_n
-    if old_n % shard_rows:
-        # Complete the trailing partial shard: simulate only its
-        # missing slots, merge with the rows already on disk.
-        index = old_n // shard_rows
-        fill = min(n_rows, (index + 1) * shard_rows)
-        entry = manifest.shards[index]
-        old_values = np.array(store.shard_values(index))
-        store._maps.pop(index, None)  # the file is about to be replaced
-        batches = generate_instance_batches(
-            dut, fill - old_n, manifest.seed, batch_size=shard_rows,
-            n_jobs=n_jobs, engine=engine, max_failures=budget,
-            first_slot=old_n, report=report)
-        _append_batches(root, manifest, batches, report,
-                        prefix=(index, old_values,
-                                int(entry["n_failed"]),
-                                int(entry["n_simulated"])))
-        row = fill
-    if row < n_rows:
-        batches = generate_instance_batches(
-            dut, n_rows - row, manifest.seed, batch_size=shard_rows,
-            n_jobs=n_jobs, engine=engine, max_failures=budget,
-            first_slot=row, report=report)
-        _append_batches(root, manifest, batches, report)
+    with tel.span("data.extend", rows=n_rows - old_n,
+                  device=manifest.device, resume_at=old_n):
+        if old_n % shard_rows:
+            # Complete the trailing partial shard: simulate only its
+            # missing slots, merge with the rows already on disk.
+            index = old_n // shard_rows
+            fill = min(n_rows, (index + 1) * shard_rows)
+            entry = manifest.shards[index]
+            old_values = np.array(store.shard_values(index))
+            store._maps.pop(index, None)  # file is about to be replaced
+            batches = generate_instance_batches(
+                dut, fill - old_n, manifest.seed, batch_size=shard_rows,
+                n_jobs=n_jobs, engine=engine, max_failures=budget,
+                first_slot=old_n, report=report)
+            _append_batches(root, manifest, batches, report,
+                            prefix=(index, old_values,
+                                    int(entry["n_failed"]),
+                                    int(entry["n_simulated"])))
+            row = fill
+        if row < n_rows:
+            batches = generate_instance_batches(
+                dut, n_rows - row, manifest.seed, batch_size=shard_rows,
+                n_jobs=n_jobs, engine=engine, max_failures=budget,
+                first_slot=row, report=report)
+            _append_batches(root, manifest, batches, report)
     return ShardedSpecDataset(root)
 
 

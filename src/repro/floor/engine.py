@@ -50,6 +50,7 @@ from repro.floor.monitor import DriftMonitor
 from repro.floor.report import FloorReport, LotReport
 from repro.rules.binning import assign_bins, bin_histogram
 from repro.rules.engine import ToleranceProfile
+from repro.telemetry import get_telemetry
 from repro.tester.program import (
     RETEST_FULL,
     apply_retest_policy,
@@ -241,6 +242,10 @@ class TestFloor:
 
         Returns a :class:`BatchDisposition`.
         """
+        # Telemetry observes the batch but never steers it: timings
+        # and counts only, taken outside the decision arithmetic.
+        tel = get_telemetry()
+        t0 = time.perf_counter() if tel.enabled else 0.0
         batch = np.asarray(batch, dtype=float)
         if batch.ndim == 1:
             batch = batch[None, :]
@@ -272,12 +277,37 @@ class TestFloor:
         if self.monitor is not None:
             self.monitor.update(kept_values, first, bins=bins,
                                 bin_names=self.bin_names)
-        return BatchDisposition(
+        outcome = BatchDisposition(
             decisions=decisions, first_pass=first, truth=truth,
             n_retested=n_retested, cost=cost, full_cost=full_cost,
             bins=bins, truth_bins=truth_bins,
             bin_names=self.bin_names,
             n_bin_retested=n_bin_retested)
+        if tel.enabled:
+            self._record_disposition(tel, outcome,
+                                     time.perf_counter() - t0)
+        return outcome
+
+    def _record_disposition(self, tel, outcome, seconds):
+        """Fold one batch's outcome into the telemetry registry."""
+        tel.observe("repro_floor_batch_seconds", seconds)
+        tel.counter("repro_floor_batches_total", 1)
+        tel.counter("repro_floor_devices_total", outcome.n_devices)
+        tel.counter("repro_floor_shipped_total",
+                    int(np.sum(outcome.decisions == GOOD)))
+        tel.counter("repro_floor_scrapped_total",
+                    int(np.sum(outcome.decisions == BAD)))
+        tel.counter("repro_floor_guard_total",
+                    int(np.sum(outcome.first_pass == GUARD)))
+        tel.counter("repro_floor_retests_total", outcome.n_retested)
+        tel.counter("repro_floor_bin_retests_total",
+                    outcome.n_bin_retested)
+        bin_counts = outcome.bin_counts()
+        if bin_counts:
+            for name, count in bin_counts.items():
+                if count:
+                    tel.counter("repro_floor_bin_total", count,
+                                bin=name)
 
     @staticmethod
     def _rebatch(stream, batch_size):
@@ -336,6 +366,21 @@ class TestFloor:
         -------
         LotReport
         """
+        tel = get_telemetry()
+        with tel.span("floor.lot", lot=str(lot)) as span:
+            report = self._run_stream(stream, batch_size, lot,
+                                      keep_decisions)
+            span.set(devices=report.n_devices,
+                     alarms=len(report.alarms))
+            if tel.enabled:
+                if report.alarms:
+                    tel.counter("repro_floor_alarms_total",
+                                len(report.alarms))
+                if self.monitor is not None:
+                    self.monitor.export_gauges(tel)
+        return report
+
+    def _run_stream(self, stream, batch_size, lot, keep_decisions):
         batch_size = (self.batch_size if batch_size is None
                       else int(batch_size))
         if batch_size < 1:

@@ -174,6 +174,9 @@ class DriftMonitor:
         self._window = deque(maxlen=int(window_batches))
         #: Total devices observed since construction / last reset.
         self.n_seen = 0
+        # Alarm subjects active at the last gauge export -- the state
+        # the transition counters in export_gauges() diff against.
+        self._exported_alarms = set()
 
     def reset(self):
         """Clear the rolling window (e.g. between lots)."""
@@ -295,6 +298,95 @@ class DriftMonitor:
                         threshold=self.guard_z_threshold,
                         window_devices=n_window))
         return tuple(out)
+
+    def chart_state(self):
+        """The charts' current state, alarmed or not.
+
+        Returns a dict with the windowed per-spec means and z-scores,
+        the guard-band rate chart, the per-bin window rates, the
+        active alarms, and the window size -- the full picture an
+        operator dashboard needs, where :meth:`alarms` reports only
+        violations.  Below ``min_devices`` the statistics are still
+        reported (they are what the window holds) but ``alarms`` is
+        empty, matching :meth:`alarms`.
+        """
+        n_window = sum(n for n, _, _, _ in self._window)
+        state = {
+            "window_devices": int(n_window),
+            "devices_seen": int(self.n_seen),
+            "specs": {},
+            "guard": None,
+            "bins": self.bin_rates_window(),
+            "alarms": self.alarms(),
+        }
+        if n_window == 0:
+            return state
+        total = np.sum([s for _, s, _, _ in self._window], axis=0)
+        mean_window = total / n_window
+        stderr = self._sigma0 / np.sqrt(n_window)
+        z_specs = (mean_window - self._mu0) / stderr
+        for i, name in enumerate(self.baseline.names):
+            state["specs"][name] = {
+                "mean": float(mean_window[i]),
+                "z": float(z_specs[i]),
+            }
+        n_guard = sum(g for _, _, g, _ in self._window)
+        p_window = n_guard / n_window
+        sigma_p = np.sqrt(self._p0 * (1.0 - self._p0) / n_window)
+        state["guard"] = {
+            "rate": float(p_window),
+            "z": float((p_window - self._p0) / sigma_p),
+        }
+        return state
+
+    def export_gauges(self, telemetry):
+        """Publish the chart state as gauges on ``telemetry``.
+
+        Gauge names follow the ``repro_floor_drift_*`` family, so a
+        ``/metrics?format=prometheus`` scrape carries the drift
+        signals, not just counts.  Alarm *transitions* since the last
+        export are counted into
+        ``repro_floor_drift_raised_total`` /
+        ``repro_floor_drift_cleared_total``; the per-chart alarm flags
+        themselves are 0/1 gauges.  Returns the exported chart state.
+        """
+        state = self.chart_state()
+        telemetry.gauge("repro_floor_drift_window_devices",
+                        state["window_devices"])
+        telemetry.gauge("repro_floor_drift_devices_seen",
+                        state["devices_seen"])
+        alarmed = {alarm.subject for alarm in state["alarms"]}
+        for name, chart in state["specs"].items():
+            telemetry.gauge("repro_floor_drift_spec_mean",
+                            chart["mean"], spec=name)
+            telemetry.gauge("repro_floor_drift_spec_z",
+                            chart["z"], spec=name)
+            telemetry.gauge("repro_floor_drift_spec_alarm",
+                            1.0 if name in alarmed else 0.0, spec=name)
+        if state["guard"] is not None:
+            telemetry.gauge("repro_floor_drift_guard_rate",
+                            state["guard"]["rate"])
+            telemetry.gauge("repro_floor_drift_guard_z",
+                            state["guard"]["z"])
+            telemetry.gauge(
+                "repro_floor_drift_guard_alarm",
+                1.0 if "guard-band rate" in alarmed else 0.0)
+        for name, rate in state["bins"].items():
+            telemetry.gauge("repro_floor_drift_bin_rate", rate,
+                            bin=name)
+        telemetry.gauge("repro_floor_drift_alarms",
+                        len(state["alarms"]))
+        previous = getattr(self, "_exported_alarms", set())
+        raised = alarmed - previous
+        cleared = previous - alarmed
+        if raised:
+            telemetry.counter("repro_floor_drift_raised_total",
+                              len(raised))
+        if cleared:
+            telemetry.counter("repro_floor_drift_cleared_total",
+                              len(cleared))
+        self._exported_alarms = alarmed
+        return state
 
     def __repr__(self):
         return ("DriftMonitor({} specs, z>{:g}, guard z>{:g}, "

@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.errors import LearningError
 from repro.learn.svm import SVC
+from repro.telemetry import get_telemetry
 
 
 class OneVsRestSVCBank:
@@ -114,26 +115,34 @@ class OneVsRestSVCBank:
                 "labels {} are not among the bank classes {}".format(
                     sorted(map(repr, unknown)), list(self.classes)))
 
+        tel = get_telemetry()
         self.models_ = []
         alpha_prev = None
-        for cls in self.classes:
-            target = np.where(y == cls, 1.0, -1.0)
-            model = self.model_factory()
-            if (self._gram_view is not None
-                    and hasattr(model, "set_train_gram_view")):
-                model.set_train_gram_view(self._gram_view)
-            if (self._column_source is not None
-                    and hasattr(model, "set_train_columns")):
-                model.set_train_columns(self._column_source)
-            if self.warm_start and alpha_prev is not None:
-                try:
-                    model.fit(X, target, alpha_init=alpha_prev)
-                except TypeError:
+        with tel.span("train.ovr", rows=X.shape[0],
+                      classes=self.n_classes):
+            for cls in self.classes:
+                target = np.where(y == cls, 1.0, -1.0)
+                model = self.model_factory()
+                if (self._gram_view is not None
+                        and hasattr(model, "set_train_gram_view")):
+                    model.set_train_gram_view(self._gram_view)
+                if (self._column_source is not None
+                        and hasattr(model, "set_train_columns")):
+                    model.set_train_columns(self._column_source)
+                if self.warm_start and alpha_prev is not None:
+                    try:
+                        model.fit(X, target, alpha_init=alpha_prev)
+                    except TypeError:
+                        model.fit(X, target)
+                    else:
+                        tel.counter("repro_learn_warm_start_reuse_total", 1)
+                else:
                     model.fit(X, target)
-            else:
-                model.fit(X, target)
-            alpha_prev = getattr(model, "alpha_", alpha_prev)
-            self.models_.append(model)
+                alpha_prev = getattr(model, "alpha_", alpha_prev)
+                self.models_.append(model)
+        if tel.enabled:
+            tel.counter("repro_learn_bank_fits_total", 1)
+            tel.counter("repro_learn_bank_members_total", self.n_classes)
         self.n_features_ = X.shape[1]
         self._fitted = True
         return self

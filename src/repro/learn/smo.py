@@ -27,6 +27,7 @@ problem is solved, only how many iterations it takes.
 import numpy as np
 
 from repro.errors import LearningError
+from repro.telemetry import get_telemetry
 
 #: Default KKT violation tolerance.
 DEFAULT_TOL = 1e-3
@@ -62,6 +63,10 @@ class _ColumnCache:
         self._max_blocks = max(1, max(2, int(max_columns)) // self._block)
         self._blocks = {}
         self._order = []
+        #: Plain ints, aggregated once per solve -- the column fetch is
+        #: the SMO hot path, so no telemetry call happens per column.
+        self.hits = 0
+        self.misses = 0
 
     def block_start(self, i):
         """First column of the block serving column ``i``."""
@@ -77,6 +82,7 @@ class _ColumnCache:
         i0 = self.block_start(i)
         block = self._blocks.get(i0)
         if block is None:
+            self.misses += 1
             i1 = min(self._n, i0 + max(self._block, 2))
             block = self._kernel(self._X, self._X[i0:i1])
             if len(self._order) >= self._max_blocks:
@@ -84,9 +90,11 @@ class _ColumnCache:
                 del self._blocks[oldest]
             self._blocks[i0] = block
             self._order.append(i0)
-        elif self._order[-1] != i0:
-            self._order.remove(i0)
-            self._order.append(i0)
+        else:
+            self.hits += 1
+            if self._order[-1] != i0:
+                self._order.remove(i0)
+                self._order.append(i0)
         return block[:, i - i0]
 
 
@@ -202,6 +210,7 @@ def solve_smo(kernel, X, y, C, tol=DEFAULT_TOL, max_iter=None,
     if max_iter is None:
         max_iter = max(2000, 200 * n)
 
+    cache = None
     if gram is not None:
         K = np.asarray(gram, dtype=float)
         if K.shape != (n, n):
@@ -209,20 +218,26 @@ def solve_smo(kernel, X, y, C, tol=DEFAULT_TOL, max_iter=None,
                 "precomputed gram must be ({n}, {n}); got {shape}".format(
                     n=n, shape=K.shape))
         get_col = lambda i: K[i]
+        route = "precomputed"
     elif n <= PRECOMPUTE_LIMIT:
         K = kernel(X, X)
         get_col = lambda i: K[i]
+        route = "dense"
     elif columns is not None:
         get_col = columns.column
+        route = "columns"
     else:
         cache = _ColumnCache(kernel, X, cache_columns)
         get_col = cache.column
+        route = "cache"
 
     alpha = np.zeros(n)
+    warm_started = False
     if alpha_init is not None:
         repaired = repair_alpha(alpha_init, y, C)
         if repaired is not None:
             alpha = repaired
+            warm_started = True
     # F_i = f_i - y_i where f_i = sum_j alpha_j y_j K_ij (zero at a
     # cold start; reconstructed from the seed's kernel rows otherwise).
     nonzero = np.flatnonzero(alpha)
@@ -325,4 +340,17 @@ def solve_smo(kernel, X, y, C, tol=DEFAULT_TOL, max_iter=None,
         bias = -sum(candidates) / len(candidates)
     else:
         bias = 0.0
+
+    tel = get_telemetry()
+    if tel.enabled:
+        tel.counter("repro_learn_smo_solves_total", 1, route=route)
+        tel.counter("repro_learn_smo_iterations_total", iterations)
+        if not converged:
+            tel.counter("repro_learn_smo_unconverged_total", 1)
+        if warm_started:
+            tel.counter("repro_learn_warm_starts_total", 1)
+        if cache is not None:
+            tel.counter("repro_learn_column_cache_hits_total", cache.hits)
+            tel.counter("repro_learn_column_cache_misses_total",
+                        cache.misses)
     return SMOResult(alpha, bias, iterations, converged)

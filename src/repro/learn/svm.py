@@ -14,6 +14,7 @@ import numpy as np
 from repro.errors import LearningError
 from repro.learn.kernels import kernel_function, resolve_gamma
 from repro.learn.smo import solve_smo
+from repro.telemetry import get_telemetry
 
 #: Support vectors are the training points with alpha above this.
 SUPPORT_THRESHOLD = 1e-8
@@ -120,19 +121,25 @@ class SVC:
         self.gamma_ = resolve_gamma(self.gamma, X)
         self._kernel = kernel_function(self.kernel, gamma=self.gamma_,
                                        degree=self.degree, coef0=self.coef0)
+        tel = get_telemetry()
         view = self._gram_view
         gram = None
         if (view is not None and self.kernel == "rbf"
                 and view.matches(X)):
             gram = view.gram(self.gamma_)
+            tel.counter("repro_learn_gram_view_hits_total", 1)
         columns = None
         source = self._column_source
         if (gram is None and source is not None and self.kernel == "rbf"
                 and source.matches(X)):
             columns = source.provider(self.gamma_)
-        result = solve_smo(self._kernel, X, y, self.C, tol=self.tol,
-                           max_iter=self.max_iter, gram=gram,
-                           columns=columns, alpha_init=alpha_init)
+        with tel.span("train.svc", rows=X.shape[0],
+                      kernel=self.kernel) as span:
+            result = solve_smo(self._kernel, X, y, self.C, tol=self.tol,
+                               max_iter=self.max_iter, gram=gram,
+                               columns=columns, alpha_init=alpha_init)
+            span.set(iterations=result.iterations,
+                     converged=result.converged)
         self.converged_ = result.converged
         self.n_iter_ = result.iterations
         self.intercept_ = result.bias

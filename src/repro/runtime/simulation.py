@@ -84,6 +84,7 @@ from repro.process.montecarlo import (
     default_max_failures,
 )
 from repro.runtime.parallel import make_pool, resolve_n_jobs
+from repro.telemetry import get_telemetry
 
 #: Per-process worker state (set by :func:`_init_simulation_worker`).
 _WORKER = {}
@@ -290,6 +291,28 @@ def _simulate_chunk_task(task):
                                   _WORKER["budgets"][lot])
 
 
+def _record_sim_progress(tel, n_slots, seconds, d_attempts, d_failures,
+                         n_failed, budget):
+    """Fold one simulated slot wave into the telemetry registry.
+
+    Called parent-side only (worker processes carry no telemetry):
+    attempt/failure deltas come from the run's
+    :class:`~repro.process.montecarlo.GenerationReport`, so the
+    counters are identical at any worker count and either engine.
+    """
+    tel.counter("repro_sim_slots_total", n_slots)
+    tel.counter("repro_sim_attempts_total", d_attempts)
+    resamples = d_attempts - n_slots
+    if resamples > 0:
+        tel.counter("repro_sim_resamples_total", resamples)
+    if d_failures:
+        tel.counter("repro_sim_failures_total", d_failures)
+    tel.counter("repro_sim_seconds_total", seconds)
+    tel.observe("repro_sim_batch_seconds", seconds)
+    if budget:
+        tel.gauge("repro_sim_failure_budget_used", n_failed / budget)
+
+
 class _LotCollector:
     """Accumulates one lot's slot results, strictly in slot order.
 
@@ -391,7 +414,7 @@ def generate_lot_instances(lots, n_jobs=None, on_error="resample",
 
     task_fn = (_simulate_chunk_task if engine == "batched"
                else _simulate_slot_task)
-    t_start = time.perf_counter()
+    tel = get_telemetry()
 
     def feed(lot_index, result):
         collector = collectors[lot_index]
@@ -402,23 +425,35 @@ def generate_lot_instances(lots, n_jobs=None, on_error="resample",
             collector.add(result)
 
     initargs = (tuple(duts), tuple(n_specs), on_error, tuple(budgets))
-    if n_jobs <= 1 or len(tasks) <= 1:
-        # Lazy in-process map: an abort stops further simulation.
-        _init_simulation_worker(*initargs)
-        for task in tasks:
-            feed(task[0], task_fn(task))
-    else:
-        pool = make_pool(min(n_jobs, len(tasks)),
-                         initializer=_init_simulation_worker,
-                         initargs=initargs)
-        try:
-            for task, result in zip(tasks, pool.map(task_fn, tasks)):
-                feed(task[0], result)
-        finally:
-            pool.shutdown(wait=True, cancel_futures=True)
-    # One shared scheduler simulated every lot; the whole run's wall
-    # clock is the honest per-report figure (lots overlap in time).
-    elapsed = time.perf_counter() - t_start
+    with tel.span("sim.lots", lots=len(lots), engine=engine,
+                  n_jobs=n_jobs,
+                  slots=sum(int(lot[1]) for lot in lots)):
+        t_start = time.perf_counter()
+        if n_jobs <= 1 or len(tasks) <= 1:
+            # Lazy in-process map: an abort stops further simulation.
+            _init_simulation_worker(*initargs)
+            for task in tasks:
+                feed(task[0], task_fn(task))
+        else:
+            pool = make_pool(min(n_jobs, len(tasks)),
+                             initializer=_init_simulation_worker,
+                             initargs=initargs)
+            try:
+                for task, result in zip(tasks, pool.map(task_fn, tasks)):
+                    feed(task[0], result)
+            finally:
+                pool.shutdown(wait=True, cancel_futures=True)
+        # One shared scheduler simulated every lot; the whole run's
+        # wall clock is the honest per-report figure (lots overlap in
+        # time).
+        elapsed = time.perf_counter() - t_start
+    if tel.enabled:
+        for collector, budget in zip(collectors, budgets):
+            report = collector.report
+            _record_sim_progress(
+                tel, collector._slot, elapsed / len(collectors),
+                report.n_simulated, report.n_failed, report.n_failed,
+                budget)
     for collector in collectors:
         collector.report.elapsed_s = elapsed
     return [collector.finish() for collector in collectors]
@@ -513,21 +548,34 @@ def generate_instance_batches(dut, n_instances, seed, batch_size,
                 dut, tuple(streams[start:start + BATCH_SLOTS]),
                 n_specs, on_error, budget)
 
+    def record_batch(tel, collector, seconds, prev):
+        if tel.enabled:
+            _record_sim_progress(
+                tel, collector._slot, seconds,
+                report.n_simulated - prev[0],
+                report.n_failed - prev[1], report.n_failed, budget)
+
+    tel = get_telemetry()
     n_jobs = resolve_n_jobs(n_jobs)
     if n_jobs <= 1 or n_instances <= 1:
         # Plain local calls: generators interleave (a consumer may
         # alternate several streams), so the serial path must not
         # touch the process-global _WORKER configuration.
         for chunk, collector in batches():
-            t0 = time.perf_counter()
-            if engine == "batched":
-                for result in chunk_results(chunk):
-                    collector.add(result)
-            else:
-                for stream in chunk:
-                    collector.add(simulate_slot(dut, stream, n_specs,
-                                                on_error, budget))
-            report.elapsed_s += time.perf_counter() - t0
+            prev = (report.n_simulated, report.n_failed)
+            with tel.span("sim.batch", engine=engine) as span:
+                t0 = time.perf_counter()
+                if engine == "batched":
+                    for result in chunk_results(chunk):
+                        collector.add(result)
+                else:
+                    for stream in chunk:
+                        collector.add(simulate_slot(
+                            dut, stream, n_specs, on_error, budget))
+                elapsed = time.perf_counter() - t0
+                span.set(slots=collector._slot)
+            report.elapsed_s += elapsed
+            record_batch(tel, collector, elapsed, prev)
             yield collector.finish()[0]
         return
 
@@ -536,21 +584,28 @@ def generate_instance_batches(dut, n_instances, seed, batch_size,
                      initargs=((dut,), (n_specs,), on_error, (budget,)))
     try:
         for chunk, collector in batches():
-            t0 = time.perf_counter()
-            if engine == "batched":
-                size = _batched_chunk_size(len(chunk), n_jobs)
-                chunk_tasks = [
-                    (0, tuple(chunk[start:start + size]))
-                    for start in range(0, len(chunk), size)]
-                for results in pool.map(_simulate_chunk_task,
-                                        chunk_tasks):
-                    for result in results:
+            prev = (report.n_simulated, report.n_failed)
+            with tel.span("sim.batch", engine=engine,
+                          n_jobs=n_jobs) as span:
+                t0 = time.perf_counter()
+                if engine == "batched":
+                    size = _batched_chunk_size(len(chunk), n_jobs)
+                    chunk_tasks = [
+                        (0, tuple(chunk[start:start + size]))
+                        for start in range(0, len(chunk), size)]
+                    for results in pool.map(_simulate_chunk_task,
+                                            chunk_tasks):
+                        for result in results:
+                            collector.add(result)
+                else:
+                    for result in pool.map(
+                            _simulate_slot_task,
+                            [(0, stream) for stream in chunk]):
                         collector.add(result)
-            else:
-                for result in pool.map(_simulate_slot_task,
-                                       [(0, stream) for stream in chunk]):
-                    collector.add(result)
-            report.elapsed_s += time.perf_counter() - t0
+                elapsed = time.perf_counter() - t0
+                span.set(slots=collector._slot)
+            report.elapsed_s += elapsed
+            record_batch(tel, collector, elapsed, prev)
             yield collector.finish()[0]
     finally:
         pool.shutdown(wait=True, cancel_futures=True)

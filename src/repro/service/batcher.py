@@ -44,6 +44,7 @@ from repro.floor.engine import (
     disposition_counts,
 )
 from repro.rules.binning import bin_histogram
+from repro.telemetry import get_telemetry
 
 #: Default rows per coalesced floor batch.
 DEFAULT_MAX_BATCH_SIZE = 512
@@ -70,6 +71,7 @@ class BatcherStats:
     n_bin_retested: int = 0
     total_cost: float = 0.0
     busy_seconds: float = 0.0
+    queue_wait_seconds: float = 0.0
     bin_counts: dict = field(default_factory=dict)
 
     @property
@@ -116,6 +118,10 @@ class MicroBatcher:
     max_pending:
         Queued-row bound; beyond it requests are rejected with
         :class:`~repro.errors.ServiceOverloadError`.
+    on_flush:
+        Optional zero-argument callback invoked after every completed
+        flush (the service uses it to invalidate its cached metrics
+        snapshot off the scrape path).
     """
 
     def __init__(
@@ -124,6 +130,7 @@ class MicroBatcher:
         max_batch_size: int = DEFAULT_MAX_BATCH_SIZE,
         max_latency: float = DEFAULT_MAX_LATENCY,
         max_pending: int = DEFAULT_MAX_PENDING,
+        on_flush=None,
     ):
         if max_batch_size < 1:
             raise ServiceError("max_batch_size must be positive")
@@ -141,6 +148,7 @@ class MicroBatcher:
         self.max_latency = float(max_latency)
         self.max_pending = int(max_pending)
         self.stats = BatcherStats()
+        self.on_flush = on_flush
         self._queue: list[_PendingRequest] = []
         self._pending_rows = 0
         self._flush_handle: asyncio.TimerHandle | None = None
@@ -190,6 +198,9 @@ class MicroBatcher:
             )
         if self._pending_rows + rows.shape[0] > self.max_pending:
             self.stats.n_rejected += 1
+            get_telemetry().counter("repro_service_rejected_total", 1)
+            if self.on_flush is not None:
+                self.on_flush()
             raise ServiceOverloadError(
                 "disposition queue is full ({} rows pending, bound {}); "
                 "retry after the queue drains".format(
@@ -237,8 +248,14 @@ class MicroBatcher:
             for request in batch_requests:
                 if not request.future.cancelled():
                     request.future.set_exception(exc)
+            if self.on_flush is not None:
+                self.on_flush()
             return
-        self.stats.busy_seconds += time.perf_counter() - started
+        finished = time.perf_counter()
+        queue_wait = sum(started - request.enqueued
+                         for request in batch_requests)
+        self.stats.queue_wait_seconds += queue_wait
+        self.stats.busy_seconds += finished - started
         self.stats.n_batches += 1
         self.stats.n_devices += outcome.n_devices
         if reason == "size":
@@ -258,6 +275,19 @@ class MicroBatcher:
                 self.stats.bin_counts[name] = (
                     self.stats.bin_counts.get(name, 0) + value
                 )
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.counter("repro_service_flushes_total", 1, reason=reason)
+            tel.counter("repro_service_coalesced_requests_total",
+                        len(batch_requests))
+            tel.observe("repro_service_floor_seconds",
+                        finished - started)
+            for request in batch_requests:
+                tel.observe("repro_service_queue_wait_seconds",
+                            started - request.enqueued)
+            tel.gauge("repro_service_batch_rows", outcome.n_devices)
+        if self.on_flush is not None:
+            self.on_flush()
 
         offset = 0
         for request in batch_requests:

@@ -37,6 +37,7 @@ import numpy as np
 from repro.errors import ServiceError
 from repro.floor.engine import TestFloor
 from repro.runtime.simulation import generate_instance_batches
+from repro.telemetry import get_telemetry
 from repro.tester.program import RETEST_FULL
 
 #: Default concurrent client connections.
@@ -102,6 +103,12 @@ class LoadReport:
     plans: list[PlanOutcome] = field(default_factory=list)
     wall_seconds: float = 0.0
     n_clients: int = 0
+    #: Per-request round-trip seconds (successful attempts only; the
+    #: backoff sleeps of retried requests are excluded).  Collection
+    #: order is whatever the clients interleaved to -- percentiles are
+    #: order-independent, and capture never touches the decision
+    #: arrays, so served≡offline bit-identity is unaffected.
+    latencies_s: np.ndarray | None = None
 
     @property
     def n_devices(self) -> int:
@@ -122,11 +129,38 @@ class LoadReport:
         return self.n_devices * 60.0 / self.wall_seconds
 
     @property
+    def sustained_rps(self) -> float:
+        """Completed requests per second over the whole run."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.n_requests / self.wall_seconds
+
+    @property
     def equivalent(self) -> bool:
         """True when every checked plan matched its offline reference."""
         return all(
             plan.equivalent is not False for plan in self.plans
         )
+
+    def latency_summary(self) -> dict:
+        """p50/p95/p99/max/mean request latency (ms) + sustained RPS.
+
+        The shape written into ``BENCH_service.json``; empty when no
+        latencies were captured (zero requests).
+        """
+        if self.latencies_s is None or len(self.latencies_s) == 0:
+            return {}
+        lat = np.asarray(self.latencies_s, dtype=float)
+        p50, p95, p99 = np.percentile(lat, [50.0, 95.0, 99.0])
+        return {
+            "n_requests": int(lat.shape[0]),
+            "p50_ms": round(float(p50) * 1e3, 4),
+            "p95_ms": round(float(p95) * 1e3, 4),
+            "p99_ms": round(float(p99) * 1e3, 4),
+            "max_ms": round(float(lat.max()) * 1e3, 4),
+            "mean_ms": round(float(lat.mean()) * 1e3, 4),
+            "sustained_rps": round(self.sustained_rps, 3),
+        }
 
     def summary(self) -> str:
         lines = [plan.summary() for plan in self.plans]
@@ -135,6 +169,14 @@ class LoadReport:
             "{:.2f}s  ({:,.0f} devices/min)".format(
                 self.n_devices, self.n_requests, self.n_clients,
                 self.wall_seconds, self.devices_per_minute))
+        latency = self.latency_summary()
+        if latency:
+            lines.append(
+                "latency: p50 {:.2f}ms  p95 {:.2f}ms  p99 {:.2f}ms  "
+                "max {:.2f}ms  ({:,.1f} req/s sustained)".format(
+                    latency["p50_ms"], latency["p95_ms"],
+                    latency["p99_ms"], latency["max_ms"],
+                    latency["sustained_rps"]))
         return "\n".join(lines)
 
 
@@ -152,13 +194,18 @@ class HttpClient:
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
         self._lock = asyncio.Lock()
+        #: Response headers of the most recent round trip (lower-cased
+        #: names) -- lets callers read ``X-Request-Id`` echoes without
+        #: changing the ``(status, body)`` return shape.
+        self.last_headers: dict[str, str] = {}
 
     async def _connect(self) -> None:
         self._reader, self._writer = await asyncio.open_connection(
             self.host, self.port)
 
     async def request(
-        self, method: str, path: str, payload: dict | None = None
+        self, method: str, path: str, payload: dict | None = None,
+        headers: dict | None = None,
     ) -> tuple[int, dict]:
         """One round trip; reconnects once on a dropped keep-alive."""
         async with self._lock:
@@ -166,23 +213,28 @@ class HttpClient:
                 if self._writer is None:
                     await self._connect()
                 try:
-                    return await self._round_trip(method, path, payload)
+                    return await self._round_trip(method, path, payload,
+                                                  headers)
                 except (ConnectionError, asyncio.IncompleteReadError):
                     await self._close_connection()
                     if attempt:
                         raise
             raise AssertionError("unreachable")
 
-    async def _round_trip(self, method, path, payload):
+    async def _round_trip(self, method, path, payload, headers=None):
         assert self._reader is not None and self._writer is not None
         body = b"" if payload is None else json.dumps(payload).encode("utf-8")
+        extra = "".join(
+            "{}: {}\r\n".format(name, value)
+            for name, value in (headers or {}).items())
         head = (
             "{} {} HTTP/1.1\r\n"
             "Host: {}:{}\r\n"
             "Content-Type: application/json\r\n"
             "Content-Length: {}\r\n"
+            "{}"
             "Connection: keep-alive\r\n\r\n"
-        ).format(method, path, self.host, self.port, len(body))
+        ).format(method, path, self.host, self.port, len(body), extra)
         self._writer.write(head.encode("latin-1") + body)
         await self._writer.drain()
 
@@ -191,15 +243,20 @@ class HttpClient:
             raise ConnectionError("server closed the connection")
         status = int(status_line.split()[1])
         length = 0
+        reply_headers: dict[str, str] = {}
         while True:
             line = await self._reader.readline()
             if line in (b"\r\n", b"\n", b""):
                 break
             name, _, value = line.decode("latin-1").partition(":")
-            if name.strip().lower() == "content-length":
-                length = int(value)
+            reply_headers[name.strip().lower()] = value.strip()
+        length = int(reply_headers.get("content-length", 0) or 0)
+        self.last_headers = reply_headers
         reply = await self._reader.readexactly(length) if length else b""
-        return status, (json.loads(reply) if reply else {})
+        if reply_headers.get(
+                "content-type", "").startswith("application/json"):
+            return status, (json.loads(reply) if reply else {})
+        return status, {"text": reply.decode("utf-8", "replace")}
 
     async def _close_connection(self) -> None:
         if self._writer is not None:
@@ -294,6 +351,8 @@ async def run_load(
     }
     n_requests = [0] * len(plans)
     n_retried = [0] * len(plans)
+    latencies: list[float] = []
+    tel = get_telemetry()
     queue: asyncio.Queue = asyncio.Queue()
     for request in requests:
         queue.put_nowait(request)
@@ -316,9 +375,16 @@ async def run_load(
                 if plan.version is not None:
                     payload["version"] = plan.version
                 for _ in range(MAX_RETRIES):
+                    t0 = time.perf_counter()
                     status, reply = await client.request(
                         "POST", "/disposition", payload)
                     if status != 429:
+                        # Latency of the served attempt only: retries
+                        # measure backpressure, not request service.
+                        latency = time.perf_counter() - t0
+                        latencies.append(latency)
+                        tel.observe("repro_loadgen_request_seconds",
+                                    latency)
                         break
                     n_retried[request["plan"]] += 1
                     await asyncio.sleep(BACKOFF_SECONDS)
@@ -336,16 +402,18 @@ async def run_load(
             await client.close()
 
     started = time.perf_counter()
-    workers = [asyncio.ensure_future(worker())
-               for _ in range(max(1, int(n_clients)))]
-    try:
-        await asyncio.gather(*workers)
-    finally:
-        for task in workers:
-            task.cancel()
-        # Await the cancelled workers so each finally block closes its
-        # client connection before the loop winds down.
-        await asyncio.gather(*workers, return_exceptions=True)
+    with tel.span("loadgen.run", requests=len(requests),
+                  clients=max(1, int(n_clients))):
+        workers = [asyncio.ensure_future(worker())
+                   for _ in range(max(1, int(n_clients)))]
+        try:
+            await asyncio.gather(*workers)
+        finally:
+            for task in workers:
+                task.cancel()
+            # Await the cancelled workers so each finally block closes
+            # its client connection before the loop winds down.
+            await asyncio.gather(*workers, return_exceptions=True)
     wall = time.perf_counter() - started
 
     outcomes = []
@@ -376,7 +444,8 @@ async def run_load(
             equivalent=equivalent,
         ))
     return LoadReport(plans=outcomes, wall_seconds=wall,
-                      n_clients=max(1, int(n_clients)))
+                      n_clients=max(1, int(n_clients)),
+                      latencies_s=np.asarray(latencies, dtype=float))
 
 
 def offline_reference(

@@ -44,7 +44,15 @@ calls with ``403``.
 ``GET /metrics``
     Per-artifact throughput, realized coalescing, queue depth, served
     bin histograms and the drift-monitor state (devices seen, active
-    alarms).
+    alarms).  ``?format=prometheus`` serves the same state as
+    Prometheus text exposition v0.0.4 (drift gauges, request-latency
+    histograms) from the service's telemetry registry.  Snapshot
+    assembly is cached and invalidated per flush / registry change, so
+    a scrape never rebuilds per-artifact state inside the event loop.
+
+Every response carries an ``X-Request-Id`` header -- echoed from the
+request when the client sent one, generated otherwise -- and the same
+ID is attached to the request's telemetry span.
 
 Decisions served here are bit-identical to an offline
 :class:`~repro.floor.engine.TestFloor` pass over the same devices at
@@ -77,6 +85,7 @@ from repro.service.batcher import (
     MicroBatcher,
 )
 from repro.service.registry import ArtifactRegistry
+from repro.telemetry import Telemetry, get_telemetry, prometheus_text
 from repro.tester.program import RETEST_FULL, check_retest_policy
 
 #: Largest accepted request body (64 MiB of JSON measurements).
@@ -103,6 +112,12 @@ class FloorService:
         Shared secret for remote control-plane calls.  Without it,
         ``POST /artifacts`` and ``POST /artifacts/retire`` are honoured
         only from loopback peers.
+    telemetry:
+        The :class:`~repro.telemetry.Telemetry` registry behind
+        ``/metrics?format=prometheus`` and the request spans.  Default:
+        the process's active registry when one is configured (``repro
+        serve --telemetry``), else a private always-on registry so the
+        Prometheus endpoint works out of the box.
     """
 
     def __init__(
@@ -113,6 +128,7 @@ class FloorService:
         max_latency: float = DEFAULT_MAX_LATENCY,
         max_pending: int = DEFAULT_MAX_PENDING,
         admin_token: str | None = None,
+        telemetry: Telemetry | None = None,
     ):
         check_retest_policy(retest_policy)
         self.registry = registry if registry is not None else ArtifactRegistry()
@@ -142,6 +158,16 @@ class FloorService:
         self._handlers: set[asyncio.Task] = set()
         self._started_unix = time.time()
         self.n_http_requests = 0
+        if telemetry is None:
+            active = get_telemetry()
+            telemetry = active if active.enabled else Telemetry()
+        self.telemetry = telemetry
+        # Cached /metrics snapshot: (version it was built at, payload).
+        # Flushes and registry changes bump _metrics_version; scrapes
+        # rebuild only when the version moved, so snapshot assembly
+        # stays off the request path.
+        self._metrics_version = 0
+        self._metrics_cache: tuple[int, dict] | None = None
 
     # -- lifecycle ---------------------------------------------------------
     async def start(self, host: str = "127.0.0.1", port: int = 0) -> "FloorService":
@@ -208,11 +234,13 @@ class FloorService:
             max_batch_size=self.max_batch_size,
             max_latency=self.max_latency,
             max_pending=self.max_pending,
+            on_flush=self._invalidate_metrics,
         )
         self._batchers[key] = (sequence, batcher)
         while len(self._batchers) > self.registry.max_resident:
             _, (_, coldest) = self._batchers.popitem(last=False)
             coldest.close()
+        self._invalidate_metrics()
         return batcher
 
     async def disposition(
@@ -248,8 +276,26 @@ class FloorService:
             "n_http_requests": self.n_http_requests,
         }
 
-    def metrics(self) -> dict:
-        """Per-artifact serving metrics plus drift-monitor state."""
+    def _invalidate_metrics(self) -> None:
+        """Mark the cached metrics snapshot stale (cheap; no rebuild)."""
+        self._metrics_version += 1
+
+    def _metrics_snapshot(self) -> dict:
+        """The per-artifact metrics state, rebuilt only when stale.
+
+        Assembly walks every batcher, evaluates the drift charts and
+        refreshes the telemetry gauges -- work that used to run on
+        every scrape inside the event loop.  It now runs at most once
+        per flush/registry change: a scrape at an unchanged version
+        returns the cached snapshot untouched.  Because flushes and
+        registry mutations are synchronous with respect to the loop,
+        the snapshot is always built from a settled batcher set --
+        a scrape can never observe a half-swapped registration.
+        """
+        cache = self._metrics_cache
+        if cache is not None and cache[0] == self._metrics_version:
+            return cache[1]
+        version = self._metrics_version
         artifacts = {}
         for key, (_, batcher) in self._batchers.items():
             monitor = batcher.floor.monitor
@@ -257,8 +303,10 @@ class FloorService:
             entry["queue_depth"] = batcher.queue_depth
             entry["max_pending"] = batcher.max_pending
             entry["retired"] = self.registry.entry(*key).retired
+            label = "{}@{}".format(*key)
             if monitor is not None:
-                alarms = monitor.alarms()
+                state = monitor.export_gauges(self.telemetry)
+                alarms = state["alarms"]
                 entry["drift"] = {
                     "devices_seen": monitor.n_seen,
                     "n_alarms": len(alarms),
@@ -266,10 +314,16 @@ class FloorService:
                 }
             else:
                 entry["drift"] = None
-            artifacts["{}@{}".format(*key)] = entry
-        return {
-            "uptime_seconds": time.time() - self._started_unix,
-            "n_http_requests": self.n_http_requests,
+            stats = batcher.stats
+            self.telemetry.gauge("repro_service_queue_depth",
+                                 batcher.queue_depth, artifact=label)
+            self.telemetry.gauge("repro_service_devices_per_minute",
+                                 stats.devices_per_minute,
+                                 artifact=label)
+            self.telemetry.gauge("repro_service_mean_batch_rows",
+                                 stats.mean_batch_rows, artifact=label)
+            artifacts[label] = entry
+        snapshot = {
             "total_devices": sum(
                 b.stats.n_devices for _, b in self._batchers.values()
             ),
@@ -278,6 +332,23 @@ class FloorService:
             ),
             "artifacts": artifacts,
         }
+        self._metrics_cache = (version, snapshot)
+        return snapshot
+
+    def metrics(self) -> dict:
+        """Per-artifact serving metrics plus drift-monitor state."""
+        snapshot = self._metrics_snapshot()
+        out = {
+            "uptime_seconds": time.time() - self._started_unix,
+            "n_http_requests": self.n_http_requests,
+        }
+        out.update(snapshot)
+        return out
+
+    def metrics_prometheus(self) -> str:
+        """The telemetry registry as Prometheus text exposition."""
+        self._metrics_snapshot()  # refresh drift/serving gauges
+        return prometheus_text(self.telemetry)
 
     # -- HTTP plumbing -----------------------------------------------------
     async def _handle(
@@ -301,14 +372,30 @@ class FloorService:
                     break
                 if request is None:
                     break
-                method, path, headers, body = request
+                method, path, query, headers, body = request
                 self.n_http_requests += 1
-                status, payload = await self._route(
-                    method, path, headers, body,
-                    writer.get_extra_info("peername"),
-                )
+                request_id = (headers.get("x-request-id")
+                              or "req-{}".format(self.n_http_requests))
+                started = time.perf_counter()
+                with self.telemetry.span(
+                        "service.request", method=method, path=path,
+                        request_id=request_id) as span:
+                    status, payload = await self._route(
+                        method, path, headers, body,
+                        writer.get_extra_info("peername"), query=query,
+                    )
+                    span.set(status=status)
                 keep_alive = headers.get("connection", "").lower() != "close"
-                await _write_response(writer, status, payload, keep_alive)
+                await _write_response(
+                    writer, status, payload, keep_alive,
+                    extra_headers=(("X-Request-Id", request_id),),
+                )
+                self.telemetry.observe(
+                    "repro_service_request_seconds",
+                    time.perf_counter() - started, path=path)
+                self.telemetry.counter(
+                    "repro_service_requests_total", 1, path=path,
+                    status=str(status))
                 if not keep_alive:
                     break
         except (ConnectionError, asyncio.IncompleteReadError):
@@ -348,7 +435,8 @@ class FloorService:
         return (mapped or addr).is_loopback
 
     async def _route(
-        self, method: str, path: str, headers: dict, body: bytes, peer=None
+        self, method: str, path: str, headers: dict, body: bytes,
+        peer=None, query: str = ""
     ):
         try:
             if (path in ("/artifacts", "/artifacts/retire")
@@ -379,6 +467,7 @@ class FloorService:
                     _required(request, "version"),
                     _required(request, "path"),
                 )
+                self._invalidate_metrics()
                 return 201, {"registered": entry.describe(resident=True)}
             if path == "/artifacts/retire" and method == "POST":
                 request = _json_body(body)
@@ -389,10 +478,18 @@ class FloorService:
                 cached = self._batchers.pop(entry.key, None)
                 if cached is not None:
                     cached[1].close()
+                self._invalidate_metrics()
                 return 200, {"retired": entry.describe(resident=False)}
             if path == "/health" and method == "GET":
                 return 200, self.health()
             if path == "/metrics" and method == "GET":
+                wire_format = _query_param(query, "format") or "json"
+                if wire_format == "prometheus":
+                    return 200, self.metrics_prometheus()
+                if wire_format != "json":
+                    raise ServiceError(
+                        "unknown metrics format {!r}; expected 'json' "
+                        "or 'prometheus'".format(wire_format))
                 return 200, self.metrics()
             if path in ("/disposition", "/artifacts", "/artifacts/retire",
                         "/health", "/metrics"):
@@ -469,22 +566,43 @@ async def _read_request(reader: asyncio.StreamReader):
             )
         )
     body = await reader.readexactly(length) if length else b""
-    return method, path.split("?", 1)[0], headers, body
+    path, _, query = path.partition("?")
+    return method, path, query, headers, body
+
+
+def _query_param(query: str, name: str) -> str | None:
+    """First value of ``name`` in a raw query string (no unquoting --
+    the service's parameters are plain tokens)."""
+    for part in query.split("&"):
+        key, _, value = part.partition("=")
+        if key == name:
+            return value
+    return None
 
 
 async def _write_response(
     writer: asyncio.StreamWriter,
     status: int,
-    payload: dict,
+    payload,
     keep_alive: bool,
+    extra_headers=(),
 ) -> None:
-    body = json.dumps(payload).encode("utf-8")
+    # A str payload is served verbatim as text (the Prometheus
+    # exposition); dict payloads are the JSON surface.
+    if isinstance(payload, str):
+        body = payload.encode("utf-8")
+        content_type = "text/plain; version=0.0.4; charset=utf-8"
+    else:
+        body = json.dumps(payload).encode("utf-8")
+        content_type = "application/json"
     head = [
         "HTTP/1.1 {} {}".format(status, _STATUS_TEXT.get(status, "Unknown")),
-        "Content-Type: application/json",
+        "Content-Type: {}".format(content_type),
         "Content-Length: {}".format(len(body)),
         "Connection: {}".format("keep-alive" if keep_alive else "close"),
     ]
+    for name, value in extra_headers:
+        head.append("{}: {}".format(name, value))
     if status == 429:
         head.append("Retry-After: 1")
     writer.write("\r\n".join(head).encode("latin-1") + b"\r\n\r\n" + body)

@@ -1,0 +1,41 @@
+"""Unified tracing, metrics, and profiling for the reproduction.
+
+See :mod:`repro.telemetry.core` for the registry and span model,
+:mod:`repro.telemetry.export` for Prometheus text exposition, and
+:mod:`repro.telemetry.report` for trace rendering.  Telemetry is
+strictly outside the determinism boundary: every dataset byte, floor
+decision, and artifact is bit-identical with telemetry on or off.
+"""
+
+from repro.telemetry.core import (
+    DEFAULT_TIME_BUCKETS,
+    NULL,
+    JsonlSink,
+    NullTelemetry,
+    Span,
+    Telemetry,
+    configure,
+    disable,
+    get_telemetry,
+    set_telemetry,
+)
+from repro.telemetry.export import parse_prometheus, prometheus_text
+from repro.telemetry.report import read_trace, render_report, stage_table
+
+__all__ = [
+    "DEFAULT_TIME_BUCKETS",
+    "NULL",
+    "JsonlSink",
+    "NullTelemetry",
+    "Span",
+    "Telemetry",
+    "configure",
+    "disable",
+    "get_telemetry",
+    "parse_prometheus",
+    "prometheus_text",
+    "read_trace",
+    "render_report",
+    "set_telemetry",
+    "stage_table",
+]

@@ -1,0 +1,243 @@
+"""Exposition of a :class:`~repro.telemetry.core.Telemetry` registry.
+
+Two consumers:
+
+* :func:`prometheus_text` renders the registry in Prometheus
+  text-format exposition v0.0.4 -- ``# TYPE`` lines, counters with a
+  ``_total`` suffix, histograms as cumulative ``_bucket{le=...}``
+  series plus ``_sum``/``_count``.  The service's
+  ``GET /metrics?format=prometheus`` serves exactly this string.
+* :func:`parse_prometheus` is the matching validating parser, used by
+  the golden-file tests and the nightly scrape check -- it rejects
+  malformed lines, non-cumulative buckets, and count/bucket
+  mismatches, and returns the samples in a comparable structure.
+
+The JSON-lines sink itself lives in :mod:`repro.telemetry.core`
+(:class:`~repro.telemetry.core.JsonlSink`); this module only handles
+text formats.
+"""
+
+import math
+import re
+
+__all__ = ["prometheus_text", "parse_prometheus"]
+
+_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)"     # metric name
+    r"(?:\{(.*)\})?"                   # optional label block
+    r"\s+(\S+)"                        # value
+    r"(?:\s+(-?\d+))?$")               # optional timestamp
+_LABEL_RE = re.compile(
+    r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _escape_label(value):
+    return (str(value).replace("\\", "\\\\").replace("\n", "\\n")
+            .replace('"', '\\"'))
+
+
+def _unescape_label(value):
+    out = []
+    it = iter(value)
+    for ch in it:
+        if ch == "\\":
+            nxt = next(it, "")
+            out.append({"n": "\n", '"': '"', "\\": "\\"}.get(nxt, nxt))
+        else:
+            out.append(ch)
+    return "".join(out)
+
+
+def _format_value(value):
+    if value != value:
+        return "NaN"
+    if value in (math.inf, -math.inf):
+        return "+Inf" if value > 0 else "-Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def _label_block(labels, extra=None):
+    pairs = list(labels)
+    if extra:
+        pairs = pairs + list(extra)
+    if not pairs:
+        return ""
+    return "{{{}}}".format(",".join(
+        '{}="{}"'.format(k, _escape_label(v)) for k, v in pairs))
+
+
+def _check_name(name):
+    if not _NAME_RE.match(name):
+        raise ValueError(
+            "invalid Prometheus metric name {!r}".format(name))
+    return name
+
+
+def prometheus_text(telemetry):
+    """Render ``telemetry`` as Prometheus text exposition v0.0.4.
+
+    Families are emitted in sorted-name order, one ``# TYPE`` line
+    each; a counter name that does not already end in ``_total`` gains
+    the suffix.  The returned string ends with a newline, as the
+    format requires.
+    """
+    lines = []
+    counters = {}
+    for (name, labels), value in telemetry._counters.items():
+        base = name if name.endswith("_total") else name + "_total"
+        counters.setdefault(_check_name(base), []).append(
+            (labels, value))
+    gauges = {}
+    for (name, labels), value in telemetry._gauges.items():
+        gauges.setdefault(_check_name(name), []).append((labels, value))
+    histograms = {}
+    for (name, labels), hist in telemetry._histograms.items():
+        histograms.setdefault(_check_name(name), []).append(
+            (labels, hist))
+
+    for name in sorted(counters):
+        lines.append("# TYPE {} counter".format(name))
+        for labels, value in sorted(counters[name]):
+            lines.append("{}{} {}".format(
+                name, _label_block(labels), _format_value(value)))
+    for name in sorted(gauges):
+        lines.append("# TYPE {} gauge".format(name))
+        for labels, value in sorted(gauges[name]):
+            lines.append("{}{} {}".format(
+                name, _label_block(labels), _format_value(value)))
+    for name in sorted(histograms):
+        lines.append("# TYPE {} histogram".format(name))
+        for labels, hist in sorted(histograms[name],
+                                   key=lambda item: item[0]):
+            cumulative = 0
+            for bound, count in zip(hist["buckets"], hist["counts"]):
+                cumulative += count
+                lines.append("{}_bucket{} {}".format(
+                    name,
+                    _label_block(labels,
+                                 extra=[("le", _format_value(
+                                     float(bound)))]),
+                    cumulative))
+            cumulative += hist["counts"][-1]
+            lines.append("{}_bucket{} {}".format(
+                name, _label_block(labels, extra=[("le", "+Inf")]),
+                cumulative))
+            lines.append("{}_sum{} {}".format(
+                name, _label_block(labels), _format_value(hist["sum"])))
+            lines.append("{}_count{} {}".format(
+                name, _label_block(labels), hist["count"]))
+    return "\n".join(lines) + "\n" if lines else "\n"
+
+
+def _parse_value(text):
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    return float(text)
+
+
+def parse_prometheus(text):
+    """Parse and validate text exposition; returns families.
+
+    The result maps family name to ``{"type": ..., "samples": [...]}``
+    where each sample is ``(sample_name, labels_dict, value)``.
+    Raises :class:`ValueError` on malformed lines, samples without a
+    preceding ``# TYPE``, histogram buckets that are not cumulative,
+    or a ``+Inf`` bucket that disagrees with ``_count``.
+    """
+    families = {}
+    types = {}
+    for raw in text.splitlines():
+        line = raw.rstrip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4:
+                raise ValueError("malformed TYPE line: {!r}".format(raw))
+            _, _, name, family_type = parts
+            if family_type not in ("counter", "gauge", "histogram",
+                                   "summary", "untyped"):
+                raise ValueError(
+                    "unknown metric type {!r}".format(family_type))
+            if name in families:
+                raise ValueError(
+                    "duplicate TYPE for {!r}".format(name))
+            families[name] = {"type": family_type, "samples": []}
+            types[name] = family_type
+            continue
+        if line.startswith("#"):
+            continue  # HELP or comment
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError("malformed sample line: {!r}".format(raw))
+        sample_name, label_blob, value_text, _ts = match.groups()
+        labels = {}
+        if label_blob:
+            consumed = 0
+            for m in _LABEL_RE.finditer(label_blob):
+                labels[m.group(1)] = _unescape_label(m.group(2))
+                consumed = m.end()
+            rest = label_blob[consumed:].strip().strip(",")
+            if rest:
+                raise ValueError(
+                    "malformed label block: {!r}".format(raw))
+        family = sample_name
+        for suffix in ("_bucket", "_sum", "_count"):
+            trimmed = sample_name[: -len(suffix)]
+            if (sample_name.endswith(suffix)
+                    and types.get(trimmed) == "histogram"):
+                family = trimmed
+                break
+        if family not in families:
+            raise ValueError(
+                "sample {!r} has no preceding # TYPE".format(
+                    sample_name))
+        families[family]["samples"].append(
+            (sample_name, labels, _parse_value(value_text)))
+
+    for name, family in families.items():
+        if family["type"] != "histogram":
+            continue
+        series = {}
+        for sample_name, labels, value in family["samples"]:
+            key = tuple(sorted((k, v) for k, v in labels.items()
+                               if k != "le"))
+            entry = series.setdefault(
+                key, {"buckets": [], "count": None})
+            if sample_name == name + "_bucket":
+                if "le" not in labels:
+                    raise ValueError(
+                        "histogram bucket without le label in "
+                        "{!r}".format(name))
+                entry["buckets"].append(
+                    (_parse_value(labels["le"]), value))
+            elif sample_name == name + "_count":
+                entry["count"] = value
+        for key, entry in series.items():
+            buckets = entry["buckets"]
+            if not buckets:
+                raise ValueError(
+                    "histogram {!r} series has no buckets".format(name))
+            bounds = [b for b, _ in buckets]
+            if bounds != sorted(bounds):
+                raise ValueError(
+                    "histogram {!r} buckets out of order".format(name))
+            counts = [c for _, c in buckets]
+            if counts != sorted(counts):
+                raise ValueError(
+                    "histogram {!r} buckets not cumulative".format(name))
+            if bounds[-1] != math.inf:
+                raise ValueError(
+                    "histogram {!r} missing +Inf bucket".format(name))
+            if entry["count"] is not None and counts[-1] != entry["count"]:
+                raise ValueError(
+                    "histogram {!r} +Inf bucket disagrees with "
+                    "_count".format(name))
+    return families

@@ -1,0 +1,144 @@
+"""Render a JSONL telemetry trace into a per-stage summary table.
+
+``repro telemetry-report TRACE.jsonl`` reads the span events a
+:class:`~repro.telemetry.core.JsonlSink` wrote during a run and
+aggregates them by span name: call count, total/mean wall time, and --
+when spans carry a recognized volume attribute (``rows``, ``devices``,
+``slots``, ``requests``) -- total volume and throughput per second.
+The final ``snapshot`` event, when present, contributes the run's
+counters to the footer.
+"""
+
+import json
+
+__all__ = ["read_trace", "stage_table", "render_report"]
+
+#: Span attrs treated as "work volume" for throughput, in priority
+#: order -- the first one a stage's spans carry wins.
+VOLUME_ATTRS = ("rows", "devices", "slots", "requests")
+
+
+def read_trace(path):
+    """Parse a JSONL trace; returns ``(spans, snapshots)``.
+
+    Unknown event types are ignored, so traces stay forward
+    compatible; malformed lines raise :class:`ValueError` with the
+    offending line number.
+    """
+    spans = []
+    snapshots = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    "{}:{}: not valid JSON: {}".format(
+                        path, lineno, exc)) from exc
+            kind = event.get("event")
+            if kind == "span":
+                spans.append(event)
+            elif kind == "snapshot":
+                snapshots.append(event)
+    return spans, snapshots
+
+
+def stage_table(spans):
+    """Aggregate span events by name; returns sorted row dicts.
+
+    Rows are sorted by descending total time, so the report leads with
+    where the run actually went.
+    """
+    stages = {}
+    for span in spans:
+        name = span.get("name", "?")
+        stage = stages.setdefault(name, {
+            "stage": name, "calls": 0, "total_s": 0.0, "errors": 0,
+            "volume": 0, "volume_attr": None,
+        })
+        stage["calls"] += 1
+        stage["total_s"] += float(span.get("duration_s", 0.0))
+        if span.get("status") == "error":
+            stage["errors"] += 1
+        attrs = span.get("attrs") or {}
+        for attr in VOLUME_ATTRS:
+            if attr in attrs:
+                try:
+                    stage["volume"] += int(attrs[attr])
+                except (TypeError, ValueError):
+                    break
+                stage["volume_attr"] = attr
+                break
+    rows = []
+    for stage in stages.values():
+        total = stage["total_s"]
+        stage["mean_s"] = total / stage["calls"] if stage["calls"] else 0.0
+        stage["per_second"] = (
+            stage["volume"] / total
+            if stage["volume_attr"] is not None and total > 0 else None)
+        rows.append(stage)
+    rows.sort(key=lambda row: (-row["total_s"], row["stage"]))
+    return rows
+
+
+def render_report(path, out=None):
+    """Print the per-stage table for trace file ``path``.
+
+    Returns the aggregated stage rows (handy for tests).  ``out`` is a
+    writable text stream (default: stdout).
+    """
+    import sys
+
+    out = sys.stdout if out is None else out
+    spans, snapshots = read_trace(path)
+    run = None
+    for event in spans + snapshots:
+        run = event.get("run") or run
+    out.write("telemetry report: {}\n".format(path))
+    if run:
+        out.write("run: {}\n".format(run))
+    rows = stage_table(spans)
+    if not rows:
+        out.write("no span events found\n")
+        return rows
+    header = ("stage", "calls", "total_s", "mean_s", "volume",
+              "per_sec", "errors")
+    widths = [max(len(h), 10) for h in header]
+    widths[0] = max(widths[0], max(len(r["stage"]) for r in rows))
+    out.write("  ".join(
+        h.ljust(w) for h, w in zip(header, widths)) + "\n")
+    for row in rows:
+        if row["volume_attr"] is not None:
+            volume = "{} {}".format(row["volume"], row["volume_attr"])
+            per_sec = "{:.1f}".format(row["per_second"])
+        else:
+            volume, per_sec = "-", "-"
+        cells = (
+            row["stage"],
+            str(row["calls"]),
+            "{:.4f}".format(row["total_s"]),
+            "{:.6f}".format(row["mean_s"]),
+            volume,
+            per_sec,
+            str(row["errors"]),
+        )
+        out.write("  ".join(
+            c.ljust(w) for c, w in zip(cells, widths)) + "\n")
+    if snapshots:
+        counters = snapshots[-1].get("counters", [])
+        interesting = [c for c in counters
+                       if not c["name"].startswith("repro_stage_")]
+        if interesting:
+            out.write("\ncounters:\n")
+            for counter in interesting:
+                labels = counter.get("labels") or {}
+                blob = ("{" + ",".join(
+                    "{}={}".format(k, v)
+                    for k, v in sorted(labels.items())) + "}"
+                    if labels else "")
+                out.write("  {}{} = {}\n".format(
+                    counter["name"], blob, counter["value"]))
+    return rows

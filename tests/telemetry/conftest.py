@@ -1,0 +1,20 @@
+"""Shared guard: never leak an activated registry across tests.
+
+Telemetry is process-global state (:func:`repro.telemetry.
+set_telemetry`); a test that configures it and fails mid-way would
+silently enable instrumentation for every later test.  The autouse
+fixture restores whatever was active before each test.
+"""
+
+import pytest
+
+from repro.telemetry import set_telemetry
+
+
+@pytest.fixture(autouse=True)
+def restore_telemetry():
+    from repro.telemetry import get_telemetry
+
+    previous = get_telemetry()
+    yield
+    set_telemetry(previous)

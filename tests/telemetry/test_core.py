@@ -1,0 +1,167 @@
+"""Registry semantics: metrics, span nesting, the disabled singleton."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.telemetry import (
+    NULL,
+    JsonlSink,
+    Telemetry,
+    configure,
+    disable,
+    get_telemetry,
+    set_telemetry,
+)
+
+
+class TestMetrics:
+    def test_counter_accumulates(self):
+        tel = Telemetry(run_id="t")
+        tel.counter("repro_x_total", 2)
+        tel.counter("repro_x_total", 3)
+        assert tel._counters[("repro_x_total", ())] == 5
+
+    def test_counter_label_order_is_canonical(self):
+        tel = Telemetry(run_id="t")
+        tel.counter("repro_x_total", 1, a="1", b="2")
+        tel.counter("repro_x_total", 1, b="2", a="1")
+        assert len(tel._counters) == 1
+        (key,) = tel._counters
+        assert key == ("repro_x_total", (("a", "1"), ("b", "2")))
+
+    def test_gauge_overwrites(self):
+        tel = Telemetry(run_id="t")
+        tel.gauge("repro_depth", 3)
+        tel.gauge("repro_depth", 7)
+        assert tel._gauges[("repro_depth", ())] == 7.0
+
+    def test_histogram_buckets_fill_and_layout_is_fixed(self):
+        tel = Telemetry(run_id="t")
+        buckets = (0.01, 0.1, 1.0)
+        for value in (0.005, 0.05, 0.5, 5.0):
+            tel.observe("repro_seconds", value, buckets=buckets)
+        # A later call with different buckets must not reshape the
+        # series (Prometheus histograms cannot change mid-stream).
+        tel.observe("repro_seconds", 0.5, buckets=(42.0,))
+        hist = tel._histograms[("repro_seconds", ())]
+        assert hist["buckets"] == buckets
+        assert hist["counts"] == [1, 1, 2, 1]
+        assert hist["count"] == 5
+
+    def test_snapshot_is_json_serializable(self):
+        tel = Telemetry(run_id="t")
+        tel.counter("repro_x_total", 1, kind="a")
+        tel.gauge("repro_g", 0.5)
+        tel.observe("repro_h", 0.2)
+        snap = json.loads(json.dumps(tel.snapshot()))
+        assert snap["run"] == "t"
+        assert snap["counters"][0]["labels"] == {"kind": "a"}
+        assert snap["histograms"][0]["count"] == 1
+
+
+class TestSpans:
+    def test_nesting_links_parent_and_trace(self):
+        tel = Telemetry(run_id="t")
+        with tel.span("outer") as outer:
+            with tel.span("inner") as inner:
+                assert tel.current_span() is inner
+            assert tel.current_span() is outer
+        assert tel.current_span() is None
+        assert inner.trace_id == outer.trace_id
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        assert outer.duration_s >= inner.duration_s >= 0.0
+
+    def test_sibling_roots_get_distinct_traces(self):
+        tel = Telemetry(run_id="t")
+        with tel.span("a") as a:
+            pass
+        with tel.span("b") as b:
+            pass
+        assert a.trace_id != b.trace_id
+
+    def test_exception_marks_error_and_restores_parent(self):
+        tel = Telemetry(run_id="t")
+        with pytest.raises(ValueError):
+            with tel.span("boom") as span:
+                raise ValueError("nope")
+        assert span.status == "error"
+        assert span.attrs["error"] == "ValueError"
+        assert tel.current_span() is None
+        # The error span still feeds the per-stage aggregates.
+        assert tel._counters[
+            ("repro_stage_calls_total", (("stage", "boom"),))] == 1
+
+    def test_set_attaches_attrs(self):
+        tel = Telemetry(run_id="t")
+        with tel.span("s", fixed=1) as span:
+            span.set(devices=42)
+        assert span.attrs == {"fixed": 1, "devices": 42}
+
+    def test_concurrent_tasks_have_isolated_stacks(self):
+        """Two asyncio tasks never adopt each other's spans as parents."""
+        tel = Telemetry(run_id="t")
+        seen = {}
+
+        async def worker(name):
+            with tel.span("outer-" + name) as outer:
+                await asyncio.sleep(0.001)
+                with tel.span("inner-" + name) as inner:
+                    await asyncio.sleep(0.001)
+                seen[name] = (outer, inner)
+
+        async def main():
+            await asyncio.gather(worker("a"), worker("b"))
+
+        asyncio.run(main())
+        for name in ("a", "b"):
+            outer, inner = seen[name]
+            assert inner.parent_id == outer.span_id
+            assert inner.trace_id == outer.trace_id
+        assert seen["a"][0].trace_id != seen["b"][0].trace_id
+
+
+class TestDisabled:
+    def test_default_is_null(self):
+        assert get_telemetry() is NULL
+        assert NULL.enabled is False
+
+    def test_null_span_is_shared_noop(self):
+        first = NULL.span("x", a=1)
+        second = NULL.span("y")
+        assert first is second
+        with first as span:
+            assert span.set(anything=1) is span
+        assert NULL.current_span() is None
+
+    def test_null_metrics_are_noops(self):
+        NULL.counter("repro_x_total", 5)
+        NULL.gauge("repro_g", 1.0)
+        NULL.observe("repro_h", 0.1)
+        assert NULL.snapshot()["counters"] == []
+
+
+class TestActivation:
+    def test_set_telemetry_returns_previous(self):
+        tel = Telemetry(run_id="t")
+        previous = set_telemetry(tel)
+        try:
+            assert get_telemetry() is tel
+        finally:
+            assert set_telemetry(previous) is tel
+
+    def test_configure_and_disable_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tel = configure(path=str(path), run_id="run-1")
+        assert get_telemetry() is tel
+        with tel.span("stage"):
+            pass
+        disable()
+        assert get_telemetry() is NULL
+        events = [json.loads(line)
+                  for line in path.read_text().splitlines()]
+        kinds = [event["event"] for event in events]
+        assert kinds == ["span", "snapshot"]
+        assert all(event["run"] == "run-1" for event in events)

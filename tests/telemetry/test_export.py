@@ -1,0 +1,111 @@
+"""Prometheus text exposition: golden file, round trip, validation."""
+
+import math
+import os
+
+import pytest
+
+from repro.telemetry import Telemetry, parse_prometheus, prometheus_text
+
+GOLDEN = os.path.join(os.path.dirname(__file__), "golden_exposition.txt")
+
+
+def _demo_registry():
+    """Deterministic registry matching ``golden_exposition.txt``."""
+    tel = Telemetry(run_id="golden")
+    tel.counter("repro_demo_requests", 3, path="/disposition",
+                status="200")
+    tel.counter("repro_demo_requests", 1, path="/metrics", status="200")
+    tel.gauge("repro_demo_queue_depth", 7)
+    tel.gauge("repro_demo_ratio", 0.25)
+    for value in (0.25, 0.5, 2.0):
+        tel.observe("repro_demo_seconds", value, buckets=(0.25, 1.0))
+    return tel
+
+
+class TestExposition:
+    def test_matches_golden_file(self):
+        """The wire format is a contract: byte-for-byte stable."""
+        with open(GOLDEN, "r", encoding="utf-8") as handle:
+            golden = handle.read()
+        assert prometheus_text(_demo_registry()) == golden
+
+    def test_round_trips_through_the_parser(self):
+        families = parse_prometheus(prometheus_text(_demo_registry()))
+        requests = families["repro_demo_requests_total"]
+        assert requests["type"] == "counter"
+        assert (("repro_demo_requests_total",
+                 {"path": "/disposition", "status": "200"}, 3.0)
+                in requests["samples"])
+        seconds = families["repro_demo_seconds"]
+        assert seconds["type"] == "histogram"
+        names = [sample[0] for sample in seconds["samples"]]
+        assert names.count("repro_demo_seconds_bucket") == 3
+        assert "repro_demo_seconds_sum" in names
+        assert "repro_demo_seconds_count" in names
+
+    def test_counter_total_suffix_is_not_doubled(self):
+        tel = Telemetry(run_id="t")
+        tel.counter("repro_a_total", 1)
+        tel.counter("repro_b", 1)
+        text = prometheus_text(tel)
+        assert "repro_a_total 1" in text
+        assert "repro_b_total 1" in text
+        assert "repro_a_total_total" not in text
+
+    def test_label_values_are_escaped(self):
+        tel = Telemetry(run_id="t")
+        tel.counter("repro_x_total", 1, path='say "hi"\nthere\\now')
+        text = prometheus_text(tel)
+        families = parse_prometheus(text)
+        (_, labels, value) = families["repro_x_total"]["samples"][0]
+        assert labels["path"] == 'say "hi"\nthere\\now'
+        assert value == 1.0
+
+    def test_empty_registry_is_still_valid(self):
+        text = prometheus_text(Telemetry(run_id="t"))
+        assert text.endswith("\n")
+        assert parse_prometheus(text) == {}
+
+
+class TestParserValidation:
+    def test_rejects_sample_without_type(self):
+        with pytest.raises(ValueError, match="no preceding # TYPE"):
+            parse_prometheus("repro_x_total 1\n")
+
+    def test_rejects_malformed_sample_line(self):
+        with pytest.raises(ValueError, match="malformed sample"):
+            parse_prometheus("# TYPE repro_x counter\nrepro_x\n")
+
+    def test_rejects_non_cumulative_buckets(self):
+        text = ("# TYPE repro_h histogram\n"
+                'repro_h_bucket{le="0.1"} 5\n'
+                'repro_h_bucket{le="1"} 3\n'
+                'repro_h_bucket{le="+Inf"} 5\n'
+                "repro_h_sum 1\n"
+                "repro_h_count 5\n")
+        with pytest.raises(ValueError, match="not cumulative"):
+            parse_prometheus(text)
+
+    def test_rejects_missing_inf_bucket(self):
+        text = ("# TYPE repro_h histogram\n"
+                'repro_h_bucket{le="0.1"} 1\n'
+                "repro_h_sum 0.05\n"
+                "repro_h_count 1\n")
+        with pytest.raises(ValueError, match="missing \\+Inf"):
+            parse_prometheus(text)
+
+    def test_rejects_count_mismatch(self):
+        text = ("# TYPE repro_h histogram\n"
+                'repro_h_bucket{le="+Inf"} 2\n'
+                "repro_h_sum 0.05\n"
+                "repro_h_count 3\n")
+        with pytest.raises(ValueError, match="disagrees with"):
+            parse_prometheus(text)
+
+    def test_parses_special_values(self):
+        text = ("# TYPE repro_g_nan gauge\nrepro_g_nan NaN\n"
+                "# TYPE repro_g_inf gauge\nrepro_g_inf +Inf\n")
+        families = parse_prometheus(text)
+        assert math.isnan(families["repro_g_nan"]["samples"][0][2])
+        assert families["repro_g_inf"]["samples"][0][2] == math.inf

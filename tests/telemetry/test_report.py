@@ -1,0 +1,95 @@
+"""Trace reading and the per-stage summary table."""
+
+import io
+
+import pytest
+
+from repro.telemetry import (
+    JsonlSink,
+    Telemetry,
+    read_trace,
+    render_report,
+    stage_table,
+)
+
+
+@pytest.fixture
+def trace(tmp_path):
+    """A small trace: nested spans, an error span, a final snapshot."""
+    path = tmp_path / "trace.jsonl"
+    tel = Telemetry(run_id="run-42", sink=JsonlSink(str(path)))
+    with tel.span("floor.lot", devices=100):
+        with tel.span("sim.batch", slots=100):
+            pass
+    with tel.span("floor.lot", devices=50):
+        pass
+    with pytest.raises(RuntimeError):
+        with tel.span("sim.batch", slots=10):
+            raise RuntimeError("budget")
+    tel.counter("repro_floor_shipped_total", 77)
+    tel.close()
+    return str(path)
+
+
+class TestReadTrace:
+    def test_splits_spans_and_snapshots(self, trace):
+        spans, snapshots = read_trace(trace)
+        assert len(spans) == 4
+        assert len(snapshots) == 1
+        assert {span["name"] for span in spans} == {"floor.lot",
+                                                    "sim.batch"}
+        assert all(span["run"] == "run-42" for span in spans)
+
+    def test_malformed_line_raises_with_lineno(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"event":"span"}\n{oops\n')
+        with pytest.raises(ValueError, match=":2:"):
+            read_trace(str(path))
+
+
+class TestStageTable:
+    def test_aggregates_calls_volume_and_errors(self, trace):
+        spans, _ = read_trace(trace)
+        rows = {row["stage"]: row for row in stage_table(spans)}
+        lot = rows["floor.lot"]
+        assert lot["calls"] == 2
+        assert lot["volume"] == 150
+        assert lot["volume_attr"] == "devices"
+        assert lot["errors"] == 0
+        sim = rows["sim.batch"]
+        assert sim["calls"] == 2
+        assert sim["volume"] == 110
+        assert sim["errors"] == 1
+
+    def test_rows_sorted_by_total_time(self, trace):
+        spans, _ = read_trace(trace)
+        rows = stage_table(spans)
+        totals = [row["total_s"] for row in rows]
+        assert totals == sorted(totals, reverse=True)
+
+
+class TestRenderReport:
+    def test_renders_stages_and_counters(self, trace):
+        out = io.StringIO()
+        rows = render_report(trace, out=out)
+        text = out.getvalue()
+        assert "run: run-42" in text
+        assert "floor.lot" in text and "sim.batch" in text
+        assert "repro_floor_shipped_total = 77" in text
+        # The per-stage aggregates are table rows, not footer noise.
+        assert "repro_stage_calls_total" not in text
+        assert len(rows) == 2
+
+    def test_cli_subcommand(self, trace, capsys):
+        from repro.cli import main
+
+        assert main(["telemetry-report", trace]) == 0
+        captured = capsys.readouterr()
+        assert "floor.lot" in captured.out
+
+    def test_cli_missing_file_fails_cleanly(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["telemetry-report",
+                     str(tmp_path / "nope.jsonl")]) == 2
+        assert "error:" in capsys.readouterr().err

@@ -13,7 +13,8 @@ class TestParser:
         assert set(sub.choices) == {"table1", "table2", "fig5",
                                     "table3", "cost", "batch",
                                     "deploy", "floor", "serve",
-                                    "loadgen", "dataset"}
+                                    "loadgen", "dataset",
+                                    "telemetry-report"}
 
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
