@@ -1,0 +1,215 @@
+"""Experiment F3 -- cluster scale-out throughput and sharded equivalence.
+
+Deploys the same two synthetic test programs as experiment F2, saves
+them as artifact files, and hosts them in a
+:class:`~repro.service.cluster.ClusterService` -- N worker processes
+each running a :class:`~repro.service.server.FloorService`, fronted by
+the device-hash sharding router -- at increasing worker counts, with
+the distributed load generator replaying identical deterministic
+traffic at every count.
+
+Equivalence is asserted unconditionally in every environment and at
+every worker count, in both directions the cluster layer could break
+it:
+
+1. **sharded == offline** -- every decision served through the router
+   is bit-identical to an offline :class:`~repro.floor.engine.TestFloor`
+   pass over the same devices;
+2. **sharded == single-worker** -- the decision arrays of every
+   multi-worker configuration equal the 1-worker configuration's
+   arrays element for element (worker count shapes latency, never a
+   decision).
+
+The scale-out bar -- >= 2x aggregate served throughput at 4 workers
+over 1 worker -- fires only on >= 4-CPU machines and is skipped under
+``REPRO_BENCH_NO_SPEEDUP=1`` (the CI "equivalence-only" mode);
+elsewhere the worker sweep stops at 2 and only equivalence is held.
+
+The record is *merged* into ``BENCH_service.json`` under a
+``"cluster"`` key (read-modify-write), so the service and cluster
+trajectories live in one artifact: aggregate p50/p95/p99 + sustained
+RPS per worker count, plus the per-worker attribution from the
+``X-Repro-Worker`` response header.
+
+Runnable directly (``python benchmarks/bench_cluster_throughput.py``)
+or through pytest-benchmark like every other experiment here.
+"""
+
+import asyncio
+import json
+import os
+import tempfile
+import time
+
+if __name__ == "__main__":
+    # Allow `python benchmarks/bench_cluster_throughput.py` without an
+    # installed package or PYTHONPATH (pytest gets these from
+    # pyproject.toml's pythonpath setting instead).
+    import pathlib
+    import sys
+
+    _root = pathlib.Path(__file__).resolve().parent.parent
+    sys.path[:0] = [str(_root), str(_root / "src")]
+
+import numpy as np
+
+from benchmarks.bench_service_throughput import _build_pair
+from benchmarks.harness import print_table, run_once
+from repro.runtime import cpu_count
+from repro.service import (
+    ClusterService,
+    TrafficPlan,
+    offline_reference,
+    run_load,
+)
+
+#: Devices replayed per artifact per worker-count configuration.
+N_DEVICES = {"synthA": 1200, "synthB": 800}
+#: Scale-out acceptance bar: aggregate throughput at WORKERS_GATE
+#: workers must be at least this multiple of the 1-worker throughput.
+SPEEDUP_FLOOR = 2.0
+#: Worker count the speedup bar is measured at (>= 4-CPU hosts only).
+WORKERS_GATE = 4
+#: Concurrent keep-alive load-generator connections.
+N_CLIENTS = 8
+
+
+def worker_counts():
+    """The worker sweep for this host: the full 1 -> 4 ramp where the
+    cores can back it, a 1 -> 2 sharding sanity sweep elsewhere."""
+    if cpu_count() >= 4:
+        return [1, 2, WORKERS_GATE]
+    return [1, 2]
+
+
+def _run_workers(registrations, plans, n_workers):
+    async def main():
+        cluster = ClusterService(registrations=registrations,
+                                 n_workers=n_workers)
+        await cluster.start("127.0.0.1", 0)
+        try:
+            return await run_load("127.0.0.1", cluster.port, plans,
+                                  n_clients=N_CLIENTS, max_chunk=12,
+                                  seed=3)
+        finally:
+            await cluster.stop()
+
+    return asyncio.run(main())
+
+
+def _merge_record(path, cluster_record):
+    """Read-modify-write: fold the cluster record into the service
+    bench's JSON file (or start a fresh record when absent)."""
+    record = {}
+    if os.path.isfile(path):
+        try:
+            with open(path) as handle:
+                existing = json.load(handle)
+            if isinstance(existing, dict):
+                record = existing
+        except (OSError, json.JSONDecodeError):
+            record = {}
+    record.setdefault("experiment", "bench_service_throughput")
+    record.setdefault("unix_time", time.time())
+    record.setdefault("cpus", cpu_count())
+    record["cluster"] = cluster_record
+    with open(path, "w") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+    return record
+
+
+def run_experiment():
+    """Execute the worker sweep; returns the structured results."""
+    pair_a = _build_pair(n_specs=6, dut_seed=99, lookup_resolution=17)
+    pair_b = _build_pair(n_specs=5, dut_seed=42)
+    plans = [
+        TrafficPlan("synthA", pair_a[0], N_DEVICES["synthA"], seed=7,
+                    reference=offline_reference(pair_a[1])),
+        TrafficPlan("synthB", pair_b[0], N_DEVICES["synthB"], seed=8,
+                    reference=offline_reference(pair_b[1])),
+    ]
+
+    rows = []
+    cluster_record = {
+        "experiment": "bench_cluster_throughput",
+        "unix_time": time.time(),
+        "cpus": cpu_count(),
+        "n_clients": N_CLIENTS,
+        "configs": {},
+    }
+    throughput = {}
+    baseline_decisions = None
+    with tempfile.TemporaryDirectory() as tmp:
+        path_a = os.path.join(tmp, "synthA.rtp")
+        path_b = os.path.join(tmp, "synthB.rtp")
+        pair_a[1].save(path_a)
+        pair_b[1].save(path_b)
+        registrations = [("synthA", "1", path_a), ("synthB", "1", path_b)]
+        for n_workers in worker_counts():
+            report = _run_workers(registrations, plans, n_workers)
+            # Invariant 1, every environment: sharded serving is
+            # bit-identical to the offline floor for every plan.
+            assert report.equivalent, (
+                "{} worker(s) served decisions differing from the "
+                "offline floor".format(n_workers))
+            decisions = [plan.decisions for plan in report.plans]
+            if baseline_decisions is None:
+                baseline_decisions = decisions
+            else:
+                # Invariant 2, every environment: resharding the same
+                # traffic across more workers changes no decision.
+                for base, sharded in zip(baseline_decisions, decisions):
+                    assert np.array_equal(base, sharded), (
+                        "{} worker(s) changed decisions vs the "
+                        "1-worker run".format(n_workers))
+            throughput[n_workers] = report.devices_per_minute
+            rows.append((n_workers, report.n_devices, report.n_requests,
+                         report.n_retried, report.wall_seconds,
+                         report.devices_per_minute))
+            entry = {
+                "n_workers": n_workers,
+                "n_devices": report.n_devices,
+                "n_requests": report.n_requests,
+                "n_retried": report.n_retried,
+                "wall_seconds": report.wall_seconds,
+                "devices_per_minute": report.devices_per_minute,
+                "equivalent": report.equivalent,
+                "per_worker": report.per_worker_summary(),
+            }
+            entry.update(report.latency_summary())
+            cluster_record["configs"]["workers_{}".format(n_workers)] = entry
+
+    print_table(
+        "F3: cluster scale-out throughput over HTTP ({} CPUs available)"
+        .format(cpu_count()),
+        ["workers", "devices", "requests", "retried", "seconds",
+         "devices/min"],
+        rows)
+
+    out = os.environ.get("REPRO_BENCH_JSON")
+    if out:
+        _merge_record(out, cluster_record)
+        print("merged cluster record into {}".format(out))
+
+    # The scale-out bar needs real cores; acceptance is a 4-core run.
+    if cpu_count() >= 4 and not os.environ.get("REPRO_BENCH_NO_SPEEDUP"):
+        speedup = throughput[WORKERS_GATE] / throughput[1]
+        assert speedup >= SPEEDUP_FLOOR, (
+            "expected >= {:.1f}x aggregate throughput at {} workers; "
+            "got {:.2f}x ({:,.0f} vs {:,.0f} devices/min)".format(
+                SPEEDUP_FLOOR, WORKERS_GATE, speedup,
+                throughput[WORKERS_GATE], throughput[1]))
+    return cluster_record
+
+
+def bench_cluster_throughput(benchmark):
+    """pytest-benchmark entry point (records the whole sweep)."""
+    run_once(benchmark, run_experiment)
+
+
+if __name__ == "__main__":
+    os.environ.setdefault(
+        "REPRO_BENCH_JSON",
+        os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                     "BENCH_service.json"))
+    run_experiment()

@@ -1,0 +1,112 @@
+"""Schema check for the committed ``benchmarks/BENCH_*.json`` records.
+
+The BENCH files are the repo's perf trajectory: every benchmark run
+merges its numbers into one of them, CI uploads them as artifacts, and
+regressions are read off their diffs.  A malformed record -- a missing
+identity key, a NaN that crept in through a zero-division, an
+``Infinity`` that ``json.dump`` happily wrote (it is not valid JSON to
+a strict parser) -- silently poisons that trajectory.
+
+This checker holds every record to the small shared schema:
+
+* the file parses as strict JSON (``NaN``/``Infinity`` literals are
+  rejected) and its top level is an object;
+* the identity keys ``experiment`` (non-empty string), ``unix_time``
+  (finite number) and ``cpus`` (positive integer) are present;
+* recursively, every number anywhere in the record is finite.
+
+Run as a script (CI's ``bench-json-check`` step)::
+
+    python benchmarks/check_bench_json.py            # checks BENCH_*.json
+    python benchmarks/check_bench_json.py path.json  # checks named files
+
+Exit status 0 when every file passes; 1 with one line per violation
+otherwise.  The functions are importable and unit-tested in
+``tests/test_bench_json.py``.
+"""
+
+import glob
+import json
+import math
+import os
+import sys
+
+#: Keys every BENCH record must carry at the top level.
+REQUIRED_KEYS = ("experiment", "unix_time", "cpus")
+
+
+def _walk_numbers(value, path):
+    """Yield ``(json_path, number)`` for every number in the record."""
+    if isinstance(value, bool):
+        return
+    if isinstance(value, (int, float)):
+        yield path, value
+    elif isinstance(value, dict):
+        for key in value:
+            yield from _walk_numbers(value[key], "{}.{}".format(path, key))
+    elif isinstance(value, list):
+        for index, item in enumerate(value):
+            yield from _walk_numbers(item, "{}[{}]".format(path, index))
+
+
+def validate_record(record):
+    """Schema violations of one parsed BENCH record (empty = valid)."""
+    problems = []
+    if not isinstance(record, dict):
+        return ["top level is {}, not an object".format(
+            type(record).__name__)]
+    for key in REQUIRED_KEYS:
+        if key not in record:
+            problems.append("missing required key {!r}".format(key))
+    experiment = record.get("experiment")
+    if "experiment" in record and not (
+            isinstance(experiment, str) and experiment.strip()):
+        problems.append("'experiment' must be a non-empty string")
+    cpus = record.get("cpus")
+    if "cpus" in record and not (
+            isinstance(cpus, int) and not isinstance(cpus, bool)
+            and cpus >= 1):
+        problems.append("'cpus' must be a positive integer")
+    for path, number in _walk_numbers(record, "$"):
+        if not math.isfinite(number):
+            problems.append("non-finite number {} at {}".format(number, path))
+    return problems
+
+
+def check_file(path):
+    """Schema violations of one BENCH file on disk (empty = valid)."""
+    try:
+        with open(path) as handle:
+            # parse_constant fires only on NaN/Infinity/-Infinity:
+            # reject them at the parser so a record that *other*
+            # strict JSON parsers cannot read never passes.
+            record = json.load(
+                handle,
+                parse_constant=lambda name: (_ for _ in ()).throw(
+                    ValueError("non-finite JSON literal {}".format(name))),
+            )
+    except (OSError, ValueError) as exc:
+        return ["unreadable: {}".format(exc)]
+    return validate_record(record)
+
+
+def main(argv):
+    paths = argv or sorted(
+        glob.glob(os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                               "BENCH_*.json")))
+    if not paths:
+        print("check_bench_json: no BENCH_*.json files found")
+        return 1
+    failures = 0
+    for path in paths:
+        problems = check_file(path)
+        for problem in problems:
+            print("{}: {}".format(path, problem))
+        failures += len(problems)
+        if not problems:
+            print("{}: ok".format(path))
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -12,6 +12,7 @@
     python -m repro.cli deploy --device opamp --out opamp.rtp
     python -m repro.cli floor --artifact opamp.rtp --lots 3 --devices 500
     python -m repro.cli serve --artifact opamp=opamp.rtp --port 8731
+    python -m repro.cli serve --artifact opamp=opamp.rtp --workers 4
     python -m repro.cli loadgen --url http://127.0.0.1:8731 \
         --artifact opamp.rtp --device opamp --devices 200
     python -m repro.cli floor --artifact opamp.rtp --telemetry t.jsonl
@@ -56,10 +57,14 @@ seeds disposition identically at any
 
 ``serve`` hosts a registry of deployed artifacts behind the asyncio
 HTTP/JSON floor service of :mod:`repro.service` (micro-batching,
-hot-swap, backpressure, ``/metrics``); ``loadgen`` replays
-deterministic seed-tree traffic against a running service and exits
-non-zero unless every served decision is bit-identical to an offline
-:class:`~repro.floor.engine.TestFloor` pass over the same devices.
+hot-swap, backpressure, ``/metrics``); with ``--workers N`` it scales
+out to N worker processes behind the device-hash sharding router of
+:mod:`repro.service.cluster` (atomic control-plane fan-out, crash
+respawn, per-worker metrics -- decisions bit-identical at any worker
+count); ``loadgen`` replays deterministic seed-tree traffic against a
+running service and exits non-zero unless every served decision is
+bit-identical to an offline :class:`~repro.floor.engine.TestFloor`
+pass over the same devices.
 """
 
 import argparse
@@ -517,13 +522,69 @@ def _artifact_spec(value):
     return name, version, path
 
 
+def _serve_cluster(args):
+    """Serve through the multi-worker sharding cluster router."""
+    import asyncio
+    import os
+
+    from repro.errors import ReproError
+    from repro.service import ClusterService
+
+    # Fail on a missing artifact file before spawning N processes that
+    # would each discover it independently.
+    for name, version, path in args.artifact:
+        if not os.path.isfile(path):
+            return _fail("artifact file does not exist: {}".format(path))
+    cluster = ClusterService(
+        registrations=args.artifact,
+        n_workers=args.workers,
+        retest_policy=args.policy,
+        max_batch_size=args.max_batch,
+        max_latency=args.max_latency_ms / 1000.0,
+        max_pending=args.max_pending,
+        max_resident=args.max_resident,
+        admin_token=args.admin_token,
+        health_interval=args.health_interval)
+
+    async def _serve():
+        await cluster.start(args.host, args.port)
+        print("serving {} artifact(s) on http://{}:{} across {} "
+              "worker(s)".format(len(args.artifact), args.host,
+                                 cluster.port, args.workers),
+              file=sys.stderr, flush=True)
+        try:
+            await cluster.serve_forever()
+        finally:
+            await cluster.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    except ReproError as exc:
+        return _fail(exc)
+    except OSError as exc:
+        return _fail("cannot bind {}:{}: {}".format(
+            args.host, args.port, exc))
+    return 0
+
+
 def cmd_serve(args):
-    """Serve deployed artifacts over the asyncio HTTP floor service."""
+    """Serve deployed artifacts over the asyncio HTTP floor service.
+
+    With ``--workers N`` (N >= 2) the artifacts are served by N worker
+    processes behind a device-hash sharding router instead of one
+    in-process service; decisions are bit-identical either way.
+    """
     import asyncio
 
     from repro.errors import ReproError
     from repro.service import ArtifactRegistry, FloorService
 
+    if args.workers < 1:
+        return _fail("--workers must be at least 1")
+    if args.workers > 1:
+        return _serve_cluster(args)
     registry = ArtifactRegistry(max_resident=args.max_resident)
     for name, version, path in args.artifact:
         try:
@@ -779,6 +840,17 @@ def build_parser():
                             "it the control plane is loopback-only")
     serve.add_argument("--max-resident", type=int, default=8,
                        help="LRU bound on in-memory artifacts")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="worker processes behind the device-hash "
+                            "sharding router (default 1 = single "
+                            "in-process service; N>=2 spawns N "
+                            "FloorService workers, fans the control "
+                            "plane out atomically, and respawns "
+                            "crashed workers; decisions are "
+                            "bit-identical at any worker count)")
+    serve.add_argument("--health-interval", type=float, default=0.5,
+                       help="seconds between cluster worker health "
+                            "probes (--workers >= 2 only)")
     add_telemetry(serve)
     serve.set_defaults(func=cmd_serve)
 

@@ -66,3 +66,13 @@ class UnknownArtifactError(ServiceError):
 
     Maps to HTTP 404 on the service front end.
     """
+
+
+class ClusterDegradedError(ServiceError):
+    """A cluster shard is down (worker respawning) or the control plane
+    cannot reach every worker.
+
+    Maps to HTTP 503 + ``Retry-After`` on the cluster router: the
+    request was *not* misrouted to another shard, the caller should
+    retry the same request after the respawn window.
+    """

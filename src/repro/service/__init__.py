@@ -24,10 +24,20 @@ backpressure.
 ``repro.service.loadgen``
     :class:`TrafficPlan` / :func:`run_load` -- deterministic seed-tree
     load generator that replays mixed multi-device traffic and
-    asserts served decisions equal an offline floor pass.
+    asserts served decisions equal an offline floor pass; against a
+    cluster it attributes latency per worker and retries through
+    shard-respawn windows.
+``repro.service.cluster``
+    :class:`ClusterService` -- horizontal scale-out: N worker
+    processes each running a :class:`FloorService`, fronted by a
+    device-hash sharding router (:func:`shard_for`), with the control
+    plane fanned out to every worker atomically and crashed workers
+    respawned from the registry manifest.  Decisions are bit-identical
+    at any worker count.
 
-CLI surface: ``repro serve`` (host a registry of artifacts) and
-``repro loadgen`` (drive + verify a running service).
+CLI surface: ``repro serve`` (host a registry of artifacts;
+``--workers N`` scales out) and ``repro loadgen`` (drive + verify a
+running service).
 """
 
 from repro.service.batcher import (
@@ -37,6 +47,7 @@ from repro.service.batcher import (
     DEFAULT_MAX_PENDING,
     MicroBatcher,
 )
+from repro.service.cluster import ClusterService, WorkerHandle, shard_for
 from repro.service.loadgen import (
     HttpClient,
     LoadReport,
@@ -57,6 +68,7 @@ from repro.service.server import FloorService
 __all__ = [
     "ArtifactRegistry",
     "BatcherStats",
+    "ClusterService",
     "DEFAULT_MAX_BATCH_SIZE",
     "DEFAULT_MAX_LATENCY",
     "DEFAULT_MAX_PENDING",
@@ -67,9 +79,11 @@ __all__ = [
     "PlanOutcome",
     "RegistryEntry",
     "TrafficPlan",
+    "WorkerHandle",
     "file_checksum",
     "offline_reference",
     "run_load",
+    "shard_for",
     "split_url",
     "wait_healthy",
 ]

@@ -1,0 +1,922 @@
+"""Multi-worker serving scale-out: supervisor, sharding router, fan-out.
+
+:class:`~repro.service.server.FloorService` is a single asyncio
+process -- one core's worth of floor throughput.  This module scales it
+horizontally without giving up one bit of the served ≡ offline
+invariant:
+
+* a **supervisor** (:class:`ClusterService`) spawns ``n_workers``
+  worker *processes*, each running its own :class:`FloorService` on an
+  ephemeral loopback port, primed from the cluster's **registry
+  manifest** (the ordered list of ``(device, version, path)``
+  registrations that is the cluster's source of truth);
+* a shared-nothing **router** (the supervisor's own HTTP front end)
+  shards data-plane traffic by device-key hash --
+  :func:`shard_for` is a pure, stable function of ``(device,
+  n_workers)`` (SHA-256, no process-randomized ``hash()``), so the
+  same device key always lands on the same worker across requests,
+  connections and restarts, and no state is shared between workers;
+* **control-plane fan-out**: ``POST /artifacts`` and ``POST
+  /artifacts/retire`` are applied to *every* worker atomically -- the
+  operation commits to the manifest only when all workers accepted it,
+  and a partial failure rolls the already-updated workers back to the
+  manifest state, so a hot-swap is visible on all workers or none;
+* **self-healing**: a health loop probes each worker; a crashed or
+  unresponsive worker is killed, respawned and re-primed from the
+  manifest.  While a shard is down its requests are answered ``503``
+  with ``Retry-After`` -- never misrouted to a different worker (that
+  would silently change which floor's drift monitor sees the traffic).
+
+Because a disposition is a pure per-device function of the artifact
+and the measurements, sharding is invisible in the decisions: a
+cluster at any worker count serves bit-identical decisions to a single
+worker and to an offline :class:`~repro.floor.engine.TestFloor` pass
+(`benchmarks/bench_cluster_throughput.py` asserts exactly this at
+every configuration it measures).
+
+Entry point: ``repro serve --workers N``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass
+
+from repro import __version__
+from repro.errors import (
+    ClusterDegradedError,
+    ReproError,
+    ServiceError,
+    UnknownArtifactError,
+)
+from repro.service.batcher import (
+    DEFAULT_MAX_BATCH_SIZE,
+    DEFAULT_MAX_LATENCY,
+    DEFAULT_MAX_PENDING,
+)
+from repro.service.loadgen import HttpClient, wait_healthy
+from repro.service.registry import DEFAULT_MAX_RESIDENT
+from repro.service.server import (
+    _json_body,
+    _query_param,
+    _read_request,
+    _required,
+    _write_response,
+    authorized_admin,
+)
+from repro.telemetry import Telemetry, get_telemetry, prometheus_text
+from repro.tester.program import RETEST_FULL, check_retest_policy
+
+#: Seconds between health probes of each worker.
+DEFAULT_HEALTH_INTERVAL = 0.5
+#: Seconds a worker gets to report its port and pass its first health
+#: check (covers the interpreter + numpy import cost of a spawn).
+DEFAULT_SPAWN_TIMEOUT = 60.0
+#: Seconds a health probe may take before the worker is declared dead.
+PROBE_TIMEOUT = 5.0
+#: Seconds a proxied control-plane call may take (artifact loads).
+CONTROL_TIMEOUT = 60.0
+
+
+def shard_for(device: str, n_workers: int) -> int:
+    """The worker index serving a device key -- pure and stable.
+
+    SHA-256 of the UTF-8 key, not Python's ``hash()`` (which is
+    randomized per process): the mapping is identical across router
+    restarts, worker respawns and unrelated registrations, so a
+    device's traffic always reaches the same shard (and therefore the
+    same drift monitor) for a fixed worker count.
+    """
+    if n_workers < 1:
+        raise ServiceError("n_workers must be at least 1")
+    digest = hashlib.sha256(str(device).encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % n_workers
+
+
+def _worker_main(index, conn, manifest, host, service_kwargs):
+    """Worker process entry point (spawn target; must be importable).
+
+    Builds a registry from the manifest snapshot, starts a
+    :class:`FloorService` on an ephemeral loopback port, reports
+    ``("ok", port)`` (or ``("error", message)``) through the pipe, then
+    serves until killed.  Priming happens *before* the port is
+    reported, so the router never routes to a half-primed worker.
+    """
+    import asyncio
+
+    from repro.service.registry import ArtifactRegistry
+    from repro.service.server import FloorService
+
+    async def main():
+        try:
+            registry = ArtifactRegistry(max_resident=service_kwargs.pop("max_resident"))
+            for entry in manifest:
+                registry.register(entry["device"], entry["version"], entry["path"])
+                if entry["retired"]:
+                    registry.retire(entry["device"], entry["version"])
+            service = FloorService(
+                registry, worker_label="w{}".format(index), **service_kwargs
+            )
+            await service.start(host, 0)
+        except Exception as exc:  # noqa: BLE001 - reported to the parent
+            conn.send(("error", "{}: {}".format(type(exc).__name__, exc)))
+            conn.close()
+            return
+        conn.send(("ok", service.port))
+        conn.close()
+        try:
+            await service.serve_forever()
+        finally:
+            await service.stop()
+
+    try:
+        asyncio.run(main())
+    except (KeyboardInterrupt, asyncio.CancelledError):
+        pass
+
+
+@dataclass
+class WorkerHandle:
+    """Supervisor-side state for one worker process."""
+
+    index: int
+    process: object = None
+    port: int = 0
+    #: False while the shard is draining/respawning -- its requests are
+    #: answered 503 instead of being misrouted.
+    healthy: bool = False
+    #: Times this shard has been respawned (observability).
+    respawns: int = 0
+    #: Bumped on every (re)spawn so routers drop stale connections.
+    generation: int = 0
+
+    @property
+    def label(self) -> str:
+        return "w{}".format(self.index)
+
+    def describe(self) -> dict:
+        pid = getattr(self.process, "pid", None)
+        return {
+            "port": self.port,
+            "pid": pid,
+            "healthy": self.healthy,
+            "respawns": self.respawns,
+        }
+
+
+class ClusterService:
+    """N worker processes behind a device-hash sharding router.
+
+    Parameters
+    ----------
+    registrations:
+        Iterable of ``(device, version, path)`` artifact registrations
+        applied to every worker at spawn (the initial manifest).  Only
+        file paths are accepted -- each worker loads the artifact from
+        its own disk through the restricted loader, exactly as a
+        single :class:`FloorService` would.
+    n_workers:
+        Worker processes to spawn (>= 1).
+    retest_policy, max_batch_size, max_latency, max_pending,
+    max_resident:
+        Forwarded to every worker's :class:`FloorService` /
+        :class:`ArtifactRegistry`.
+    admin_token:
+        Control-plane shared secret, enforced *at the router* (workers
+        only ever see loopback traffic from the router itself).
+    health_interval:
+        Seconds between worker health probes.
+    telemetry:
+        Router-side registry (spans, per-worker gauges, request
+        histograms); defaults like :class:`FloorService`.
+    """
+
+    def __init__(
+        self,
+        registrations=(),
+        n_workers: int = 2,
+        retest_policy: str = RETEST_FULL,
+        max_batch_size: int = DEFAULT_MAX_BATCH_SIZE,
+        max_latency: float = DEFAULT_MAX_LATENCY,
+        max_pending: int = DEFAULT_MAX_PENDING,
+        max_resident: int = DEFAULT_MAX_RESIDENT,
+        admin_token: str | None = None,
+        health_interval: float = DEFAULT_HEALTH_INTERVAL,
+        spawn_timeout: float = DEFAULT_SPAWN_TIMEOUT,
+        telemetry: Telemetry | None = None,
+    ):
+        check_retest_policy(retest_policy)
+        if n_workers < 1:
+            raise ServiceError("n_workers must be at least 1")
+        #: Ordered registration manifest -- the cluster's source of
+        #: truth.  Workers are primed from it at every (re)spawn, and
+        #: control-plane operations commit to it only after every
+        #: worker accepted them.  Order carries hot-swap resolution:
+        #: replaying the list reproduces newest-active-wins.
+        self._manifest: list[dict] = []
+        for device, version, path in registrations:
+            self._manifest.append(
+                {
+                    "device": str(device),
+                    "version": str(version),
+                    "path": os.fspath(path),
+                    "retired": False,
+                }
+            )
+        self.n_workers = int(n_workers)
+        self.admin_token = admin_token or None
+        self.health_interval = float(health_interval)
+        self.spawn_timeout = float(spawn_timeout)
+        self._worker_kwargs = {
+            "retest_policy": retest_policy,
+            "max_batch_size": int(max_batch_size),
+            "max_latency": float(max_latency),
+            "max_pending": int(max_pending),
+            "max_resident": int(max_resident),
+        }
+        self._workers: list[WorkerHandle] = [
+            WorkerHandle(index=i) for i in range(self.n_workers)
+        ]
+        self._server: asyncio.Server | None = None
+        self._connections: set[asyncio.StreamWriter] = set()
+        self._handlers: set[asyncio.Task] = set()
+        self._health_task: asyncio.Task | None = None
+        #: Serializes control-plane fan-out with worker respawns, so a
+        #: respawned worker is always primed from a settled manifest.
+        self._control_lock = asyncio.Lock()
+        self._ctx = multiprocessing.get_context("spawn")
+        self._started_unix = time.time()
+        self.n_http_requests = 0
+        if telemetry is None:
+            active = get_telemetry()
+            telemetry = active if active.enabled else Telemetry()
+        self.telemetry = telemetry
+
+    # -- lifecycle ---------------------------------------------------------
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> "ClusterService":
+        """Spawn every worker, then bind the router (``port=0`` = ephemeral)."""
+        if self._server is not None:
+            raise ServiceError("cluster is already started")
+        try:
+            await asyncio.gather(*(self._spawn(worker) for worker in self._workers))
+        except Exception:
+            await self._shutdown_workers()
+            raise
+        self._server = await asyncio.start_server(self._handle, host, port)
+        self._started_unix = time.time()
+        self._health_task = asyncio.ensure_future(self._health_loop())
+        return self
+
+    @property
+    def port(self) -> int:
+        """The router's bound TCP port (after :meth:`start`)."""
+        if self._server is None:
+            raise ServiceError("cluster is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def worker_ports(self) -> tuple[int, ...]:
+        """Each worker's loopback port, by shard index."""
+        return tuple(worker.port for worker in self._workers)
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            raise ServiceError("cluster is not started")
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Stop the router, then terminate every worker process."""
+        if self._health_task is not None:
+            self._health_task.cancel()
+            try:
+                await self._health_task
+            except asyncio.CancelledError:
+                pass
+            self._health_task = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for writer in list(self._connections):
+            writer.close()
+        if self._handlers:
+            await asyncio.gather(*self._handlers, return_exceptions=True)
+        await self._shutdown_workers()
+
+    async def _shutdown_workers(self) -> None:
+        for worker in self._workers:
+            worker.healthy = False
+            process = worker.process
+            if process is None:
+                continue
+            if process.is_alive():
+                process.terminate()
+        for worker in self._workers:
+            process = worker.process
+            if process is None:
+                continue
+            for _ in range(100):
+                if not process.is_alive():
+                    break
+                await asyncio.sleep(0.02)
+            else:
+                process.kill()
+            process.join(timeout=5)
+            worker.process = None
+
+    # -- worker supervision ------------------------------------------------
+    async def _spawn(self, worker: WorkerHandle) -> None:
+        """Start one worker process and wait until it serves."""
+        parent, child = self._ctx.Pipe(duplex=False)
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(
+                worker.index,
+                child,
+                [dict(entry) for entry in self._manifest],
+                "127.0.0.1",
+                dict(self._worker_kwargs),
+            ),
+            daemon=True,
+        )
+        process.start()
+        child.close()
+        try:
+            verdict, value = await self._await_message(parent, process)
+        finally:
+            parent.close()
+        if verdict != "ok":
+            process.join(timeout=5)
+            raise ServiceError(
+                "worker {} failed to start: {}".format(worker.index, value)
+            )
+        await wait_healthy("127.0.0.1", value, timeout=self.spawn_timeout)
+        worker.process = process
+        worker.port = value
+        worker.generation += 1
+        worker.healthy = True
+
+    async def _await_message(self, parent, process):
+        deadline = time.monotonic() + self.spawn_timeout
+        while time.monotonic() < deadline:
+            if parent.poll():
+                return parent.recv()
+            if not process.is_alive():
+                raise ServiceError(
+                    "worker process exited with code {} during "
+                    "startup".format(process.exitcode)
+                )
+            await asyncio.sleep(0.02)
+        process.kill()
+        raise ServiceError(
+            "worker did not report a port within {:g}s".format(self.spawn_timeout)
+        )
+
+    async def _respawn(self, worker: WorkerHandle) -> None:
+        """Kill + respawn one worker, re-primed from the manifest."""
+        async with self._control_lock:
+            worker.healthy = False
+            process = worker.process
+            if process is not None:
+                if process.is_alive():
+                    process.kill()
+                process.join(timeout=5)
+                worker.process = None
+            await self._spawn(worker)
+            worker.respawns += 1
+            self.telemetry.counter(
+                "repro_cluster_respawns_total", 1, worker=worker.label
+            )
+
+    async def _probe(self, worker: WorkerHandle) -> bool:
+        client = HttpClient("127.0.0.1", worker.port)
+        try:
+            status, _ = await asyncio.wait_for(
+                client.request("GET", "/health"), timeout=PROBE_TIMEOUT
+            )
+            return status == 200
+        except (OSError, asyncio.TimeoutError):
+            return False
+        finally:
+            await client.close()
+
+    async def _health_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.health_interval)
+            for worker in self._workers:
+                process = worker.process
+                dead = process is None or not process.is_alive()
+                if not dead and worker.healthy:
+                    dead = not await self._probe(worker)
+                if dead or not worker.healthy:
+                    worker.healthy = False
+                    try:
+                        await self._respawn(worker)
+                    except (ReproError, OSError):
+                        # Spawn failed (e.g. an artifact file vanished
+                        # from disk); the shard stays 503 and the next
+                        # tick retries.
+                        pass
+                self.telemetry.gauge(
+                    "repro_cluster_worker_up",
+                    1.0 if worker.healthy else 0.0,
+                    worker=worker.label,
+                )
+
+    # -- data plane --------------------------------------------------------
+    def worker_for(self, device: str) -> WorkerHandle:
+        """The shard handle a device key routes to."""
+        return self._workers[shard_for(device, self.n_workers)]
+
+    # -- control plane (atomic fan-out) ------------------------------------
+    async def _post_worker(
+        self, worker: WorkerHandle, path: str, payload: dict
+    ) -> tuple[int, dict]:
+        """One control-plane POST to one worker (fresh connection)."""
+        client = HttpClient("127.0.0.1", worker.port)
+        try:
+            return await asyncio.wait_for(
+                client.request("POST", path, payload), timeout=CONTROL_TIMEOUT
+            )
+        finally:
+            await client.close()
+
+    async def _get_worker(
+        self, worker: WorkerHandle, path: str
+    ) -> tuple[int, dict]:
+        client = HttpClient("127.0.0.1", worker.port)
+        try:
+            return await asyncio.wait_for(
+                client.request("GET", path), timeout=CONTROL_TIMEOUT
+            )
+        finally:
+            await client.close()
+
+    def _require_full_strength(self) -> None:
+        down = [w.label for w in self._workers if not w.healthy]
+        if down:
+            raise ClusterDegradedError(
+                "control-plane operations need every worker up; {} "
+                "respawning".format(", ".join(down))
+            )
+
+    async def _restore_device(self, worker: WorkerHandle, device: str) -> None:
+        """Replay the manifest's entries for one device onto one worker.
+
+        The rollback primitive: re-registering every entry in manifest
+        order restores the worker's newest-active-wins resolution for
+        the device to the last committed state.
+        """
+        for entry in self._manifest:
+            if entry["device"] != device:
+                continue
+            await self._post_worker(
+                worker,
+                "/artifacts",
+                {
+                    "device": entry["device"],
+                    "version": entry["version"],
+                    "path": entry["path"],
+                },
+            )
+            if entry["retired"]:
+                await self._post_worker(
+                    worker,
+                    "/artifacts/retire",
+                    {"device": entry["device"], "version": entry["version"]},
+                )
+
+    async def register_artifact(self, device: str, version: str, path: str) -> dict:
+        """Register/hot-swap an artifact on every worker, atomically.
+
+        Commits to the manifest only when all workers accepted the
+        registration.  On a partial failure every already-updated
+        worker is rolled back to the manifest state (a brand-new key is
+        retired; a replayed manifest restores hot-swap order), so the
+        swap is visible everywhere or nowhere.
+        """
+        device, version, path = str(device), str(version), os.fspath(path)
+        async with self._control_lock:
+            self._require_full_strength()
+            had_entry = any(
+                e["device"] == device and e["version"] == version
+                for e in self._manifest
+            )
+            payload = {"device": device, "version": version, "path": path}
+            done: list[WorkerHandle] = []
+            first_reply: dict = {}
+            try:
+                for worker in self._workers:
+                    status, reply = await self._post_worker(
+                        worker, "/artifacts", payload
+                    )
+                    if status != 201:
+                        raise ServiceError(
+                            "worker {} refused the registration ({}): "
+                            "{}".format(
+                                worker.label, status, reply.get("error", reply)
+                            )
+                        )
+                    done.append(worker)
+                    if not first_reply:
+                        first_reply = reply
+            except Exception as exc:
+                for worker in done:
+                    try:
+                        if not had_entry:
+                            await self._post_worker(
+                                worker,
+                                "/artifacts/retire",
+                                {"device": device, "version": version},
+                            )
+                        await self._restore_device(worker, device)
+                    except (ReproError, OSError, asyncio.IncompleteReadError):
+                        # The worker cannot be rolled back over HTTP
+                        # (it died too); force a respawn, which
+                        # re-primes it from the committed manifest.
+                        worker.healthy = False
+                raise ServiceError(
+                    "register {}@{} rolled back ({} of {} workers had "
+                    "applied it): {}".format(
+                        device, version, len(done), self.n_workers, exc
+                    )
+                ) from exc
+            self._manifest = [
+                e
+                for e in self._manifest
+                if not (e["device"] == device and e["version"] == version)
+            ]
+            self._manifest.append(
+                {
+                    "device": device,
+                    "version": version,
+                    "path": path,
+                    "retired": False,
+                }
+            )
+            return first_reply
+
+    async def retire_artifact(self, device: str, version: str) -> dict:
+        """Retire a version on every worker, atomically (with rollback)."""
+        device, version = str(device), str(version)
+        async with self._control_lock:
+            self._require_full_strength()
+            entry = next(
+                (
+                    e
+                    for e in self._manifest
+                    if e["device"] == device and e["version"] == version
+                ),
+                None,
+            )
+            if entry is None:
+                raise UnknownArtifactError(
+                    "unknown artifact {}@{}; registered: {}".format(
+                        device,
+                        version,
+                        ", ".join(
+                            "{}@{}".format(e["device"], e["version"])
+                            for e in self._manifest
+                        )
+                        or "none",
+                    )
+                )
+            payload = {"device": device, "version": version}
+            done: list[WorkerHandle] = []
+            first_reply: dict = {}
+            try:
+                for worker in self._workers:
+                    status, reply = await self._post_worker(
+                        worker, "/artifacts/retire", payload
+                    )
+                    if status != 200:
+                        raise ServiceError(
+                            "worker {} refused the retire ({}): {}".format(
+                                worker.label, status, reply.get("error", reply)
+                            )
+                        )
+                    done.append(worker)
+                    if not first_reply:
+                        first_reply = reply
+            except Exception as exc:
+                for worker in done:
+                    try:
+                        await self._restore_device(worker, device)
+                    except (ReproError, OSError, asyncio.IncompleteReadError):
+                        worker.healthy = False
+                raise ServiceError(
+                    "retire {}@{} rolled back ({} of {} workers had "
+                    "applied it): {}".format(
+                        device, version, len(done), self.n_workers, exc
+                    )
+                ) from exc
+            entry["retired"] = True
+            return first_reply
+
+    # -- observability -----------------------------------------------------
+    def health(self) -> dict:
+        n_healthy = sum(1 for w in self._workers if w.healthy)
+        return {
+            "status": "ok" if n_healthy == self.n_workers else "degraded",
+            "version": __version__,
+            "uptime_seconds": time.time() - self._started_unix,
+            "n_workers": self.n_workers,
+            "n_healthy": n_healthy,
+            "n_artifacts": len(self._manifest),
+            "n_http_requests": self.n_http_requests,
+            "workers": {w.label: w.describe() for w in self._workers},
+        }
+
+    async def artifacts(self) -> dict:
+        """Fanned-out registry listing with a cross-worker consistency bit.
+
+        ``consistent`` is True when every healthy worker lists exactly
+        the same ``(device, version, retired)`` registrations -- the
+        observable form of the atomic-fan-out guarantee.
+        """
+        per_worker: dict[str, list] = {}
+        listings: dict[str, set] = {}
+        rows: list = []
+        for worker in self._workers:
+            if not worker.healthy:
+                continue
+            status, reply = await self._get_worker(worker, "/artifacts")
+            if status != 200:
+                raise ServiceError(
+                    "worker {} refused the listing ({})".format(
+                        worker.label, status
+                    )
+                )
+            keys = sorted(
+                "{}@{}{}".format(
+                    row["device"],
+                    row["version"],
+                    " (retired)" if row["retired"] else "",
+                )
+                for row in reply["artifacts"]
+            )
+            per_worker[worker.label] = keys
+            listings[worker.label] = frozenset(keys)
+            if not rows:
+                rows = reply["artifacts"]
+        consistent = len(set(listings.values())) <= 1
+        return {
+            "artifacts": rows,
+            "consistent": consistent,
+            "n_workers": self.n_workers,
+            "per_worker": per_worker,
+        }
+
+    async def metrics(self) -> dict:
+        """Aggregated serving metrics with per-worker breakdown.
+
+        Worker metrics are re-published into the router's telemetry
+        registry under the same ``repro_service_*`` gauge names with a
+        ``worker`` label, so one Prometheus scrape of the router sees
+        the whole cluster.
+        """
+        workers_out: dict[str, dict] = {}
+        total_devices = 0
+        total_rejected = 0
+        for worker in self._workers:
+            self.telemetry.gauge(
+                "repro_cluster_worker_up",
+                1.0 if worker.healthy else 0.0,
+                worker=worker.label,
+            )
+            if not worker.healthy:
+                workers_out[worker.label] = {"healthy": False}
+                continue
+            status, reply = await self._get_worker(worker, "/metrics")
+            if status != 200:
+                workers_out[worker.label] = {"healthy": False}
+                continue
+            reply["healthy"] = True
+            reply["respawns"] = worker.respawns
+            workers_out[worker.label] = reply
+            total_devices += reply.get("total_devices", 0)
+            total_rejected += reply.get("total_rejected", 0)
+            for label, entry in reply.get("artifacts", {}).items():
+                self.telemetry.gauge(
+                    "repro_service_devices_per_minute",
+                    entry.get("devices_per_minute", 0.0),
+                    artifact=label,
+                    worker=worker.label,
+                )
+                self.telemetry.gauge(
+                    "repro_service_queue_depth",
+                    entry.get("queue_depth", 0),
+                    artifact=label,
+                    worker=worker.label,
+                )
+        return {
+            "uptime_seconds": time.time() - self._started_unix,
+            "n_http_requests": self.n_http_requests,
+            "n_workers": self.n_workers,
+            "total_devices": total_devices,
+            "total_rejected": total_rejected,
+            "workers": workers_out,
+        }
+
+    async def metrics_prometheus(self) -> str:
+        await self.metrics()  # refresh the per-worker gauges
+        return prometheus_text(self.telemetry)
+
+    # -- HTTP router -------------------------------------------------------
+    async def _handle(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._handlers.add(task)
+        self._connections.add(writer)
+        #: shard index -> (worker generation, backend client).  Owned by
+        #: this front connection, so concurrent clients never serialize
+        #: on a shared backend socket.
+        backends: dict[int, tuple[int, HttpClient]] = {}
+        try:
+            while True:
+                try:
+                    request = await _read_request(reader)
+                except (ServiceError, ValueError) as exc:
+                    await _write_response(writer, 400, {"error": str(exc)}, False)
+                    break
+                if request is None:
+                    break
+                method, path, query, headers, body = request
+                self.n_http_requests += 1
+                request_id = headers.get("x-request-id") or "req-{}".format(
+                    self.n_http_requests
+                )
+                started = time.perf_counter()
+                with self.telemetry.span(
+                    "cluster.request",
+                    method=method,
+                    path=path,
+                    request_id=request_id,
+                ) as span:
+                    status, payload, extra = await self._route(
+                        method,
+                        path,
+                        headers,
+                        body,
+                        writer.get_extra_info("peername"),
+                        query,
+                        backends,
+                    )
+                    span.set(status=status)
+                keep_alive = headers.get("connection", "").lower() != "close"
+                await _write_response(
+                    writer,
+                    status,
+                    payload,
+                    keep_alive,
+                    extra_headers=(("X-Request-Id", request_id),) + tuple(extra),
+                )
+                self.telemetry.observe(
+                    "repro_cluster_request_seconds",
+                    time.perf_counter() - started,
+                    path=path,
+                )
+                self.telemetry.counter(
+                    "repro_cluster_requests_total",
+                    1,
+                    path=path,
+                    status=str(status),
+                )
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            for _, client in backends.values():
+                await client.close()
+            self._connections.discard(writer)
+            if task is not None:
+                self._handlers.discard(task)
+            writer.close()
+
+    def _backend(self, backends: dict, worker: WorkerHandle) -> HttpClient:
+        """This connection's keep-alive client to a shard (respawn-aware)."""
+        cached = backends.get(worker.index)
+        if cached is not None and cached[0] == worker.generation:
+            return cached[1]
+        client = HttpClient("127.0.0.1", worker.port)
+        backends[worker.index] = (worker.generation, client)
+        if cached is not None:
+            # Stale pre-respawn connection; close it in the background
+            # so the current request is not held up.
+            asyncio.ensure_future(cached[1].close())
+        return client
+
+    async def _route(
+        self, method, path, headers, body, peer, query, backends
+    ) -> tuple[int, object, tuple]:
+        try:
+            if (
+                path in ("/artifacts", "/artifacts/retire")
+                and method == "POST"
+                and not authorized_admin(self.admin_token, headers, peer)
+            ):
+                return (
+                    403,
+                    {
+                        "error": "control-plane calls from non-loopback "
+                        "peers require a valid X-Admin-Token header"
+                    },
+                    (),
+                )
+            if path == "/disposition" and method == "POST":
+                request = _json_body(body)
+                device = _required(request, "device")
+                worker = self.worker_for(device)
+                if not worker.healthy:
+                    raise ClusterDegradedError(
+                        "shard {} for device {!r} is respawning; retry "
+                        "shortly".format(worker.label, device)
+                    )
+                client = self._backend(backends, worker)
+                try:
+                    status, reply = await client.request(
+                        "POST",
+                        "/disposition",
+                        body,
+                        headers={"X-Request-Id": headers.get("x-request-id", "")},
+                    )
+                except (ConnectionError, asyncio.IncompleteReadError):
+                    # The worker died between health probes: surface the
+                    # respawn window, never reroute to another shard.
+                    worker.healthy = False
+                    raise ClusterDegradedError(
+                        "shard {} for device {!r} went down mid-request; "
+                        "retry shortly".format(worker.label, device)
+                    ) from None
+                served_by = client.last_headers.get("x-repro-worker", worker.label)
+                return status, reply, (("X-Repro-Worker", served_by),)
+            if path == "/artifacts" and method == "GET":
+                return 200, await self.artifacts(), ()
+            if path == "/artifacts" and method == "POST":
+                request = _json_body(body)
+                reply = await self.register_artifact(
+                    _required(request, "device"),
+                    _required(request, "version"),
+                    _required(request, "path"),
+                )
+                reply["n_workers"] = self.n_workers
+                return 201, reply, ()
+            if path == "/artifacts/retire" and method == "POST":
+                request = _json_body(body)
+                reply = await self.retire_artifact(
+                    _required(request, "device"), _required(request, "version")
+                )
+                reply["n_workers"] = self.n_workers
+                return 200, reply, ()
+            if path == "/health" and method == "GET":
+                return 200, self.health(), ()
+            if path == "/metrics" and method == "GET":
+                wire_format = _query_param(query, "format") or "json"
+                if wire_format == "prometheus":
+                    return 200, await self.metrics_prometheus(), ()
+                if wire_format != "json":
+                    raise ServiceError(
+                        "unknown metrics format {!r}; expected 'json' or "
+                        "'prometheus'".format(wire_format)
+                    )
+                return 200, await self.metrics(), ()
+            if path in (
+                "/disposition",
+                "/artifacts",
+                "/artifacts/retire",
+                "/health",
+                "/metrics",
+            ):
+                return 405, {"error": "method {} not allowed".format(method)}, ()
+            return 404, {"error": "unknown path {}".format(path)}, ()
+        except ClusterDegradedError as exc:
+            return 503, {"error": str(exc)}, ()
+        except UnknownArtifactError as exc:
+            return 404, {"error": str(exc)}, ()
+        except (ReproError, ValueError) as exc:
+            return 400, {"error": str(exc)}, ()
+        except Exception as exc:  # pragma: no cover - defensive surface
+            return 500, {"error": "internal error: {}".format(exc)}, ()
+
+    # -- fault injection (tests and benchmarks) ----------------------------
+    def kill_worker(self, index: int) -> None:
+        """SIGKILL one worker process (the health loop will respawn it).
+
+        Test/bench hook for exercising the drain → respawn → readmit
+        path; never called in normal operation.
+        """
+        process = self._workers[index].process
+        if process is not None and process.is_alive():
+            process.kill()
+
+    def __repr__(self) -> str:
+        healthy = sum(1 for w in self._workers if w.healthy)
+        return "ClusterService({}/{} workers up, {} registrations)".format(
+            healthy, self.n_workers, len(self._manifest)
+        )

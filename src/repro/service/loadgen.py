@@ -15,10 +15,18 @@ proves the contract on every run:
    multi-artifact traffic hits the server in a reproducible order;
 3. ``n_clients`` keep-alive connections replay the requests
    concurrently (concurrency shapes the coalescing, never a
-   decision), retrying on 429 backpressure;
+   decision), retrying on 429 backpressure, on 503 shard-respawn
+   windows, and on dropped/refused connections (a cluster worker dying
+   mid-plan) -- a killed worker costs retries, never the plan;
 4. every plan's served decisions *and* served bins are reassembled by
    device index and compared against an offline floor run over the
    same rows.
+
+Against a :class:`~repro.service.cluster.ClusterService` the generator
+is a *distributed* load generator: responses carry an
+``X-Repro-Worker`` header, and the report buckets latency and request
+counts per worker (:meth:`LoadReport.per_worker_summary`) alongside
+the aggregate percentiles.
 
 The traffic *content* is deterministic given the seeds; wall-clock
 figures of course are not.
@@ -44,9 +52,10 @@ from repro.tester.program import RETEST_FULL
 DEFAULT_CLIENTS = 4
 #: Default largest devices-per-request chunk.
 DEFAULT_MAX_CHUNK = 16
-#: Seconds to sleep before retrying a 429-rejected request.
+#: Seconds to sleep before retrying a rejected/refused request.
 BACKOFF_SECONDS = 0.02
-#: Give up on one request after this many 429 rounds.
+#: Give up on one request after this many retry rounds (429 + 503 +
+#: connection failures combined).
 MAX_RETRIES = 500
 
 
@@ -88,12 +97,14 @@ class PlanOutcome:
     equivalent: bool | None = None
 
     def summary(self) -> str:
-        verdict = {True: "bit-identical to offline floor",
-                   False: "MISMATCH vs offline floor",
-                   None: "not checked"}[self.equivalent]
+        verdict = {
+            True: "bit-identical to offline floor",
+            False: "MISMATCH vs offline floor",
+            None: "not checked",
+        }[self.equivalent]
         return "{}: {} devices in {} requests ({} retried)  {}".format(
-            self.device, self.n_devices, self.n_requests,
-            self.n_retried, verdict)
+            self.device, self.n_devices, self.n_requests, self.n_retried, verdict
+        )
 
 
 @dataclass
@@ -109,6 +120,10 @@ class LoadReport:
     #: order-independent, and capture never touches the decision
     #: arrays, so served≡offline bit-identity is unaffected.
     latencies_s: np.ndarray | None = None
+    #: Worker label (``X-Repro-Worker``) -> that worker's share of
+    #: ``latencies_s``.  Empty for single-process servers, which send
+    #: no worker header.
+    worker_latencies: dict = field(default_factory=dict)
 
     @property
     def n_devices(self) -> int:
@@ -138,9 +153,21 @@ class LoadReport:
     @property
     def equivalent(self) -> bool:
         """True when every checked plan matched its offline reference."""
-        return all(
-            plan.equivalent is not False for plan in self.plans
-        )
+        return all(plan.equivalent is not False for plan in self.plans)
+
+    @staticmethod
+    def _percentiles(latencies, wall_seconds: float, sustained_rps: float) -> dict:
+        lat = np.asarray(latencies, dtype=float)
+        p50, p95, p99 = np.percentile(lat, [50.0, 95.0, 99.0])
+        return {
+            "n_requests": int(lat.shape[0]),
+            "p50_ms": round(float(p50) * 1e3, 4),
+            "p95_ms": round(float(p95) * 1e3, 4),
+            "p99_ms": round(float(p99) * 1e3, 4),
+            "max_ms": round(float(lat.max()) * 1e3, 4),
+            "mean_ms": round(float(lat.mean()) * 1e3, 4),
+            "sustained_rps": round(sustained_rps, 3),
+        }
 
     def latency_summary(self) -> dict:
         """p50/p95/p99/max/mean request latency (ms) + sustained RPS.
@@ -150,33 +177,61 @@ class LoadReport:
         """
         if self.latencies_s is None or len(self.latencies_s) == 0:
             return {}
-        lat = np.asarray(self.latencies_s, dtype=float)
-        p50, p95, p99 = np.percentile(lat, [50.0, 95.0, 99.0])
-        return {
-            "n_requests": int(lat.shape[0]),
-            "p50_ms": round(float(p50) * 1e3, 4),
-            "p95_ms": round(float(p95) * 1e3, 4),
-            "p99_ms": round(float(p99) * 1e3, 4),
-            "max_ms": round(float(lat.max()) * 1e3, 4),
-            "mean_ms": round(float(lat.mean()) * 1e3, 4),
-            "sustained_rps": round(self.sustained_rps, 3),
-        }
+        return self._percentiles(self.latencies_s, self.wall_seconds,
+                                 self.sustained_rps)
+
+    def per_worker_summary(self) -> dict:
+        """Worker label -> that worker's latency percentiles + RPS.
+
+        Per-worker attribution for cluster runs: each worker's share
+        of the requests (from the ``X-Repro-Worker`` response header),
+        its own p50/p95/p99 and its sustained request rate over the
+        run's wall clock.  Empty against a single-process server.
+        """
+        out = {}
+        for label in sorted(self.worker_latencies):
+            lat = self.worker_latencies[label]
+            if len(lat) == 0:
+                continue
+            rps = len(lat) / self.wall_seconds if self.wall_seconds > 0 else 0.0
+            out[label] = self._percentiles(lat, self.wall_seconds, rps)
+        return out
 
     def summary(self) -> str:
         lines = [plan.summary() for plan in self.plans]
         lines.append(
             "total: {} devices / {} requests over {} client(s) in "
             "{:.2f}s  ({:,.0f} devices/min)".format(
-                self.n_devices, self.n_requests, self.n_clients,
-                self.wall_seconds, self.devices_per_minute))
+                self.n_devices,
+                self.n_requests,
+                self.n_clients,
+                self.wall_seconds,
+                self.devices_per_minute,
+            )
+        )
         latency = self.latency_summary()
         if latency:
             lines.append(
                 "latency: p50 {:.2f}ms  p95 {:.2f}ms  p99 {:.2f}ms  "
                 "max {:.2f}ms  ({:,.1f} req/s sustained)".format(
-                    latency["p50_ms"], latency["p95_ms"],
-                    latency["p99_ms"], latency["max_ms"],
-                    latency["sustained_rps"]))
+                    latency["p50_ms"],
+                    latency["p95_ms"],
+                    latency["p99_ms"],
+                    latency["max_ms"],
+                    latency["sustained_rps"],
+                )
+            )
+        for label, entry in self.per_worker_summary().items():
+            lines.append(
+                "  {}: {} requests  p50 {:.2f}ms  p99 {:.2f}ms  "
+                "({:,.1f} req/s)".format(
+                    label,
+                    entry["n_requests"],
+                    entry["p50_ms"],
+                    entry["p99_ms"],
+                    entry["sustained_rps"],
+                )
+            )
         return "\n".join(lines)
 
 
@@ -201,20 +256,28 @@ class HttpClient:
 
     async def _connect(self) -> None:
         self._reader, self._writer = await asyncio.open_connection(
-            self.host, self.port)
+            self.host, self.port
+        )
 
     async def request(
-        self, method: str, path: str, payload: dict | None = None,
+        self,
+        method: str,
+        path: str,
+        payload: dict | bytes | None = None,
         headers: dict | None = None,
     ) -> tuple[int, dict]:
-        """One round trip; reconnects once on a dropped keep-alive."""
+        """One round trip; reconnects once on a dropped keep-alive.
+
+        ``payload`` may be a dict (JSON-encoded here) or raw ``bytes``
+        forwarded verbatim -- the cluster router proxies request bodies
+        without re-serializing them.
+        """
         async with self._lock:
             for attempt in (0, 1):
                 if self._writer is None:
                     await self._connect()
                 try:
-                    return await self._round_trip(method, path, payload,
-                                                  headers)
+                    return await self._round_trip(method, path, payload, headers)
                 except (ConnectionError, asyncio.IncompleteReadError):
                     await self._close_connection()
                     if attempt:
@@ -223,10 +286,15 @@ class HttpClient:
 
     async def _round_trip(self, method, path, payload, headers=None):
         assert self._reader is not None and self._writer is not None
-        body = b"" if payload is None else json.dumps(payload).encode("utf-8")
+        if isinstance(payload, bytes):
+            body = payload
+        else:
+            body = b"" if payload is None else json.dumps(payload).encode("utf-8")
         extra = "".join(
             "{}: {}\r\n".format(name, value)
-            for name, value in (headers or {}).items())
+            for name, value in (headers or {}).items()
+            if value
+        )
         head = (
             "{} {} HTTP/1.1\r\n"
             "Host: {}:{}\r\n"
@@ -253,8 +321,7 @@ class HttpClient:
         length = int(reply_headers.get("content-length", 0) or 0)
         self.last_headers = reply_headers
         reply = await self._reader.readexactly(length) if length else b""
-        if reply_headers.get(
-                "content-type", "").startswith("application/json"):
+        if reply_headers.get("content-type", "").startswith("application/json"):
             return status, (json.loads(reply) if reply else {})
         return status, {"text": reply.decode("utf-8", "replace")}
 
@@ -279,15 +346,23 @@ def split_url(url: str) -> tuple[str, int]:
     if not host or not port:
         raise ServiceError(
             "service URL must name a host and port, e.g. "
-            "http://127.0.0.1:8731; got {!r}".format(url))
+            "http://127.0.0.1:8731; got {!r}".format(url)
+        )
     return host, port
 
 
 def materialize_population(plan: TrafficPlan, batch_size: int = 1024):
     """The plan's full device population, in seed-tree order."""
-    return np.vstack(list(generate_instance_batches(
-        plan.dut, plan.n_devices, plan.seed,
-        batch_size=min(batch_size, plan.n_devices))))
+    return np.vstack(
+        list(
+            generate_instance_batches(
+                plan.dut,
+                plan.n_devices,
+                plan.seed,
+                batch_size=min(batch_size, plan.n_devices),
+            )
+        )
+    )
 
 
 def build_requests(
@@ -314,11 +389,13 @@ def build_requests(
         while start < rows.shape[0]:
             size = int(rng.integers(1, max_chunk + 1))
             stop = min(start + size, rows.shape[0])
-            requests.append({
-                "plan": plan_index,
-                "start": start,
-                "stop": stop,
-            })
+            requests.append(
+                {
+                    "plan": plan_index,
+                    "start": start,
+                    "stop": stop,
+                }
+            )
             start = stop
     order = rng.permutation(len(requests))
     return [requests[i] for i in order], populations
@@ -334,8 +411,14 @@ async def run_load(
 ) -> LoadReport:
     """Replay mixed traffic against a running service and verify it.
 
-    Raises :class:`~repro.errors.ServiceError` when the server rejects
-    a request for any reason other than transient 429 backpressure.
+    Transient failures are retried with backoff: 429 backpressure, 503
+    shard-respawn windows, and refused/dropped connections (a cluster
+    worker dying mid-plan is respawned by its supervisor; dispositions
+    are pure per-device functions, so replaying the request against
+    the respawned worker cannot change a decision).  Raises
+    :class:`~repro.errors.ServiceError` when the server rejects a
+    request for any other reason, or when one request exhausts
+    ``MAX_RETRIES``.
     """
     plans = list(plans)
     if not plans:
@@ -352,6 +435,7 @@ async def run_load(
     n_requests = [0] * len(plans)
     n_retried = [0] * len(plans)
     latencies: list[float] = []
+    worker_latencies: dict[str, list] = {}
     tel = get_telemetry()
     queue: asyncio.Queue = asyncio.Queue()
     for request in requests:
@@ -369,43 +453,62 @@ async def run_load(
                 rows = populations[request["plan"]]
                 payload = {
                     "device": plan.device,
-                    "measurements": rows[
-                        request["start"]:request["stop"]].tolist(),
+                    "measurements": rows[request["start"] : request["stop"]].tolist(),
                 }
                 if plan.version is not None:
                     payload["version"] = plan.version
+                status, reply = 0, {}
                 for _ in range(MAX_RETRIES):
                     t0 = time.perf_counter()
-                    status, reply = await client.request(
-                        "POST", "/disposition", payload)
-                    if status != 429:
+                    try:
+                        status, reply = await client.request(
+                            "POST", "/disposition", payload
+                        )
+                    except (OSError, asyncio.IncompleteReadError) as exc:
+                        # Connection refused or dropped mid-round-trip:
+                        # a worker is down and respawning.  Back off
+                        # and replay the (idempotent) request.
+                        status, reply = 0, {"error": str(exc)}
+                    if status not in (0, 429, 503):
                         # Latency of the served attempt only: retries
-                        # measure backpressure, not request service.
+                        # measure backpressure/respawn, not request
+                        # service.
                         latency = time.perf_counter() - t0
                         latencies.append(latency)
-                        tel.observe("repro_loadgen_request_seconds",
-                                    latency)
+                        served_by = client.last_headers.get("x-repro-worker")
+                        if served_by:
+                            worker_latencies.setdefault(served_by, []).append(
+                                latency
+                            )
+                        tel.observe("repro_loadgen_request_seconds", latency)
                         break
                     n_retried[request["plan"]] += 1
                     await asyncio.sleep(BACKOFF_SECONDS)
                 if status != 200:
                     raise ServiceError(
-                        "service replied {} to a disposition request: "
-                        "{}".format(status, reply.get("error", reply)))
+                        "service replied {} to a disposition request: {}".format(
+                            status or "no response (connection failures)",
+                            reply.get("error", reply),
+                        )
+                    )
                 decisions[request["plan"]][
-                    request["start"]:request["stop"]] = reply["decisions"]
+                    request["start"] : request["stop"]
+                ] = reply["decisions"]
                 if reply.get("bins") is not None:
                     served_bins[request["plan"]][
-                        request["start"]:request["stop"]] = reply["bins"]
+                        request["start"] : request["stop"]
+                    ] = reply["bins"]
                 n_requests[request["plan"]] += 1
         finally:
             await client.close()
 
     started = time.perf_counter()
-    with tel.span("loadgen.run", requests=len(requests),
-                  clients=max(1, int(n_clients))):
-        workers = [asyncio.ensure_future(worker())
-                   for _ in range(max(1, int(n_clients)))]
+    with tel.span(
+        "loadgen.run", requests=len(requests), clients=max(1, int(n_clients))
+    ):
+        workers = [
+            asyncio.ensure_future(worker()) for _ in range(max(1, int(n_clients)))
+        ]
         try:
             await asyncio.gather(*workers)
         finally:
@@ -426,31 +529,38 @@ async def run_load(
         equivalent = None
         if plan.reference is not None:
             offline = plan.reference.run_stream(
-                [populations[index]], keep_decisions=True)
-            equivalent = bool(np.array_equal(
-                offline.decisions, decisions[index]))
+                [populations[index]], keep_decisions=True
+            )
+            equivalent = bool(np.array_equal(offline.decisions, decisions[index]))
             if equivalent and plan_bins is not None:
-                offline_names = np.asarray(
-                    offline.bin_names, dtype=object)[offline.bins]
-                equivalent = bool(np.array_equal(
-                    offline_names, plan_bins))
-        outcomes.append(PlanOutcome(
-            device=plan.device,
-            n_devices=populations[index].shape[0],
-            n_requests=n_requests[index],
-            n_retried=n_retried[index],
-            decisions=decisions[index],
-            bins=plan_bins,
-            equivalent=equivalent,
-        ))
-    return LoadReport(plans=outcomes, wall_seconds=wall,
-                      n_clients=max(1, int(n_clients)),
-                      latencies_s=np.asarray(latencies, dtype=float))
+                offline_names = np.asarray(offline.bin_names, dtype=object)[
+                    offline.bins
+                ]
+                equivalent = bool(np.array_equal(offline_names, plan_bins))
+        outcomes.append(
+            PlanOutcome(
+                device=plan.device,
+                n_devices=populations[index].shape[0],
+                n_requests=n_requests[index],
+                n_retried=n_retried[index],
+                decisions=decisions[index],
+                bins=plan_bins,
+                equivalent=equivalent,
+            )
+        )
+    return LoadReport(
+        plans=outcomes,
+        wall_seconds=wall,
+        n_clients=max(1, int(n_clients)),
+        latencies_s=np.asarray(latencies, dtype=float),
+        worker_latencies={
+            label: np.asarray(values, dtype=float)
+            for label, values in worker_latencies.items()
+        },
+    )
 
 
-def offline_reference(
-    artifact, retest_policy: str = RETEST_FULL
-) -> TestFloor:
+def offline_reference(artifact, retest_policy: str = RETEST_FULL) -> TestFloor:
     """The offline floor a plan's served decisions are checked against.
 
     Monitoring is disabled: the reference exists to reproduce
@@ -459,9 +569,7 @@ def offline_reference(
     return TestFloor(artifact, retest_policy=retest_policy, monitor=False)
 
 
-async def wait_healthy(
-    host: str, port: int, timeout: float = 10.0
-) -> dict:
+async def wait_healthy(host: str, port: int, timeout: float = 10.0) -> dict:
     """Poll ``/health`` until the service answers (CI startup races)."""
     deadline = time.perf_counter() + timeout
     last: Exception | None = None
@@ -478,5 +586,6 @@ async def wait_healthy(
         await asyncio.sleep(0.05)
     raise ServiceError(
         "service at {}:{} did not become healthy within {:g}s{}".format(
-            host, port, timeout,
-            " ({})".format(last) if last else ""))
+            host, port, timeout, " ({})".format(last) if last else ""
+        )
+    )

@@ -112,6 +112,15 @@ class FloorService:
         Shared secret for remote control-plane calls.  Without it,
         ``POST /artifacts`` and ``POST /artifacts/retire`` are honoured
         only from loopback peers.
+    worker_label:
+        Identity of this process inside a
+        :class:`~repro.service.cluster.ClusterService` (``"w0"``,
+        ``"w1"``, ...).  When set, every response carries it in an
+        ``X-Repro-Worker`` header and every service gauge/counter in
+        the telemetry registry gets a ``worker`` label, so per-worker
+        attribution survives aggregation at the cluster router.
+        ``None`` (the default) is the single-process deployment: no
+        header, no extra label.
     telemetry:
         The :class:`~repro.telemetry.Telemetry` registry behind
         ``/metrics?format=prometheus`` and the request spans.  Default:
@@ -128,6 +137,7 @@ class FloorService:
         max_latency: float = DEFAULT_MAX_LATENCY,
         max_pending: int = DEFAULT_MAX_PENDING,
         admin_token: str | None = None,
+        worker_label: str | None = None,
         telemetry: Telemetry | None = None,
     ):
         check_retest_policy(retest_policy)
@@ -137,6 +147,13 @@ class FloorService:
         # --admin-token) must fall back to loopback-only, never to
         # token auth with an empty secret.
         self.admin_token = admin_token or None
+        self.worker_label = worker_label or None
+        #: Extra telemetry labels on every service metric ({} when not
+        #: part of a cluster, so single-process series names are
+        #: unchanged).
+        self._worker_labels = (
+            {"worker": self.worker_label} if self.worker_label else {}
+        )
         self.max_batch_size = int(max_batch_size)
         self.max_latency = float(max_latency)
         self.max_pending = int(max_pending)
@@ -150,9 +167,9 @@ class FloorService:
         #: registry bound is a real memory bound: serving the
         #: coldest key's floor is dropped (flushed first; its stats
         #: and drift window restart if the key warms up again).
-        self._batchers: OrderedDict[
-            tuple[str, str], tuple[int, MicroBatcher]
-        ] = OrderedDict()
+        self._batchers: OrderedDict[tuple[str, str], tuple[int, MicroBatcher]] = (
+            OrderedDict()
+        )
         self._server: asyncio.Server | None = None
         self._connections: set[asyncio.StreamWriter] = set()
         self._handlers: set[asyncio.Task] = set()
@@ -315,13 +332,24 @@ class FloorService:
             else:
                 entry["drift"] = None
             stats = batcher.stats
-            self.telemetry.gauge("repro_service_queue_depth",
-                                 batcher.queue_depth, artifact=label)
-            self.telemetry.gauge("repro_service_devices_per_minute",
-                                 stats.devices_per_minute,
-                                 artifact=label)
-            self.telemetry.gauge("repro_service_mean_batch_rows",
-                                 stats.mean_batch_rows, artifact=label)
+            self.telemetry.gauge(
+                "repro_service_queue_depth",
+                batcher.queue_depth,
+                artifact=label,
+                **self._worker_labels,
+            )
+            self.telemetry.gauge(
+                "repro_service_devices_per_minute",
+                stats.devices_per_minute,
+                artifact=label,
+                **self._worker_labels,
+            )
+            self.telemetry.gauge(
+                "repro_service_mean_batch_rows",
+                stats.mean_batch_rows,
+                artifact=label,
+                **self._worker_labels,
+            )
             artifacts[label] = entry
         snapshot = {
             "total_devices": sum(
@@ -366,36 +394,55 @@ class FloorService:
                     # ValueError covers stream-level refusals the
                     # parser does not see itself, e.g. a header line
                     # beyond the StreamReader limit.
-                    await _write_response(
-                        writer, 400, {"error": str(exc)}, False
-                    )
+                    await _write_response(writer, 400, {"error": str(exc)}, False)
                     break
                 if request is None:
                     break
                 method, path, query, headers, body = request
                 self.n_http_requests += 1
-                request_id = (headers.get("x-request-id")
-                              or "req-{}".format(self.n_http_requests))
+                request_id = headers.get("x-request-id") or "req-{}".format(
+                    self.n_http_requests
+                )
                 started = time.perf_counter()
                 with self.telemetry.span(
-                        "service.request", method=method, path=path,
-                        request_id=request_id) as span:
+                    "service.request",
+                    method=method,
+                    path=path,
+                    request_id=request_id,
+                ) as span:
                     status, payload = await self._route(
-                        method, path, headers, body,
-                        writer.get_extra_info("peername"), query=query,
+                        method,
+                        path,
+                        headers,
+                        body,
+                        writer.get_extra_info("peername"),
+                        query=query,
                     )
                     span.set(status=status)
                 keep_alive = headers.get("connection", "").lower() != "close"
+                extra = [("X-Request-Id", request_id)]
+                if self.worker_label is not None:
+                    extra.append(("X-Repro-Worker", self.worker_label))
                 await _write_response(
-                    writer, status, payload, keep_alive,
-                    extra_headers=(("X-Request-Id", request_id),),
+                    writer,
+                    status,
+                    payload,
+                    keep_alive,
+                    extra_headers=tuple(extra),
                 )
                 self.telemetry.observe(
                     "repro_service_request_seconds",
-                    time.perf_counter() - started, path=path)
+                    time.perf_counter() - started,
+                    path=path,
+                    **self._worker_labels,
+                )
                 self.telemetry.counter(
-                    "repro_service_requests_total", 1, path=path,
-                    status=str(status))
+                    "repro_service_requests_total",
+                    1,
+                    path=path,
+                    status=str(status),
+                    **self._worker_labels,
+                )
                 if not keep_alive:
                     break
         except (ConnectionError, asyncio.IncompleteReadError):
@@ -407,52 +454,33 @@ class FloorService:
             writer.close()
 
     def _authorized_admin(self, headers: dict, peer) -> bool:
-        """Whether a request may touch the control plane.
-
-        With a configured token, any peer presenting it (constant-time
-        comparison) is in; without one, only loopback peers are.
-        """
-        if self.admin_token is not None:
-            presented = headers.get("x-admin-token", "")
-            # Compare as bytes: compare_digest refuses non-ASCII str
-            # (a hostile header must yield 403, not 500), and header
-            # values were latin-1 decoded off the wire.
-            return hmac.compare_digest(
-                presented.encode("latin-1"),
-                self.admin_token.encode("utf-8"),
-            )
-        if not isinstance(peer, (tuple, list)) or not peer:
-            # Unix-domain or unnamed transports have no remote address;
-            # reaching such a socket already implies local access.
-            return True
-        try:
-            addr = ipaddress.ip_address(peer[0].split("%", 1)[0])
-        except ValueError:
-            return False
-        # A dual-stack bind reports IPv4 peers as ::ffff:a.b.c.d;
-        # unwrap so local callers stay authorized.
-        mapped = getattr(addr, "ipv4_mapped", None)
-        return (mapped or addr).is_loopback
+        """Whether a request may touch the control plane."""
+        return authorized_admin(self.admin_token, headers, peer)
 
     async def _route(
-        self, method: str, path: str, headers: dict, body: bytes,
-        peer=None, query: str = ""
+        self,
+        method: str,
+        path: str,
+        headers: dict,
+        body: bytes,
+        peer=None,
+        query: str = "",
     ):
         try:
-            if (path in ("/artifacts", "/artifacts/retire")
-                    and method == "POST"
-                    and not self._authorized_admin(headers, peer)):
+            if (
+                path in ("/artifacts", "/artifacts/retire")
+                and method == "POST"
+                and not self._authorized_admin(headers, peer)
+            ):
                 return 403, {
                     "error": "control-plane calls from non-loopback peers "
-                             "require a valid X-Admin-Token header"
+                    "require a valid X-Admin-Token header"
                 }
             if path == "/disposition" and method == "POST":
                 request = _json_body(body)
                 measurements = request.get("measurements")
                 if measurements is None:
-                    raise ServiceError(
-                        "request must carry a 'measurements' array"
-                    )
+                    raise ServiceError("request must carry a 'measurements' array")
                 return 200, await self.disposition(
                     _required(request, "device"),
                     np.asarray(measurements, dtype=float),
@@ -489,10 +517,16 @@ class FloorService:
                 if wire_format != "json":
                     raise ServiceError(
                         "unknown metrics format {!r}; expected 'json' "
-                        "or 'prometheus'".format(wire_format))
+                        "or 'prometheus'".format(wire_format)
+                    )
                 return 200, self.metrics()
-            if path in ("/disposition", "/artifacts", "/artifacts/retire",
-                        "/health", "/metrics"):
+            if path in (
+                "/disposition",
+                "/artifacts",
+                "/artifacts/retire",
+                "/health",
+                "/metrics",
+            ):
                 return 405, {"error": "method {} not allowed".format(method)}
             return 404, {"error": "unknown path {}".format(path)}
         except ServiceOverloadError as exc:
@@ -507,6 +541,38 @@ class FloorService:
             return 500, {"error": "internal error: {}".format(exc)}
 
 
+def authorized_admin(admin_token: str | None, headers: dict, peer) -> bool:
+    """Whether a request may touch the control plane.
+
+    With a configured token, any peer presenting it (constant-time
+    comparison) is in; without one, only loopback peers are.  Shared
+    by :class:`FloorService` and the cluster router -- the policy must
+    be identical at both tiers or a token would gate one door and not
+    the other.
+    """
+    if admin_token is not None:
+        presented = headers.get("x-admin-token", "")
+        # Compare as bytes: compare_digest refuses non-ASCII str (a
+        # hostile header must yield 403, not 500), and header values
+        # were latin-1 decoded off the wire.
+        return hmac.compare_digest(
+            presented.encode("latin-1"),
+            admin_token.encode("utf-8"),
+        )
+    if not isinstance(peer, (tuple, list)) or not peer:
+        # Unix-domain or unnamed transports have no remote address;
+        # reaching such a socket already implies local access.
+        return True
+    try:
+        addr = ipaddress.ip_address(peer[0].split("%", 1)[0])
+    except ValueError:
+        return False
+    # A dual-stack bind reports IPv4 peers as ::ffff:a.b.c.d; unwrap
+    # so local callers stay authorized.
+    mapped = getattr(addr, "ipv4_mapped", None)
+    return (mapped or addr).is_loopback
+
+
 _STATUS_TEXT = {
     200: "OK",
     201: "Created",
@@ -517,6 +583,8 @@ _STATUS_TEXT = {
     413: "Payload Too Large",
     429: "Too Many Requests",
     500: "Internal Server Error",
+    502: "Bad Gateway",
+    503: "Service Unavailable",
 }
 
 
@@ -530,9 +598,7 @@ async def _read_request(reader: asyncio.StreamReader):
         return None
     parts = request_line.decode("latin-1").split()
     if len(parts) < 2:
-        raise ServiceError(
-            "malformed request line {!r}".format(request_line[:80])
-        )
+        raise ServiceError("malformed request line {!r}".format(request_line[:80]))
     method, path = parts[0].upper(), parts[1]
     headers: dict[str, str] = {}
     n_header_lines = 0
@@ -543,9 +609,7 @@ async def _read_request(reader: asyncio.StreamReader):
         n_header_lines += 1
         if n_header_lines > MAX_HEADER_LINES:
             raise ServiceError(
-                "request carries more than {} header lines".format(
-                    MAX_HEADER_LINES
-                )
+                "request carries more than {} header lines".format(MAX_HEADER_LINES)
             )
         name, _, value = line.decode("latin-1").partition(":")
         headers[name.strip().lower()] = value.strip()
@@ -603,7 +667,9 @@ async def _write_response(
     ]
     for name, value in extra_headers:
         head.append("{}: {}".format(name, value))
-    if status == 429:
+    # 429 = queue backpressure, 503 = cluster shard respawning; both
+    # mean "same request, same place, shortly".
+    if status in (429, 503):
         head.append("Retry-After: 1")
     writer.write("\r\n".join(head).encode("latin-1") + b"\r\n\r\n" + body)
     await writer.drain()

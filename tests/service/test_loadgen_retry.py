@@ -1,0 +1,204 @@
+"""Loadgen worker-failure path: retry, don't fail the plan.
+
+A connection refused or a 503 mid-plan means a cluster shard is
+respawning; the generator must back off and replay the request against
+the respawned worker instead of failing the whole plan.  The fast
+tests prove the retry loop against stub servers that fail in
+controlled ways; the live test kills a real cluster worker mid-load
+and requires the run to finish bit-identical anyway.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service import TrafficPlan, offline_reference, run_load, shard_for
+from repro.service.loadgen import MAX_RETRIES
+from repro.service.server import _json_body, _read_request, _write_response
+
+from tests.synthetic import SyntheticDut
+
+
+def _plan(n_devices=40):
+    return TrafficPlan(
+        "synthA", SyntheticDut(n_specs=6, seed=99), n_devices, seed=7
+    )
+
+
+def run_with_stub(scenario, handler, timeout=60):
+    """asyncio.run a loadgen scenario against a stub HTTP handler."""
+
+    async def main():
+        server = await asyncio.start_server(handler, "127.0.0.1", 0)
+        port = server.sockets[0].getsockname()[1]
+        try:
+            return await scenario(port)
+        finally:
+            server.close()
+            await server.wait_closed()
+
+    return asyncio.run(asyncio.wait_for(main(), timeout))
+
+
+def _stub_handler(*, fail_503=0, drop=0, state=None):
+    """A /disposition stub: N 503 replies, M dropped connections, then
+    all-pass decisions."""
+    state = state if state is not None else {"n_503": 0, "n_drop": 0}
+
+    async def handle(reader, writer):
+        try:
+            while True:
+                request = await _read_request(reader)
+                if request is None:
+                    return
+                _, _, _, _, body = request
+                payload = _json_body(body)
+                if state["n_503"] < fail_503:
+                    state["n_503"] += 1
+                    await _write_response(
+                        writer, 503, {"error": "shard respawning"}, True
+                    )
+                    continue
+                if state["n_drop"] < drop:
+                    state["n_drop"] += 1
+                    writer.close()
+                    return
+                decisions = [1] * len(payload["measurements"])
+                await _write_response(
+                    writer, 200, {"decisions": decisions}, True
+                )
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+
+    return handle, state
+
+
+class TestRetryPaths:
+    def test_503_is_retried_with_backoff(self):
+        handler, state = _stub_handler(fail_503=3)
+
+        async def scenario(port):
+            return await run_load(
+                "127.0.0.1", port, [_plan()], n_clients=2, seed=3
+            )
+
+        report = run_with_stub(scenario, handler)
+        # Every 503 became a backoff retry, and the plan completed.
+        assert state["n_503"] == 3
+        assert report.n_retried == 3
+        assert report.plans[0].n_devices == 40
+
+    def test_dropped_connection_is_retried(self):
+        # The server accepts the request then closes without replying
+        # -- the shape of a worker SIGKILLed mid-round-trip.  The
+        # client's own reconnect treats the *first* drop per request
+        # as a stale keep-alive; the stub drops twice in a row so the
+        # failure reaches run_load's retry loop.
+        handler, state = _stub_handler(drop=2)
+
+        async def scenario(port):
+            return await run_load(
+                "127.0.0.1", port, [_plan()], n_clients=1, seed=3
+            )
+
+        report = run_with_stub(scenario, handler)
+        assert state["n_drop"] == 2
+        assert report.n_retried >= 1
+        assert report.plans[0].n_devices == 40
+
+    def test_permanent_failure_still_raises(self):
+        # Retries are for transient windows; a server that always
+        # refuses must surface a ServiceError, not loop forever.
+        async def handle(reader, writer):
+            try:
+                while True:
+                    request = await _read_request(reader)
+                    if request is None:
+                        return
+                    await _write_response(
+                        writer, 404, {"error": "unknown artifact"}, True
+                    )
+            except (ConnectionError, asyncio.IncompleteReadError):
+                pass
+
+        async def scenario(port):
+            return await run_load(
+                "127.0.0.1", port, [_plan(4)], n_clients=1, seed=3
+            )
+
+        with pytest.raises(ServiceError, match="404"):
+            run_with_stub(scenario, handle)
+
+    def test_retry_budget_is_bounded(self):
+        # MAX_RETRIES of pure 503 must end in a clean error carrying
+        # the 503, not an infinite retry loop.
+        handler, _ = _stub_handler(fail_503=10**9)
+
+        async def scenario(port):
+            return await run_load(
+                "127.0.0.1", port, [_plan(1)], n_clients=1, max_chunk=1, seed=3
+            )
+
+        # Shrink the budget so the test is fast.
+        import repro.service.loadgen as loadgen_module
+
+        original = loadgen_module.MAX_RETRIES
+        loadgen_module.MAX_RETRIES = 5
+        try:
+            with pytest.raises(ServiceError, match="503"):
+                run_with_stub(scenario, handler)
+        finally:
+            loadgen_module.MAX_RETRIES = original
+        assert MAX_RETRIES == original
+
+
+@pytest.mark.slow
+class TestKilledWorkerLive:
+    def test_worker_kill_mid_load_retries_and_stays_equivalent(
+        self, saved, lookup_pair
+    ):
+        from repro.service import ClusterService
+
+        lookup_dut, lookup_artifact = lookup_pair
+        plan = TrafficPlan(
+            "synthA",
+            lookup_dut,
+            800,
+            seed=13,
+            reference=offline_reference(lookup_artifact),
+        )
+        victim = shard_for("synthA", 2)
+
+        async def main():
+            cluster = ClusterService(
+                registrations=[("synthA", "1", saved["lookup"])],
+                n_workers=2,
+                health_interval=0.2,
+            )
+            await cluster.start("127.0.0.1", 0)
+            try:
+                load = asyncio.ensure_future(
+                    run_load(
+                        "127.0.0.1",
+                        cluster.port,
+                        [plan],
+                        n_clients=2,
+                        max_chunk=8,
+                        seed=5,
+                    )
+                )
+                # Let the load get going, then kill the shard serving
+                # it -- mid-plan, with requests in flight.
+                await asyncio.sleep(0.1)
+                cluster.kill_worker(victim)
+                return await load
+            finally:
+                await cluster.stop()
+
+        report = asyncio.run(asyncio.wait_for(main(), 180))
+        # The plan finished despite the crash, the respawn window cost
+        # retries, and every decision still matches the offline floor.
+        assert report.n_retried > 0
+        assert report.equivalent
+        assert report.plans[0].n_devices == 800

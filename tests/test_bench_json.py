@@ -1,0 +1,112 @@
+"""Unit tests for the BENCH_*.json schema checker.
+
+The checker (``benchmarks/check_bench_json.py``) is CI's
+``bench-json-check`` gate: it must accept every committed BENCH record
+and reject the failure shapes that silently poison the perf
+trajectory (missing identity keys, NaN/Infinity anywhere in the
+record, non-JSON files).
+"""
+
+import glob
+import json
+import math
+import os
+
+from benchmarks.check_bench_json import check_file, main, validate_record
+
+BENCH_DIR = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "benchmarks")
+
+
+def _valid_record():
+    return {
+        "experiment": "bench_example",
+        "unix_time": 1.7e9,
+        "cpus": 4,
+        "configs": {"fast": {"p50_ms": 1.25, "values": [0.0, 2, -3.5]}},
+    }
+
+
+class TestValidateRecord:
+    def test_valid_record_passes(self):
+        assert validate_record(_valid_record()) == []
+
+    def test_missing_required_keys_fail(self):
+        for key in ("experiment", "unix_time", "cpus"):
+            record = _valid_record()
+            del record[key]
+            problems = validate_record(record)
+            assert any(key in p for p in problems), (key, problems)
+
+    def test_non_object_top_level_fails(self):
+        assert validate_record([1, 2, 3])
+        assert validate_record("text")
+
+    def test_empty_experiment_fails(self):
+        record = _valid_record()
+        record["experiment"] = "  "
+        assert any("experiment" in p for p in validate_record(record))
+
+    def test_bad_cpus_fails(self):
+        for cpus in (0, -1, 2.5, "4", True):
+            record = _valid_record()
+            record["cpus"] = cpus
+            assert any("cpus" in p for p in validate_record(record)), cpus
+
+    def test_nan_and_inf_fail_anywhere(self):
+        for bad in (math.nan, math.inf, -math.inf):
+            record = _valid_record()
+            record["configs"]["fast"]["values"][1] = bad
+            problems = validate_record(record)
+            assert any("non-finite" in p for p in problems), bad
+            # The violation names where the number lives.
+            assert any("values[1]" in p for p in problems), problems
+
+    def test_booleans_are_not_numbers(self):
+        record = _valid_record()
+        record["configs"]["fast"]["equivalent"] = True
+        assert validate_record(record) == []
+
+
+class TestCheckFile:
+    def test_valid_file_passes(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        path.write_text(json.dumps(_valid_record()))
+        assert check_file(str(path)) == []
+
+    def test_nan_literal_rejected_at_the_parser(self, tmp_path):
+        # json.dump writes NaN as the literal `NaN`, which strict JSON
+        # parsers reject -- so must the checker, even before the
+        # finite-number walk.
+        path = tmp_path / "BENCH_x.json"
+        path.write_text('{"experiment": "e", "unix_time": NaN, "cpus": 1}')
+        problems = check_file(str(path))
+        assert problems and "NaN" in problems[0]
+
+    def test_unparseable_file_fails(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        path.write_text("not json {")
+        assert check_file(str(path))
+
+    def test_missing_file_fails(self, tmp_path):
+        assert check_file(str(tmp_path / "nope.json"))
+
+
+class TestCommittedRecords:
+    def test_every_committed_bench_file_passes(self):
+        paths = sorted(glob.glob(os.path.join(BENCH_DIR, "BENCH_*.json")))
+        assert paths, "no committed BENCH_*.json files found"
+        for path in paths:
+            assert check_file(path) == [], path
+
+    def test_cli_entrypoint_green_on_committed_files(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert "ok" in out
+
+    def test_cli_entrypoint_red_on_bad_file(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_bad.json"
+        path.write_text(json.dumps({"experiment": "e"}))
+        assert main([str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "unix_time" in out

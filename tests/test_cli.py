@@ -147,6 +147,29 @@ class TestServeLoadgenParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["serve"])
 
+    def test_serve_worker_defaults_and_overrides(self):
+        args = build_parser().parse_args(
+            ["serve", "--artifact", "opamp=o.rtp"])
+        assert args.workers == 1
+        assert args.health_interval == 0.5
+        args = build_parser().parse_args(
+            ["serve", "--artifact", "opamp=o.rtp",
+             "--workers", "4", "--health-interval", "0.2"])
+        assert args.workers == 4
+        assert args.health_interval == 0.2
+
+    def test_serve_rejects_zero_workers(self, capsys):
+        assert main(["serve", "--artifact", "opamp=o.rtp",
+                     "--workers", "0"]) == 2
+        assert "--workers" in capsys.readouterr().err
+
+    def test_serve_cluster_missing_artifact_file(self, capsys):
+        # The cluster path must refuse a missing artifact before
+        # spawning workers that would each discover it independently.
+        assert main(["serve", "--artifact", "opamp=/no/such.rtp",
+                     "--workers", "2"]) == 2
+        assert "/no/such.rtp" in capsys.readouterr().err
+
     def test_serve_rejects_malformed_spec(self):
         for bad in ("plain-path.rtp", "a=b=c=d", "=x.rtp"):
             with pytest.raises(SystemExit):
