@@ -492,12 +492,35 @@ def cmd_dataset_info(args):
 
 
 def cmd_dataset_verify(args):
-    """Re-hash every shard against the manifest; fail on any mismatch."""
-    from repro.data import ShardedSpecDataset
+    """Re-hash every shard against the manifest; fail on any mismatch.
+
+    With ``--repair``, corrupted shards are regenerated from the
+    per-instance seed tree (any shard in isolation) and re-verified
+    hash-identical to the manifest before the command reports ok.
+    """
+    from repro.data import ShardedSpecDataset, repair_shards
     from repro.errors import ReproError
 
     try:
         store = ShardedSpecDataset(args.root)
+    except ReproError as exc:
+        return _fail(exc)
+    if getattr(args, "repair", False):
+        aliases = {"mems-accelerometer": "mems"}
+        device = args.device or aliases.get(store.device, store.device)
+        if device not in ("opamp", "mems"):
+            return _fail("store names unknown device {!r}; pass "
+                         "--device".format(store.device))
+        try:
+            repaired = repair_shards(args.root, _bench(device),
+                                     n_jobs=args.sim_jobs)
+        except ReproError as exc:
+            return _fail(exc)
+        if repaired:
+            print("repaired shard(s) {} from the seed tree".format(
+                ", ".join(str(i) for i in repaired)), file=sys.stderr)
+        store = ShardedSpecDataset(args.root)
+    try:
         checked = store.verify()
     except ReproError as exc:
         return _fail(exc)
@@ -532,24 +555,31 @@ def _serve_cluster(args):
 
     # Fail on a missing artifact file before spawning N processes that
     # would each discover it independently.
-    for name, version, path in args.artifact:
+    artifacts = args.artifact or []
+    for name, version, path in artifacts:
         if not os.path.isfile(path):
             return _fail("artifact file does not exist: {}".format(path))
-    cluster = ClusterService(
-        registrations=args.artifact,
-        n_workers=args.workers,
-        retest_policy=args.policy,
-        max_batch_size=args.max_batch,
-        max_latency=args.max_latency_ms / 1000.0,
-        max_pending=args.max_pending,
-        max_resident=args.max_resident,
-        admin_token=args.admin_token,
-        health_interval=args.health_interval)
+    try:
+        cluster = ClusterService(
+            registrations=artifacts,
+            n_workers=args.workers,
+            retest_policy=args.policy,
+            max_batch_size=args.max_batch,
+            max_latency=args.max_latency_ms / 1000.0,
+            max_pending=args.max_pending,
+            max_resident=args.max_resident,
+            admin_token=args.admin_token,
+            health_interval=args.health_interval,
+            state_dir=args.state_dir)
+    except ReproError as exc:
+        # e.g. a corrupt journal in --state-dir: refuse to serve from
+        # a manifest reconstructed past corruption.
+        return _fail(exc)
 
     async def _serve():
         await cluster.start(args.host, args.port)
         print("serving {} artifact(s) on http://{}:{} across {} "
-              "worker(s)".format(len(args.artifact), args.host,
+              "worker(s)".format(len(cluster._manifest), args.host,
                                  cluster.port, args.workers),
               file=sys.stderr, flush=True)
         try:
@@ -583,22 +613,37 @@ def cmd_serve(args):
 
     if args.workers < 1:
         return _fail("--workers must be at least 1")
+    if not args.artifact and args.state_dir is None:
+        return _fail("pass at least one --artifact, or --state-dir to "
+                     "serve journaled registrations")
     if args.workers > 1:
         return _serve_cluster(args)
     registry = ArtifactRegistry(max_resident=args.max_resident)
-    for name, version, path in args.artifact:
+    try:
+        service = FloorService(
+            registry, retest_policy=args.policy,
+            max_batch_size=args.max_batch,
+            max_latency=args.max_latency_ms / 1000.0,
+            max_pending=args.max_pending,
+            admin_token=args.admin_token,
+            state_dir=args.state_dir)
+    except ReproError as exc:
+        # e.g. a corrupt journal in --state-dir.
+        return _fail(exc)
+    for name, version, path in args.artifact or []:
+        if (name, version) in registry:
+            # The journal already saw this key (and every later
+            # hot-swap of it); the restart command line must not
+            # reorder that history.
+            print("skipping {}@{} (replayed from --state-dir)".format(
+                name, version), file=sys.stderr)
+            continue
         try:
-            registry.register(name, version, path)
+            service.register_artifact(name, version, path)
         except (ReproError, OSError) as exc:
             return _fail(exc)
         print("registered {}@{} from {}".format(name, version, path),
               file=sys.stderr)
-    service = FloorService(
-        registry, retest_policy=args.policy,
-        max_batch_size=args.max_batch,
-        max_latency=args.max_latency_ms / 1000.0,
-        max_pending=args.max_pending,
-        admin_token=args.admin_token)
 
     async def _serve():
         await service.start(args.host, args.port)
@@ -817,10 +862,18 @@ def build_parser():
     # `serve` hosts existing artifacts; `loadgen` drives a running
     # service -- neither trains, so neither takes train/test options.
     serve = sub.add_parser("serve", help=cmd_serve.__doc__)
-    serve.add_argument("--artifact", action="append", required=True,
+    serve.add_argument("--artifact", action="append", default=None,
                        type=_artifact_spec, metavar="NAME[=VERSION]=PATH",
                        help="artifact to register (repeatable); e.g. "
-                            "opamp=opamp.rtp or opamp=2=opamp-v2.rtp")
+                            "opamp=opamp.rtp or opamp=2=opamp-v2.rtp; "
+                            "optional when --state-dir replays a journal")
+    serve.add_argument("--state-dir", default=None,
+                       help="directory for the control-plane write-ahead "
+                            "journal: register/hot-swap/retire are "
+                            "fsync'd before they are acknowledged and "
+                            "replayed on restart, so a killed service "
+                            "restarts with the exact pre-crash "
+                            "registration state")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8731)
     serve.add_argument("--policy", default="full_retest",
@@ -930,6 +983,17 @@ def build_parser():
 
     verify = dsub.add_parser("verify", help=cmd_dataset_verify.__doc__)
     verify.add_argument("root", help="store directory")
+    verify.add_argument("--repair", action="store_true",
+                        help="regenerate corrupted shards from the "
+                             "per-instance seed tree and re-verify them "
+                             "hash-identical to the manifest")
+    verify.add_argument("--device", choices=("opamp", "mems"),
+                        default=None,
+                        help="override the manifest's device label "
+                             "(--repair only)")
+    verify.add_argument("--sim-jobs", type=int, default=1,
+                        help="worker processes for --repair "
+                             "(-1 = all CPUs)")
     verify.set_defaults(func=cmd_dataset_verify)
 
     report = sub.add_parser("telemetry-report",

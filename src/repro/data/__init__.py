@@ -24,6 +24,7 @@ from repro.data.generate import (
     ensure_dataset,
     extend_shards,
     generate_shards,
+    repair_shards,
 )
 from repro.data.manifest import Manifest
 from repro.data.shard import array_sha256
@@ -41,4 +42,5 @@ __all__ = [
     "fit_guard_banded",
     "fit_ovr_bank",
     "generate_shards",
+    "repair_shards",
 ]

@@ -224,6 +224,73 @@ def extend_shards(root, dut, n_rows, seed=None, n_jobs=None,
     return ShardedSpecDataset(root)
 
 
+def repair_shards(root, dut, n_jobs=None, engine=None):
+    """Regenerate corrupted shards from the per-instance seed tree.
+
+    Re-hashes every shard against the manifest; each shard that fails
+    -- bad content hash, truncated file, unreadable container, missing
+    file -- is re-simulated from the seed tree (exactly its slot range
+    ``[start, stop)`` via ``first_slot``), rewritten atomically, and
+    re-verified against the *original* manifest hash.  Because every
+    slot is a pure function of ``(dut, seed, slot index)``, a repaired
+    shard is bit-identical to the one first generated; a repair that
+    does not hash back to the manifest means the DUT, seed or engine
+    does not match the store, and raises
+    :class:`~repro.errors.DatasetError` rather than bless wrong bytes.
+
+    Returns the list of repaired shard indices (empty = store clean).
+    """
+    root = os.fspath(root)
+    store = ShardedSpecDataset(root)
+    manifest = store.manifest
+    if manifest.specifications != dut.specifications:
+        raise DatasetError(
+            "store {} was generated for a different specification set "
+            "than this DUT".format(root))
+    engine = manifest.engine if engine is None else engine
+    budget = default_max_failures(max(manifest.n_rows, 1))
+    repaired = []
+    tel = get_telemetry()
+    with tel.span("data.repair", device=manifest.device,
+                  shards=len(manifest.shards)):
+        for index, entry in enumerate(manifest.shards):
+            store._maps.pop(index, None)  # never verify a cached map
+            try:
+                digest = shard_io.array_sha256(store.shard_values(index))
+                healthy = digest == entry["sha256"]
+            except (DatasetError, OSError, ValueError, KeyError):
+                # Unreadable counts as corrupt: truncated zip, torn
+                # write, clobbered npy header, missing file.
+                healthy = False
+            store._maps.pop(index, None)
+            if healthy:
+                continue
+            start, stop = int(entry["start"]), int(entry["stop"])
+            report = GenerationReport(n_requested=stop - start)
+            batches = generate_instance_batches(
+                dut, stop - start, manifest.seed, batch_size=stop - start,
+                n_jobs=n_jobs, engine=engine, max_failures=budget,
+                first_slot=start, report=report)
+            values = np.ascontiguousarray(np.vstack(list(batches)).T)
+            digest = shard_io.write_shard(
+                os.path.join(root, entry["file"]), values)
+            if digest != entry["sha256"]:
+                raise DatasetError(
+                    "repaired shard {} ({}) hashes to {} but the manifest "
+                    "records {} -- this DUT/seed/engine does not reproduce "
+                    "the store; refusing to bless wrong bytes".format(
+                        index, entry["file"], digest, entry["sha256"]))
+            repaired.append(index)
+            tel.counter("repro_data_repaired_shards_total", 1)
+    if repaired:
+        manifest.events.append({
+            "op": "repair", "start": 0, "stop": manifest.n_rows,
+            "engine": engine, "shards": list(repaired),
+        })
+        manifest.save(root)
+    return repaired
+
+
 def ensure_dataset(root, dut, n_rows, seed, shard_rows=DEFAULT_SHARD_ROWS,
                    n_jobs=None, engine="scalar", max_failures=None,
                    device=None):

@@ -28,6 +28,14 @@ from repro.errors import DatasetError
 #: The single array member every shard file carries.
 MEMBER = "values"
 
+#: Test-only fault hook (installed by :mod:`repro.chaos.inject`;
+#: ``None`` in production).  Called with the destination path just
+#: before the atomic publish; returning ``"torn"`` leaves a
+#: deliberately truncated file at the destination and raises -- the
+#: on-disk shape of a crash on a filesystem without atomic replace,
+#: which the shard reader must reject rather than load as data.
+SHARD_FAULT_HOOK = None
+
 #: Size of the fixed portion of a zip local file header (APPNOTE 4.3.7).
 _ZIP_LOCAL_HEADER = 30
 
@@ -62,6 +70,15 @@ def write_shard(path, values):
             # np.savez (not savez_compressed): members are ZIP_STORED,
             # the precondition for memory-mapped reads.
             np.savez(handle, **{MEMBER: values})
+        hook = SHARD_FAULT_HOOK
+        if hook is not None and hook(path) == "torn":
+            with open(tmp, "rb") as whole:
+                blob = whole.read()
+            with open(path, "wb") as torn:
+                torn.write(blob[: max(1, len(blob) // 2)])
+            raise OSError(
+                5, "[chaos] torn shard write (crash mid-publish): " + path
+            )
         os.replace(tmp, path)
     except BaseException:
         if os.path.exists(tmp):

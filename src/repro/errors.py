@@ -68,6 +68,31 @@ class UnknownArtifactError(ServiceError):
     """
 
 
+class JournalError(ServiceError):
+    """The control-plane write-ahead journal is unreadable or cannot
+    accept an append (mid-file corruption, sequence gap, disk full).
+
+    A *torn trailing record* -- the shape a crash mid-append leaves
+    behind -- is not an error: replay truncates it with a warning.
+    Anything earlier in the file failing its checksum means the
+    journal was edited or the disk corrupted it, and replay must stop
+    loudly rather than reconstruct a wrong manifest.
+
+    Maps to HTTP 507 on the control-plane endpoints: the op was rolled
+    back everywhere and is *not* durable.
+    """
+
+
+class DeadlineExceededError(ServiceError):
+    """The caller's deadline budget (``X-Repro-Deadline-Ms``) expired
+    before the floor ran the request.
+
+    Maps to HTTP 504: the decision was never computed, so there is
+    nothing a retry of the *same* expired budget could recover --
+    callers should re-issue with a fresh deadline.
+    """
+
+
 class ClusterDegradedError(ServiceError):
     """A cluster shard is down (worker respawning) or the control plane
     cannot reach every worker.

@@ -34,10 +34,16 @@ backpressure.
     plane fanned out to every worker atomically and crashed workers
     respawned from the registry manifest.  Decisions are bit-identical
     at any worker count.
+``repro.service.durability``
+    :class:`StateJournal` -- append-only, checksummed write-ahead
+    journal of control-plane operations (``repro serve --state-dir``):
+    register/hot-swap/retire are fsync'd before they are acknowledged,
+    and both service tiers replay the journal at startup, so a
+    ``kill -9`` of the supervisor forgets nothing it ever acked.
 
 CLI surface: ``repro serve`` (host a registry of artifacts;
-``--workers N`` scales out) and ``repro loadgen`` (drive + verify a
-running service).
+``--workers N`` scales out, ``--state-dir`` makes the control plane
+crash-safe) and ``repro loadgen`` (drive + verify a running service).
 """
 
 from repro.service.batcher import (
@@ -48,10 +54,12 @@ from repro.service.batcher import (
     MicroBatcher,
 )
 from repro.service.cluster import ClusterService, WorkerHandle, shard_for
+from repro.service.durability import JournalWarning, StateJournal
 from repro.service.loadgen import (
     HttpClient,
     LoadReport,
     PlanOutcome,
+    RetryBackoff,
     TrafficPlan,
     offline_reference,
     run_load,
@@ -74,10 +82,13 @@ __all__ = [
     "DEFAULT_MAX_PENDING",
     "FloorService",
     "HttpClient",
+    "JournalWarning",
     "LoadReport",
     "MicroBatcher",
     "PlanOutcome",
     "RegistryEntry",
+    "RetryBackoff",
+    "StateJournal",
     "TrafficPlan",
     "WorkerHandle",
     "file_checksum",

@@ -37,7 +37,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.errors import ServiceError, ServiceOverloadError
+from repro.errors import (
+    DeadlineExceededError,
+    ServiceError,
+    ServiceOverloadError,
+)
 from repro.floor.engine import (
     BatchDisposition,
     TestFloor,
@@ -60,6 +64,7 @@ class BatcherStats:
 
     n_requests: int = 0
     n_rejected: int = 0
+    n_deadline_expired: int = 0
     n_devices: int = 0
     n_batches: int = 0
     n_size_flushes: int = 0
@@ -100,6 +105,8 @@ class _PendingRequest:
     rows: np.ndarray
     future: asyncio.Future
     enqueued: float = field(default_factory=time.perf_counter)
+    #: Absolute ``time.monotonic()`` deadline; ``None`` = no deadline.
+    deadline: float | None = None
 
 
 class MicroBatcher:
@@ -159,7 +166,9 @@ class MicroBatcher:
         """Rows currently queued (the backpressure signal)."""
         return self._pending_rows
 
-    async def submit(self, rows: np.ndarray) -> dict:
+    async def submit(
+        self, rows: np.ndarray, deadline: float | None = None
+    ) -> dict:
         """Queue one request; resolves with its per-request result.
 
         ``rows`` is one device row or a 2-D chunk.  The coroutine
@@ -167,9 +176,20 @@ class MicroBatcher:
         dispositioned; the result dict carries the request's own
         ``decisions`` plus its counts and the rows-per-batch it was
         coalesced into.
+
+        ``deadline`` is an absolute ``time.monotonic()`` instant: a
+        request whose deadline has already passed -- or passes while
+        it waits in the queue -- resolves with
+        :class:`~repro.errors.DeadlineExceededError` instead of
+        spending floor time on an answer nobody is waiting for.
         """
         if self._closed:
             raise ServiceError("batcher is closed")
+        if deadline is not None and time.monotonic() >= deadline:
+            self.stats.n_deadline_expired += 1
+            raise DeadlineExceededError(
+                "deadline budget expired before the request could be queued"
+            )
         rows = np.asarray(rows, dtype=float)
         if rows.ndim == 1:
             rows = rows[None, :]
@@ -209,7 +229,9 @@ class MicroBatcher:
             )
         self.stats.n_requests += 1
         loop = asyncio.get_running_loop()
-        request = _PendingRequest(rows=rows, future=loop.create_future())
+        request = _PendingRequest(
+            rows=rows, future=loop.create_future(), deadline=deadline
+        )
         self._queue.append(request)
         self._pending_rows += rows.shape[0]
         if self._pending_rows >= self.max_batch_size:
@@ -239,6 +261,31 @@ class MicroBatcher:
             return
         batch_requests, self._queue = self._queue, []
         self._pending_rows = 0
+        # Requests whose deadline expired while queued get a typed
+        # failure and are dropped from the batch -- spending floor
+        # time on them would only delay the still-live requests.
+        now = time.monotonic()
+        live: list[_PendingRequest] = []
+        for request in batch_requests:
+            if request.deadline is not None and now >= request.deadline:
+                self.stats.n_deadline_expired += 1
+                if not request.future.cancelled():
+                    request.future.set_exception(
+                        DeadlineExceededError(
+                            "deadline budget expired while the request "
+                            "was queued (waited {:.1f} ms)".format(
+                                (time.perf_counter() - request.enqueued)
+                                * 1000.0
+                            )
+                        )
+                    )
+            else:
+                live.append(request)
+        batch_requests = live
+        if not batch_requests:
+            if self.on_flush is not None:
+                self.on_flush()
+            return
         parts = [request.rows for request in batch_requests]
         started = time.perf_counter()
         try:

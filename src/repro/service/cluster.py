@@ -49,6 +49,8 @@ from dataclasses import dataclass
 from repro import __version__
 from repro.errors import (
     ClusterDegradedError,
+    DeadlineExceededError,
+    JournalError,
     ReproError,
     ServiceError,
     UnknownArtifactError,
@@ -58,15 +60,19 @@ from repro.service.batcher import (
     DEFAULT_MAX_LATENCY,
     DEFAULT_MAX_PENDING,
 )
+from repro.service.durability import StateJournal
 from repro.service.loadgen import HttpClient, wait_healthy
 from repro.service.registry import DEFAULT_MAX_RESIDENT
 from repro.service.server import (
+    DEADLINE_HEADER,
     _json_body,
     _query_param,
     _read_request,
     _required,
     _write_response,
+    apply_response_fault,
     authorized_admin,
+    parse_deadline,
 )
 from repro.telemetry import Telemetry, get_telemetry, prometheus_text
 from repro.tester.program import RETEST_FULL, check_retest_policy
@@ -80,6 +86,16 @@ DEFAULT_SPAWN_TIMEOUT = 60.0
 PROBE_TIMEOUT = 5.0
 #: Seconds a proxied control-plane call may take (artifact loads).
 CONTROL_TIMEOUT = 60.0
+#: Spawn attempts per worker before the supervisor gives up (covers
+#: transient startup failures: an ephemeral-port bind race, a worker
+#: killed mid-handshake; each retry gets a fresh ephemeral port).
+SPAWN_ATTEMPTS = 3
+
+#: Test-only fault hook (installed by :mod:`repro.chaos.inject`;
+#: ``None`` in production).  Consulted just before the router writes a
+#: ``/disposition`` response -- see
+#: :data:`repro.service.server.RESPONSE_FAULT_HOOK` for semantics.
+RESPONSE_FAULT_HOOK = None
 
 
 def shard_for(device: str, n_workers: int) -> int:
@@ -113,6 +129,21 @@ def _worker_main(index, conn, manifest, host, service_kwargs):
 
     async def main():
         try:
+            # Deterministic startup faults (tests only; the env var is
+            # never set in production).  Imported lazily so the chaos
+            # package stays off the production spawn path.
+            if os.environ.get("REPRO_CHAOS_STARTUP"):
+                from repro.chaos.inject import worker_startup_fault
+
+                mode = worker_startup_fault(index)
+                if mode == "handshake_death":
+                    # Die before the pipe handshake, the shape of a
+                    # worker crashing during interpreter startup.
+                    os._exit(1)
+                if mode == "bind_fail":
+                    raise OSError(
+                        98, "[chaos] address already in use: worker bind"
+                    )
             registry = ArtifactRegistry(max_resident=service_kwargs.pop("max_resident"))
             for entry in manifest:
                 registry.register(entry["device"], entry["version"], entry["path"])
@@ -193,6 +224,16 @@ class ClusterService:
     telemetry:
         Router-side registry (spans, per-worker gauges, request
         histograms); defaults like :class:`FloorService`.
+    state_dir:
+        Directory for the control-plane write-ahead journal (``repro
+        serve --state-dir``).  When set, the manifest is rebuilt from
+        the journal at construction (so a supervisor ``kill -9``
+        forgets nothing that was acked) and every subsequent
+        register/retire is journaled -- fsync before the fan-out
+        commits -- before it is acknowledged.  Constructor
+        ``registrations`` whose ``(device, version)`` the journal
+        already knows are skipped: the journal, which saw every
+        hot-swap, outranks the restart command line.
     """
 
     def __init__(
@@ -208,6 +249,7 @@ class ClusterService:
         health_interval: float = DEFAULT_HEALTH_INTERVAL,
         spawn_timeout: float = DEFAULT_SPAWN_TIMEOUT,
         telemetry: Telemetry | None = None,
+        state_dir: str | None = None,
     ):
         check_retest_policy(retest_policy)
         if n_workers < 1:
@@ -218,14 +260,32 @@ class ClusterService:
         #: worker accepted them.  Order carries hot-swap resolution:
         #: replaying the list reproduces newest-active-wins.
         self._manifest: list[dict] = []
+        #: Control-plane write-ahead journal (``None`` = memory-only).
+        self.journal: StateJournal | None = None
+        if state_dir is not None:
+            self.journal = StateJournal(state_dir)
+            self._manifest = StateJournal.manifest_from_ops(
+                self.journal.replay()
+            )
+        known = {(e["device"], e["version"]) for e in self._manifest}
         for device, version, path in registrations:
+            key = (str(device), str(version))
+            if key in known:
+                # The journal already saw this key (and possibly later
+                # hot-swaps of it); the restart command line must not
+                # reorder history.
+                continue
             self._manifest.append(
                 {
-                    "device": str(device),
-                    "version": str(version),
+                    "device": key[0],
+                    "version": key[1],
                     "path": os.fspath(path),
                     "retired": False,
                 }
+            )
+            known.add(key)
+            self._journal_append(
+                "register", key[0], key[1], path=os.fspath(path)
             )
         self.n_workers = int(n_workers)
         self.admin_token = admin_token or None
@@ -331,6 +391,33 @@ class ClusterService:
 
     # -- worker supervision ------------------------------------------------
     async def _spawn(self, worker: WorkerHandle) -> None:
+        """Start one worker, retrying transient startup failures.
+
+        Each attempt is a fresh process asking for a fresh ephemeral
+        port, so a bind race or a crash during the pipe handshake is
+        survived by simply trying again; a deterministic failure (bad
+        artifact path) still surfaces after :data:`SPAWN_ATTEMPTS`.
+        """
+        last_exc: Exception | None = None
+        for attempt in range(SPAWN_ATTEMPTS):
+            try:
+                await self._spawn_once(worker)
+                return
+            except (ServiceError, OSError) as exc:
+                last_exc = exc
+                if attempt + 1 < SPAWN_ATTEMPTS:
+                    self.telemetry.counter(
+                        "repro_cluster_spawn_retries_total",
+                        1,
+                        worker=worker.label,
+                    )
+        raise ServiceError(
+            "worker {} failed to start after {} attempts: {}".format(
+                worker.index, SPAWN_ATTEMPTS, last_exc
+            )
+        ) from last_exc
+
+    async def _spawn_once(self, worker: WorkerHandle) -> None:
         """Start one worker process and wait until it serves."""
         parent, child = self._ctx.Pipe(duplex=False)
         process = self._ctx.Process(
@@ -365,7 +452,19 @@ class ClusterService:
         deadline = time.monotonic() + self.spawn_timeout
         while time.monotonic() < deadline:
             if parent.poll():
-                return parent.recv()
+                try:
+                    return parent.recv()
+                except EOFError:
+                    # The worker died with the pipe open but nothing
+                    # written: poll() wakes on the close, recv() hits
+                    # EOF.  Type it so the spawn retry loop can treat
+                    # it like any other startup crash.
+                    raise ServiceError(
+                        "worker process closed the handshake pipe "
+                        "during startup (exit code {})".format(
+                            process.exitcode
+                        )
+                    ) from None
             if not process.is_alive():
                 raise ServiceError(
                     "worker process exited with code {} during "
@@ -457,6 +556,26 @@ class ClusterService:
         finally:
             await client.close()
 
+    def _journal_append(
+        self, op: str, device: str, version: str, path: str | None = None
+    ) -> None:
+        """Durably journal one op; OSError becomes a typed 507.
+
+        No-op without a journal.  Called *after* every worker accepted
+        the operation and *before* the manifest commits: a failed
+        append leaves the manifest unchanged, so the caller's rollback
+        restores the workers to exactly the durable state.
+        """
+        if self.journal is None:
+            return
+        try:
+            self.journal.append(op, device, version, path=path)
+        except OSError as exc:
+            raise JournalError(
+                "{} {}@{} is not durable (journal append failed: "
+                "{})".format(op, device, version, exc)
+            ) from exc
+
     def _require_full_strength(self) -> None:
         down = [w.label for w in self._workers if not w.healthy]
         if down:
@@ -525,6 +644,7 @@ class ClusterService:
                     done.append(worker)
                     if not first_reply:
                         first_reply = reply
+                self._journal_append("register", device, version, path=path)
             except Exception as exc:
                 for worker in done:
                     try:
@@ -540,12 +660,18 @@ class ClusterService:
                         # (it died too); force a respawn, which
                         # re-primes it from the committed manifest.
                         worker.healthy = False
-                raise ServiceError(
+                message = (
                     "register {}@{} rolled back ({} of {} workers had "
                     "applied it): {}".format(
                         device, version, len(done), self.n_workers, exc
                     )
-                ) from exc
+                )
+                if isinstance(exc, JournalError):
+                    # Every worker accepted, but the op is not durable:
+                    # surface 507 so the caller knows a crash would
+                    # forget it (the workers were rolled back above).
+                    raise JournalError(message) from exc
+                raise ServiceError(message) from exc
             self._manifest = [
                 e
                 for e in self._manifest
@@ -603,18 +729,22 @@ class ClusterService:
                     done.append(worker)
                     if not first_reply:
                         first_reply = reply
+                self._journal_append("retire", device, version)
             except Exception as exc:
                 for worker in done:
                     try:
                         await self._restore_device(worker, device)
                     except (ReproError, OSError, asyncio.IncompleteReadError):
                         worker.healthy = False
-                raise ServiceError(
+                message = (
                     "retire {}@{} rolled back ({} of {} workers had "
                     "applied it): {}".format(
                         device, version, len(done), self.n_workers, exc
                     )
-                ) from exc
+                )
+                if isinstance(exc, JournalError):
+                    raise JournalError(message) from exc
+                raise ServiceError(message) from exc
             entry["retired"] = True
             return first_reply
 
@@ -690,15 +820,38 @@ class ClusterService:
                 worker=worker.label,
             )
             if not worker.healthy:
-                workers_out[worker.label] = {"healthy": False}
+                workers_out[worker.label] = {"healthy": False, "stale": True}
+                self.telemetry.gauge(
+                    "repro_cluster_worker_stale", 1.0, worker=worker.label
+                )
                 continue
-            status, reply = await self._get_worker(worker, "/metrics")
+            try:
+                status, reply = await self._get_worker(worker, "/metrics")
+            except (OSError, asyncio.TimeoutError, asyncio.IncompleteReadError):
+                # The worker died between the health check above and
+                # the scrape (mid-scrape death): serve a partial
+                # snapshot with this shard marked stale instead of
+                # failing the whole scrape, and let the health loop
+                # respawn it.
+                worker.healthy = False
+                workers_out[worker.label] = {"healthy": False, "stale": True}
+                self.telemetry.gauge(
+                    "repro_cluster_worker_stale", 1.0, worker=worker.label
+                )
+                continue
             if status != 200:
-                workers_out[worker.label] = {"healthy": False}
+                workers_out[worker.label] = {"healthy": False, "stale": True}
+                self.telemetry.gauge(
+                    "repro_cluster_worker_stale", 1.0, worker=worker.label
+                )
                 continue
             reply["healthy"] = True
+            reply["stale"] = False
             reply["respawns"] = worker.respawns
             workers_out[worker.label] = reply
+            self.telemetry.gauge(
+                "repro_cluster_worker_stale", 0.0, worker=worker.label
+            )
             total_devices += reply.get("total_devices", 0)
             total_rejected += reply.get("total_rejected", 0)
             for label, entry in reply.get("artifacts", {}).items():
@@ -769,6 +922,12 @@ class ClusterService:
                     )
                     span.set(status=status)
                 keep_alive = headers.get("connection", "").lower() != "close"
+                hook = RESPONSE_FAULT_HOOK
+                fault = hook("cluster", path) if hook is not None else None
+                if fault is not None:
+                    ended = await apply_response_fault(writer, fault)
+                    if ended:
+                        break
                 await _write_response(
                     writer,
                     status,
@@ -830,6 +989,12 @@ class ClusterService:
                     (),
                 )
             if path == "/disposition" and method == "POST":
+                deadline = parse_deadline(headers)
+                if deadline is not None and time.monotonic() >= deadline:
+                    raise DeadlineExceededError(
+                        "deadline budget expired at the router; re-issue "
+                        "with a fresh X-Repro-Deadline-Ms"
+                    )
                 request = _json_body(body)
                 device = _required(request, "device")
                 worker = self.worker_for(device)
@@ -838,13 +1003,28 @@ class ClusterService:
                         "shard {} for device {!r} is respawning; retry "
                         "shortly".format(worker.label, device)
                     )
+                proxy_headers = {
+                    "X-Request-Id": headers.get("x-request-id", "")
+                }
+                if deadline is not None:
+                    # Forward the *remaining* budget, so the worker and
+                    # its batcher see the clock the caller sees.
+                    remaining_ms = (deadline - time.monotonic()) * 1000.0
+                    if remaining_ms <= 0:
+                        raise DeadlineExceededError(
+                            "deadline budget expired at the router; "
+                            "re-issue with a fresh X-Repro-Deadline-Ms"
+                        )
+                    proxy_headers[DEADLINE_HEADER] = "{:.3f}".format(
+                        remaining_ms
+                    )
                 client = self._backend(backends, worker)
                 try:
                     status, reply = await client.request(
                         "POST",
                         "/disposition",
                         body,
-                        headers={"X-Request-Id": headers.get("x-request-id", "")},
+                        headers=proxy_headers,
                     )
                 except (ConnectionError, asyncio.IncompleteReadError):
                     # The worker died between health probes: surface the
@@ -895,6 +1075,10 @@ class ClusterService:
             ):
                 return 405, {"error": "method {} not allowed".format(method)}, ()
             return 404, {"error": "unknown path {}".format(path)}, ()
+        except DeadlineExceededError as exc:
+            return 504, {"error": str(exc)}, ()
+        except JournalError as exc:
+            return 507, {"error": str(exc)}, ()
         except ClusterDegradedError as exc:
             return 503, {"error": str(exc)}, ()
         except UnknownArtifactError as exc:

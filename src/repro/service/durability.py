@@ -1,0 +1,315 @@
+"""Crash-safe control plane: a checksummed write-ahead journal.
+
+The cluster's registration manifest -- the ordered list of
+register/hot-swap/retire operations that decides which artifact
+versions serve production traffic -- used to live only in supervisor
+memory: a supervisor crash forgot every hot-swap since boot.
+:class:`StateJournal` makes the manifest durable with the standard
+write-ahead discipline:
+
+* **append-only JSONL**: one control-plane operation per line, each
+  line prefixed with the SHA-256 checksum of its JSON payload and a
+  contiguous sequence number, so replay can tell a *torn tail* (the
+  shape a crash mid-append leaves behind) from *corruption* (a line
+  that fails its checksum with valid records after it);
+* **fsync before ack**: :meth:`append` returns only after the record
+  reached the disk, so an acknowledged hot-swap survives ``kill -9``
+  of the supervisor the next instruction;
+* **replay on start**: :class:`~repro.service.cluster.ClusterService`
+  and the single-process :class:`~repro.service.server.FloorService`
+  rebuild their manifest/registry from the journal
+  (:meth:`replay` + :meth:`manifest_from_ops`), reconstructing the
+  exact pre-crash resolution order -- including newest-active-wins
+  across hot-swaps.
+
+Failure semantics are deliberately asymmetric: a torn *trailing*
+record is truncated with a :class:`JournalWarning` (the operation was
+never acknowledged, so dropping it is correct), while a bad checksum
+or sequence gap *before* the tail raises a typed
+:class:`~repro.errors.JournalError` -- replaying past mid-file
+corruption could silently reconstruct a wrong manifest, which is the
+one outcome this module exists to prevent.
+
+Entry point: ``repro serve --state-dir DIR``.
+"""
+
+from __future__ import annotations
+
+import errno
+import hashlib
+import json
+import os
+import warnings
+from typing import IO
+
+from repro.errors import JournalError
+from repro.telemetry import get_telemetry
+
+#: Journal file name inside the state directory.
+JOURNAL_FILE = "control-plane.journal"
+
+#: Hex digits of the per-record SHA-256 checksum prefix.
+_CHECKSUM_HEX = 16
+
+#: Operations the journal accepts (anything else is corruption).
+_OPS = ("register", "retire")
+
+#: Test-only fault hook (installed by :mod:`repro.chaos.inject`).
+#: Called with the record about to be appended; returning
+#: ``"disk_full"`` raises ``OSError(ENOSPC)`` before any byte is
+#: written, returning ``"torn"`` writes a deliberately truncated line
+#: and then raises -- the on-disk shape of a crash mid-append.
+JOURNAL_FAULT_HOOK = None
+
+
+class JournalWarning(UserWarning):
+    """A torn trailing record was truncated during journal replay."""
+
+
+def _checksum(payload: bytes) -> str:
+    return hashlib.sha256(payload).hexdigest()[:_CHECKSUM_HEX]
+
+
+def _encode(record: dict) -> bytes:
+    payload = json.dumps(record, sort_keys=True).encode("utf-8")
+    return _checksum(payload).encode("ascii") + b" " + payload + b"\n"
+
+
+def _decode(line: bytes) -> dict:
+    """One journal line back into its record; raises ``ValueError``
+    on any malformation (the caller decides torn-tail vs corruption)."""
+    prefix, sep, payload = line.rstrip(b"\n").partition(b" ")
+    if not sep or len(prefix) != _CHECKSUM_HEX:
+        raise ValueError("missing checksum prefix")
+    if prefix.decode("ascii", "replace") != _checksum(payload):
+        raise ValueError("checksum mismatch")
+    record = json.loads(payload.decode("utf-8"))
+    if not isinstance(record, dict):
+        raise ValueError("record is not a JSON object")
+    if record.get("op") not in _OPS:
+        raise ValueError("unknown op {!r}".format(record.get("op")))
+    for field in ("seq", "device", "version"):
+        if field not in record:
+            raise ValueError("record is missing {!r}".format(field))
+    if record["op"] == "register" and "path" not in record:
+        raise ValueError("register record is missing 'path'")
+    return record
+
+
+class StateJournal:
+    """Append-only, checksummed JSONL journal of control-plane ops.
+
+    Parameters
+    ----------
+    state_dir:
+        Directory holding the journal (created if missing).  One
+        journal per service instance; the file is
+        ``<state_dir>/control-plane.journal``.
+
+    Construction scans the existing file: a torn trailing record is
+    truncated in place (with a :class:`JournalWarning`), mid-file
+    corruption or a sequence gap raises
+    :class:`~repro.errors.JournalError` and the service refuses to
+    start rather than serve from a wrong manifest.
+    """
+
+    def __init__(self, state_dir: str):
+        self.state_dir = os.fspath(state_dir)
+        os.makedirs(self.state_dir, exist_ok=True)
+        self.path = os.path.join(self.state_dir, JOURNAL_FILE)
+        self._ops: list[dict] = []
+        self._next_seq = 1
+        self._handle: IO[bytes] | None = None
+        self._failed = False
+        self._recover()
+
+    # -- replay ------------------------------------------------------------
+    def _recover(self) -> None:
+        """Validate the on-disk journal; truncate a torn tail."""
+        if not os.path.exists(self.path):
+            return
+        with open(self.path, "rb") as handle:
+            raw = handle.read()
+        offset = 0
+        valid_end = 0
+        lines: list[bytes] = []
+        while offset < len(raw):
+            newline = raw.find(b"\n", offset)
+            if newline < 0:
+                # No terminator: bytes past the last complete line are
+                # a torn append by definition.
+                break
+            lines.append(raw[offset : newline + 1])
+            offset = newline + 1
+        for index, line in enumerate(lines):
+            try:
+                record = _decode(line)
+                if record["seq"] != self._next_seq:
+                    raise ValueError(
+                        "sequence gap: expected {}, found {}".format(
+                            self._next_seq, record["seq"]
+                        )
+                    )
+            except ValueError as exc:
+                if index == len(lines) - 1 and offset >= len(raw):
+                    # Malformed *final* line: a torn append.  Earlier
+                    # malformed lines fall through to JournalError.
+                    break
+                raise JournalError(
+                    "journal {} is corrupt at record {}: {} -- refusing "
+                    "to reconstruct a manifest past corruption".format(
+                        self.path, index + 1, exc
+                    )
+                ) from exc
+            self._ops.append(record)
+            self._next_seq += 1
+            valid_end += len(line)
+        if valid_end < len(raw):
+            warnings.warn(
+                "journal {}: truncating torn trailing record ({} bytes "
+                "past the last valid op; it was never "
+                "acknowledged)".format(self.path, len(raw) - valid_end),
+                JournalWarning,
+                stacklevel=2,
+            )
+            with open(self.path, "r+b") as handle:
+                handle.truncate(valid_end)
+                handle.flush()
+                os.fsync(handle.fileno())
+            get_telemetry().counter("repro_journal_torn_truncated_total", 1)
+        get_telemetry().counter(
+            "repro_journal_replayed_ops_total", len(self._ops)
+        )
+
+    def replay(self) -> list[dict]:
+        """Every validated operation, oldest first (copies)."""
+        return [dict(record) for record in self._ops]
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    # -- append ------------------------------------------------------------
+    def append(
+        self, op: str, device: str, version: str, path: str | None = None
+    ) -> dict:
+        """Durably record one control-plane op; returns the record.
+
+        The record is flushed *and fsynced* before this returns -- the
+        caller may acknowledge the operation to its client knowing a
+        crash cannot forget it.  ``OSError`` (e.g. disk full)
+        propagates with nothing acknowledged; a torn write poisons the
+        journal object (subsequent appends raise
+        :class:`~repro.errors.JournalError`) because only a restart's
+        recovery scan can truncate the partial record.
+        """
+        if self._failed:
+            raise JournalError(
+                "journal {} failed a previous append; restart the "
+                "service to recover (replay truncates the torn "
+                "record)".format(self.path)
+            )
+        if op not in _OPS:
+            raise JournalError("unknown journal op {!r}".format(op))
+        record: dict = {
+            "seq": self._next_seq,
+            "op": op,
+            "device": str(device),
+            "version": str(version),
+        }
+        if op == "register":
+            if path is None:
+                raise JournalError("register ops must carry a path")
+            record["path"] = os.fspath(path)
+        line = _encode(record)
+        hook = JOURNAL_FAULT_HOOK
+        if hook is not None:
+            action = hook(record)
+            if action == "disk_full":
+                raise OSError(
+                    errno.ENOSPC,
+                    "[chaos] no space left on device: journal append",
+                )
+            if action == "torn":
+                handle = self._open()
+                handle.write(line[: max(1, len(line) // 2)])
+                handle.flush()
+                os.fsync(handle.fileno())
+                self._failed = True
+                raise OSError(
+                    errno.EIO, "[chaos] torn journal append (crash mid-write)"
+                )
+        handle = self._open()
+        handle.write(line)
+        handle.flush()
+        os.fsync(handle.fileno())
+        self._ops.append(record)
+        self._next_seq += 1
+        get_telemetry().counter("repro_journal_appends_total", 1, op=op)
+        return dict(record)
+
+    def _open(self) -> IO[bytes]:
+        if self._handle is None:
+            self._handle = open(self.path, "ab")
+            # Make the journal's *existence* durable too: fsync the
+            # directory so a crash right after creation cannot lose
+            # the (empty) file and with it the next append.
+            fd = os.open(self.state_dir, os.O_RDONLY)
+            try:
+                os.fsync(fd)
+            finally:
+                os.close(fd)
+        return self._handle
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    # -- manifest reconstruction -------------------------------------------
+    @staticmethod
+    def manifest_from_ops(ops: list[dict]) -> list[dict]:
+        """Replay ops into a cluster-style registration manifest.
+
+        Reproduces :class:`~repro.service.cluster.ClusterService`'s
+        commit semantics exactly: a register drops any earlier entry
+        for the same ``(device, version)`` and appends (so list order
+        carries newest-active-wins), a retire flags the entry in
+        place.  A retire of a never-registered key means the journal
+        disagrees with the code that wrote it -- typed corruption.
+        """
+        manifest: list[dict] = []
+        for record in ops:
+            device, version = record["device"], record["version"]
+            if record["op"] == "register":
+                manifest = [
+                    e
+                    for e in manifest
+                    if not (e["device"] == device and e["version"] == version)
+                ]
+                manifest.append(
+                    {
+                        "device": device,
+                        "version": version,
+                        "path": record["path"],
+                        "retired": False,
+                    }
+                )
+            else:
+                entry = next(
+                    (
+                        e
+                        for e in manifest
+                        if e["device"] == device and e["version"] == version
+                    ),
+                    None,
+                )
+                if entry is None:
+                    raise JournalError(
+                        "journal retires {}@{} which it never "
+                        "registered".format(device, version)
+                    )
+                entry["retired"] = True
+        return manifest
+
+    def __repr__(self) -> str:
+        return "StateJournal({!r}, {} ops)".format(self.path, len(self._ops))

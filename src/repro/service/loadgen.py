@@ -52,11 +52,70 @@ from repro.tester.program import RETEST_FULL
 DEFAULT_CLIENTS = 4
 #: Default largest devices-per-request chunk.
 DEFAULT_MAX_CHUNK = 16
-#: Seconds to sleep before retrying a rejected/refused request.
+#: Base seconds of the first retry backoff step.
 BACKOFF_SECONDS = 0.02
+#: Backoff multiplier per consecutive retry of one request.
+BACKOFF_FACTOR = 2.0
+#: Ceiling on a single computed backoff sleep (a server-sent
+#: ``Retry-After`` may still floor the sleep above this).
+BACKOFF_CAP = 0.25
 #: Give up on one request after this many retry rounds (429 + 503 +
 #: connection failures combined).
 MAX_RETRIES = 500
+
+
+class RetryBackoff:
+    """Seeded, jittered exponential backoff for one client connection.
+
+    Each retry of a request sleeps ``base * factor**attempt`` capped at
+    ``cap``, scaled by a jitter factor in ``[0.75, 1.25)`` drawn from
+    the client's own seeded generator -- concurrent clients retrying
+    the same respawn window desynchronize instead of stampeding, yet
+    every client's delay sequence is an exact replay of its seed (the
+    same determinism discipline as the traffic itself).  A server-sent
+    ``Retry-After`` (429 backpressure, 503 respawn windows) floors the
+    sleep: the server's explicit schedule outranks the local guess.
+
+    Every produced delay is recorded on :attr:`delays` so a load run
+    can report its realized backoff and tests can assert replayability.
+    """
+
+    def __init__(
+        self,
+        seed_seq=None,
+        base: float = BACKOFF_SECONDS,
+        factor: float = BACKOFF_FACTOR,
+        cap: float = BACKOFF_CAP,
+    ):
+        self._rng = np.random.default_rng(seed_seq)
+        self.base = float(base)
+        self.factor = float(factor)
+        self.cap = float(cap)
+        self.delays: list[float] = []
+
+    def next_delay(self, attempt: int, retry_after: float | None = None) -> float:
+        delay = min(self.cap, self.base * self.factor ** int(attempt))
+        delay *= 0.75 + 0.5 * float(self._rng.random())
+        if retry_after is not None:
+            delay = max(delay, float(retry_after))
+        self.delays.append(delay)
+        return delay
+
+
+def parse_retry_after(headers: dict) -> float | None:
+    """``Retry-After`` seconds from lower-cased response headers.
+
+    ``None`` when absent or malformed -- a bad header must degrade to
+    the local backoff guess, never break the retry loop.
+    """
+    raw = headers.get("retry-after", "").strip()
+    if not raw:
+        return None
+    try:
+        seconds = float(raw)
+    except ValueError:
+        return None
+    return seconds if seconds >= 0 else None
 
 
 @dataclass
@@ -124,6 +183,10 @@ class LoadReport:
     #: ``latencies_s``.  Empty for single-process servers, which send
     #: no worker header.
     worker_latencies: dict = field(default_factory=dict)
+    #: Every backoff sleep (seconds) the run's clients performed,
+    #: concatenated per client in client order -- the realized retry
+    #: schedule (deterministic per client given the run seed).
+    retry_delays: np.ndarray | None = None
 
     @property
     def n_devices(self) -> int:
@@ -411,11 +474,13 @@ async def run_load(
 ) -> LoadReport:
     """Replay mixed traffic against a running service and verify it.
 
-    Transient failures are retried with backoff: 429 backpressure, 503
-    shard-respawn windows, and refused/dropped connections (a cluster
-    worker dying mid-plan is respawned by its supervisor; dispositions
-    are pure per-device functions, so replaying the request against
-    the respawned worker cannot change a decision).  Raises
+    Transient failures are retried with seeded, jittered exponential
+    backoff (:class:`RetryBackoff`; a server-sent ``Retry-After``
+    floors the sleep): 429 backpressure, 503 shard-respawn windows,
+    and refused/dropped connections (a cluster worker dying mid-plan
+    is respawned by its supervisor; dispositions are pure per-device
+    functions, so replaying the request against the respawned worker
+    cannot change a decision).  Raises
     :class:`~repro.errors.ServiceError` when the server rejects a
     request for any other reason, or when one request exhausts
     ``MAX_RETRIES``.
@@ -440,8 +505,16 @@ async def run_load(
     queue: asyncio.Queue = asyncio.Queue()
     for request in requests:
         queue.put_nowait(request)
+    # One independent backoff stream per client, spawned from the run
+    # seed -- the retry schedule replays exactly, like the traffic.
+    n_clients = max(1, int(n_clients))
+    backoffs = [
+        RetryBackoff(child)
+        for child in np.random.SeedSequence(seed).spawn(n_clients)
+    ]
 
-    async def worker() -> None:
+    async def worker(client_index: int) -> None:
+        backoff = backoffs[client_index]
         client = HttpClient(host, port)
         try:
             while True:
@@ -458,7 +531,7 @@ async def run_load(
                 if plan.version is not None:
                     payload["version"] = plan.version
                 status, reply = 0, {}
-                for _ in range(MAX_RETRIES):
+                for attempt in range(MAX_RETRIES):
                     t0 = time.perf_counter()
                     try:
                         status, reply = await client.request(
@@ -483,7 +556,14 @@ async def run_load(
                         tel.observe("repro_loadgen_request_seconds", latency)
                         break
                     n_retried[request["plan"]] += 1
-                    await asyncio.sleep(BACKOFF_SECONDS)
+                    retry_after = (
+                        parse_retry_after(client.last_headers)
+                        if status in (429, 503)
+                        else None
+                    )
+                    await asyncio.sleep(
+                        backoff.next_delay(attempt, retry_after)
+                    )
                 if status != 200:
                     raise ServiceError(
                         "service replied {} to a disposition request: {}".format(
@@ -503,11 +583,9 @@ async def run_load(
             await client.close()
 
     started = time.perf_counter()
-    with tel.span(
-        "loadgen.run", requests=len(requests), clients=max(1, int(n_clients))
-    ):
+    with tel.span("loadgen.run", requests=len(requests), clients=n_clients):
         workers = [
-            asyncio.ensure_future(worker()) for _ in range(max(1, int(n_clients)))
+            asyncio.ensure_future(worker(i)) for i in range(n_clients)
         ]
         try:
             await asyncio.gather(*workers)
@@ -551,12 +629,15 @@ async def run_load(
     return LoadReport(
         plans=outcomes,
         wall_seconds=wall,
-        n_clients=max(1, int(n_clients)),
+        n_clients=n_clients,
         latencies_s=np.asarray(latencies, dtype=float),
         worker_latencies={
             label: np.asarray(values, dtype=float)
             for label, values in worker_latencies.items()
         },
+        retry_delays=np.asarray(
+            [delay for b in backoffs for delay in b.delays], dtype=float
+        ),
     )
 
 

@@ -283,6 +283,12 @@ class ArtifactRegistry:
     def __iter__(self) -> Iterator[RegistryEntry]:
         return iter(list(self._entries.values()))
 
+    def __contains__(self, key) -> bool:
+        """Whether ``(device, version)`` is registered (retired counts)."""
+        device, version = key
+        with self._lock:
+            return (str(device), str(version)) in self._entries
+
     def entry(self, device: str, version: str) -> RegistryEntry:
         """The registration record for an exact key."""
         with self._lock:

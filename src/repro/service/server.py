@@ -65,6 +65,7 @@ import asyncio
 import hmac
 import ipaddress
 import json
+import os
 import time
 from collections import OrderedDict
 
@@ -72,6 +73,8 @@ import numpy as np
 
 from repro import __version__
 from repro.errors import (
+    DeadlineExceededError,
+    JournalError,
     ReproError,
     ServiceError,
     ServiceOverloadError,
@@ -84,6 +87,7 @@ from repro.service.batcher import (
     DEFAULT_MAX_PENDING,
     MicroBatcher,
 )
+from repro.service.durability import StateJournal
 from repro.service.registry import ArtifactRegistry
 from repro.telemetry import Telemetry, get_telemetry, prometheus_text
 from repro.tester.program import RETEST_FULL, check_retest_policy
@@ -93,6 +97,19 @@ MAX_BODY_BYTES = 64 << 20
 #: Most header lines accepted per request (each is also line-limited
 #: by the StreamReader, so total header memory is bounded).
 MAX_HEADER_LINES = 100
+
+#: Request header carrying the caller's remaining deadline budget in
+#: milliseconds.  Honored at every tier (router -> worker -> batcher):
+#: an expired budget answers 504 *before* any floor work runs.
+DEADLINE_HEADER = "x-repro-deadline-ms"
+
+#: Test-only fault hook (installed by :mod:`repro.chaos.inject`;
+#: ``None`` in production).  Consulted just before a ``/disposition``
+#: response is written: ``("delay", s)`` sleeps, ``("drop", _)``
+#: closes the connection unanswered, ``("reset", _)`` aborts the
+#: transport.  Post-decision only -- a retried request replays to a
+#: bit-identical decision because dispositions are pure.
+RESPONSE_FAULT_HOOK = None
 
 
 class FloorService:
@@ -127,6 +144,13 @@ class FloorService:
         the process's active registry when one is configured (``repro
         serve --telemetry``), else a private always-on registry so the
         Prometheus endpoint works out of the box.
+    state_dir:
+        Directory for the control-plane write-ahead journal
+        (``repro serve --state-dir``).  When set, register/retire
+        operations are journaled (fsync before ack) and replayed into
+        the registry at construction, so a crash + restart
+        reconstructs the exact pre-crash registration state.  ``None``
+        (the default) keeps the registry memory-only.
     """
 
     def __init__(
@@ -139,6 +163,7 @@ class FloorService:
         admin_token: str | None = None,
         worker_label: str | None = None,
         telemetry: Telemetry | None = None,
+        state_dir: str | None = None,
     ):
         check_retest_policy(retest_policy)
         self.registry = registry if registry is not None else ArtifactRegistry()
@@ -185,6 +210,31 @@ class FloorService:
         # stays off the request path.
         self._metrics_version = 0
         self._metrics_cache: tuple[int, dict] | None = None
+        #: Control-plane write-ahead journal (``None`` = memory-only).
+        self.journal: StateJournal | None = None
+        if state_dir is not None:
+            self.journal = StateJournal(state_dir)
+            self._replay_journal()
+
+    def _replay_journal(self) -> None:
+        """Rebuild the registry from the journal's validated ops."""
+        assert self.journal is not None
+        for record in self.journal.replay():
+            try:
+                if record["op"] == "register":
+                    self.registry.register(
+                        record["device"], record["version"], record["path"]
+                    )
+                else:
+                    self.registry.retire(record["device"], record["version"])
+            except (ReproError, OSError) as exc:
+                raise ServiceError(
+                    "cannot replay journaled {} of {}@{}: {}".format(
+                        record["op"], record["device"], record["version"], exc
+                    )
+                ) from exc
+        if len(self.journal):
+            self._invalidate_metrics()
 
     # -- lifecycle ---------------------------------------------------------
     async def start(self, host: str = "127.0.0.1", port: int = 0) -> "FloorService":
@@ -261,11 +311,21 @@ class FloorService:
         return batcher
 
     async def disposition(
-        self, device: str, measurements, version: str | None = None
+        self,
+        device: str,
+        measurements,
+        version: str | None = None,
+        deadline: float | None = None,
     ) -> dict:
-        """Disposition rows through the batching queue; JSON-ready reply."""
+        """Disposition rows through the batching queue; JSON-ready reply.
+
+        ``deadline`` is an absolute ``time.monotonic()`` instant; a
+        request whose deadline passes while queued gets
+        :class:`~repro.errors.DeadlineExceededError` instead of floor
+        work (HTTP 504 at the front end).
+        """
         key = self.registry.resolve(device, version)
-        result = await self.batcher(*key).submit(measurements)
+        result = await self.batcher(*key).submit(measurements, deadline=deadline)
         reply = {
             "device": key[0],
             "version": key[1],
@@ -284,6 +344,57 @@ class FloorService:
         return reply
 
     # -- control/observability planes --------------------------------------
+    def register_artifact(self, device: str, version: str, path: str):
+        """Register/hot-swap an artifact; journaled before it is acked.
+
+        The registry applies the registration first (loading and
+        checksumming the file -- a bad artifact never reaches the
+        journal), then the journal records it durably.  If the journal
+        append fails (disk full), the registration is rolled back by
+        retiring the fresh key so memory and durable state cannot
+        disagree, and a typed :class:`~repro.errors.JournalError`
+        surfaces (HTTP 507).
+        """
+        device, version = str(device), str(version)
+        had_entry = (device, version) in self.registry
+        entry = self.registry.register(device, version, path)
+        if self.journal is not None:
+            try:
+                self.journal.append(
+                    "register", device, version, path=os.fspath(path)
+                )
+            except OSError as exc:
+                if not had_entry:
+                    self.registry.retire(device, version)
+                raise JournalError(
+                    "register {}@{} is not durable (journal append "
+                    "failed: {}); rolled back".format(device, version, exc)
+                ) from exc
+        self._invalidate_metrics()
+        return entry
+
+    def retire_artifact(self, device: str, version: str):
+        """Retire a version; journaled before it is acked."""
+        device, version = str(device), str(version)
+        entry = self.registry.retire(device, version)
+        if self.journal is not None:
+            try:
+                self.journal.append("retire", device, version)
+            except OSError as exc:
+                # Un-retire in place: the entry keeps its original
+                # sequence, so hot-swap resolution order is untouched
+                # (a re-register would wrongly make it newest).
+                entry.retired = False
+                raise JournalError(
+                    "retire {}@{} is not durable (journal append "
+                    "failed: {}); rolled back".format(device, version, exc)
+                ) from exc
+        cached = self._batchers.pop(entry.key, None)
+        if cached is not None:
+            cached[1].close()
+        self._invalidate_metrics()
+        return entry
+
     def health(self) -> dict:
         return {
             "status": "ok",
@@ -420,6 +531,12 @@ class FloorService:
                     )
                     span.set(status=status)
                 keep_alive = headers.get("connection", "").lower() != "close"
+                hook = RESPONSE_FAULT_HOOK
+                fault = hook("service", path) if hook is not None else None
+                if fault is not None:
+                    done = await apply_response_fault(writer, fault)
+                    if done:
+                        break
                 extra = [("X-Request-Id", request_id)]
                 if self.worker_label is not None:
                     extra.append(("X-Repro-Worker", self.worker_label))
@@ -477,6 +594,12 @@ class FloorService:
                     "require a valid X-Admin-Token header"
                 }
             if path == "/disposition" and method == "POST":
+                deadline = parse_deadline(headers)
+                if deadline is not None and time.monotonic() >= deadline:
+                    raise DeadlineExceededError(
+                        "deadline budget expired before floor work; "
+                        "re-issue with a fresh X-Repro-Deadline-Ms"
+                    )
                 request = _json_body(body)
                 measurements = request.get("measurements")
                 if measurements is None:
@@ -485,28 +608,24 @@ class FloorService:
                     _required(request, "device"),
                     np.asarray(measurements, dtype=float),
                     request.get("version"),
+                    deadline=deadline,
                 )
             if path == "/artifacts" and method == "GET":
                 return 200, {"artifacts": self.registry.describe()}
             if path == "/artifacts" and method == "POST":
                 request = _json_body(body)
-                entry = self.registry.register(
+                entry = self.register_artifact(
                     _required(request, "device"),
                     _required(request, "version"),
                     _required(request, "path"),
                 )
-                self._invalidate_metrics()
                 return 201, {"registered": entry.describe(resident=True)}
             if path == "/artifacts/retire" and method == "POST":
                 request = _json_body(body)
-                entry = self.registry.retire(
+                entry = self.retire_artifact(
                     _required(request, "device"),
                     _required(request, "version"),
                 )
-                cached = self._batchers.pop(entry.key, None)
-                if cached is not None:
-                    cached[1].close()
-                self._invalidate_metrics()
                 return 200, {"retired": entry.describe(resident=False)}
             if path == "/health" and method == "GET":
                 return 200, self.health()
@@ -529,6 +648,10 @@ class FloorService:
             ):
                 return 405, {"error": "method {} not allowed".format(method)}
             return 404, {"error": "unknown path {}".format(path)}
+        except DeadlineExceededError as exc:
+            return 504, {"error": str(exc)}
+        except JournalError as exc:
+            return 507, {"error": str(exc)}
         except ServiceOverloadError as exc:
             return 429, {"error": str(exc)}
         except UnknownArtifactError as exc:
@@ -573,6 +696,57 @@ def authorized_admin(admin_token: str | None, headers: dict, peer) -> bool:
     return (mapped or addr).is_loopback
 
 
+def parse_deadline(headers: dict) -> float | None:
+    """The request's absolute deadline from ``X-Repro-Deadline-Ms``.
+
+    The header carries the caller's *remaining budget* in milliseconds;
+    it is converted to an absolute ``time.monotonic()`` instant at the
+    tier that reads it, so the budget naturally shrinks as the request
+    descends router -> worker -> batcher.  Absent/empty -> ``None``
+    (no deadline).  A malformed or non-positive value is a client
+    error, not a deadline.
+    """
+    raw = headers.get(DEADLINE_HEADER, "").strip()
+    if not raw:
+        return None
+    try:
+        budget_ms = float(raw)
+    except ValueError:
+        raise ServiceError(
+            "malformed X-Repro-Deadline-Ms header {!r}; expected a "
+            "positive number of milliseconds".format(raw)
+        ) from None
+    if budget_ms <= 0 or not np.isfinite(budget_ms):
+        raise ServiceError(
+            "X-Repro-Deadline-Ms must be a positive finite number of "
+            "milliseconds, got {!r}".format(raw)
+        )
+    return time.monotonic() + budget_ms / 1000.0
+
+
+async def apply_response_fault(writer: asyncio.StreamWriter, fault) -> bool:
+    """Apply an injected response fault; ``True`` ends the connection.
+
+    ``("delay", s)`` sleeps and lets the response proceed; ``("drop",
+    _)`` closes the connection without answering; ``("reset", _)``
+    aborts the transport (RST on TCP).  Shared by the single-process
+    service and the cluster router so both tiers fail identically.
+    """
+    kind, delay_s = fault
+    if kind == "delay":
+        await asyncio.sleep(delay_s)
+        return False
+    if kind == "drop":
+        writer.close()
+        return True
+    if kind == "reset":
+        transport = writer.transport
+        if transport is not None:
+            transport.abort()
+        return True
+    raise ServiceError("unknown response fault kind {!r}".format(kind))
+
+
 _STATUS_TEXT = {
     200: "OK",
     201: "Created",
@@ -585,6 +759,8 @@ _STATUS_TEXT = {
     500: "Internal Server Error",
     502: "Bad Gateway",
     503: "Service Unavailable",
+    504: "Gateway Timeout",
+    507: "Insufficient Storage",
 }
 
 

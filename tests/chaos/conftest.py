@@ -1,0 +1,60 @@
+"""Chaos-suite fixtures: seeded fault schedules over real artifacts.
+
+Every test that takes a ``chaos_seed`` argument runs once per seed in
+the schedule set -- three seeds by default, overridable for CI sweeps
+with ``REPRO_CHAOS_SEED=7,8,9`` (comma- or space-separated).  Each
+seed fully determines a :class:`repro.chaos.FaultPlan`, so a failing
+parametrization names the one integer needed to replay it.
+
+The artifact fixtures mirror ``tests/service/conftest.py`` (same
+builder, package-scoped for the same compaction-cost reason): a
+lookup-table artifact whose decisions are exactly replayable offline,
+plus a second program over the same device universe for hot-swap
+traffic.
+"""
+
+import os
+
+import pytest
+
+from tests.service.conftest import build_artifact
+
+#: Default seeded fault schedules (the CI chaos-smoke set).
+CHAOS_SEEDS = (101, 202, 303)
+
+
+def _chaos_seeds():
+    raw = os.environ.get("REPRO_CHAOS_SEED")
+    if not raw:
+        return list(CHAOS_SEEDS)
+    return [int(token) for token in raw.replace(",", " ").split()]
+
+
+def pytest_generate_tests(metafunc):
+    if "chaos_seed" in metafunc.fixturenames:
+        metafunc.parametrize("chaos_seed", _chaos_seeds())
+
+
+@pytest.fixture(scope="package")
+def lookup_pair():
+    """(dut, artifact) with a lookup table -- exact batch invariance."""
+    return build_artifact(n_specs=6, dut_seed=99, lookup_resolution=17)
+
+
+@pytest.fixture(scope="package")
+def swap_pair():
+    """Same device universe, different program (hot-swap traffic)."""
+    return build_artifact(n_specs=6, dut_seed=99, lookup_resolution=13,
+                          guard_band=0.12)
+
+
+@pytest.fixture
+def saved(tmp_path, lookup_pair, swap_pair):
+    """Artifact files on disk: name -> path (fresh per test)."""
+    paths = {}
+    for name, (_, artifact) in (("lookup", lookup_pair),
+                                ("swap", swap_pair)):
+        path = tmp_path / "{}.rtp".format(name)
+        artifact.save(path)
+        paths[name] = str(path)
+    return paths

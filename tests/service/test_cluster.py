@@ -221,9 +221,167 @@ class TestAtomicFanOut:
             ClusterService(n_workers=0)
 
 
+class TestMetricsStaleFanIn:
+    """/metrics must survive a worker dying mid-scrape.
+
+    Regression: the fan-in used to propagate the connection error of
+    one dead worker and fail the whole scrape.  Now the scrape serves
+    a partial snapshot with the dead shard marked ``stale`` and flips
+    it unhealthy for the health loop to respawn.
+    """
+
+    def _scrape_with_backends(self, live_handler, dead_handler):
+        """metrics() over a 2-worker fake cluster with stub backends."""
+
+        async def main():
+            live = await asyncio.start_server(
+                live_handler, "127.0.0.1", 0)
+            dead = await asyncio.start_server(
+                dead_handler, "127.0.0.1", 0)
+            try:
+                cluster = _fake_cluster(2)
+                cluster._workers[0].port = \
+                    live.sockets[0].getsockname()[1]
+                cluster._workers[1].port = \
+                    dead.sockets[0].getsockname()[1]
+                snapshot = await cluster.metrics()
+                return snapshot, cluster
+            finally:
+                for server in (live, dead):
+                    server.close()
+                    await server.wait_closed()
+
+        return asyncio.run(asyncio.wait_for(main(), 30))
+
+    @staticmethod
+    async def _healthy_metrics(reader, writer):
+        from repro.service.server import _read_request, _write_response
+
+        try:
+            while True:
+                if await _read_request(reader) is None:
+                    return
+                await _write_response(
+                    writer, 200,
+                    {"total_devices": 7, "total_rejected": 1,
+                     "artifacts": {}}, True)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+
+    @staticmethod
+    async def _dies_after_accept(reader, writer):
+        # The shape of a worker SIGKILLed between the health probe and
+        # the scrape: the TCP accept succeeds, then the socket dies
+        # without a byte of response.
+        writer.close()
+
+    def test_mid_scrape_death_serves_partial_snapshot(self):
+        snapshot, cluster = self._scrape_with_backends(
+            self._healthy_metrics, self._dies_after_accept)
+        assert snapshot["workers"]["w0"]["stale"] is False
+        assert snapshot["workers"]["w0"]["healthy"] is True
+        assert snapshot["workers"]["w1"] == {"healthy": False,
+                                             "stale": True}
+        # Aggregates cover only the shards that answered.
+        assert snapshot["total_devices"] == 7
+        assert snapshot["total_rejected"] == 1
+        # The dead shard was flipped unhealthy for the respawn loop.
+        assert cluster._workers[1].healthy is False
+
+    def test_error_status_is_stale_not_fatal(self):
+        from repro.service.server import _read_request, _write_response
+
+        async def broken_metrics(reader, writer):
+            try:
+                while True:
+                    if await _read_request(reader) is None:
+                        return
+                    await _write_response(
+                        writer, 500, {"error": "boom"}, True)
+            except (ConnectionError, asyncio.IncompleteReadError):
+                pass
+
+        snapshot, _ = self._scrape_with_backends(
+            self._healthy_metrics, broken_metrics)
+        assert snapshot["workers"]["w1"]["stale"] is True
+        assert snapshot["total_devices"] == 7
+
+    def test_already_unhealthy_worker_is_reported_stale(self):
+        cluster = _fake_cluster(2)
+        cluster._workers[1].healthy = False
+
+        async def fake_get(worker, path):
+            assert worker.index == 0
+            return 200, {"total_devices": 3, "total_rejected": 0,
+                         "artifacts": {}}
+
+        cluster._get_worker = fake_get
+        snapshot = asyncio.run(cluster.metrics())
+        assert snapshot["workers"]["w1"] == {"healthy": False,
+                                             "stale": True}
+        assert snapshot["workers"]["w0"]["stale"] is False
+
+
 @pytest.mark.slow
-class TestClusterLive:
-    """Against real spawned worker processes."""
+class TestSpawnRetryLive:
+    """Worker startup faults are retried with a fresh spawn.
+
+    REPRO_CHAOS_STARTUP makes the *first* spawn of every worker index
+    fail deterministically (die before the pipe handshake, or report a
+    bind failure through it); the supervisor must retry and the
+    cluster must come up serving.
+    """
+
+    @pytest.mark.parametrize("mode", ["handshake_death", "bind_fail"])
+    def test_first_spawn_fault_is_survived(self, tmp_path, monkeypatch,
+                                           saved, lookup_pair, mode):
+        import os
+
+        marker_dir = tmp_path / "chaos-markers"
+        marker_dir.mkdir()
+        monkeypatch.setenv("REPRO_CHAOS_STARTUP",
+                           "{}:{}".format(marker_dir, mode))
+        dut, artifact = lookup_pair
+        from repro.service import TrafficPlan, offline_reference, run_load
+
+        plan = TrafficPlan("synthA", dut, 60, seed=21,
+                           reference=offline_reference(artifact))
+
+        async def scenario(cluster):
+            return await run_load("127.0.0.1", cluster.port, [plan],
+                                  n_clients=2, max_chunk=8, seed=4)
+
+        report = run_with_cluster(
+            scenario, [("synthA", "1", saved["lookup"])], n_workers=2)
+        # Both workers burned their one startup fault...
+        fired = sorted(os.listdir(marker_dir))
+        assert fired == ["worker-0.fired", "worker-1.fired"]
+        # ...and the retried spawns serve bit-identical decisions.
+        assert report.equivalent
+
+    def test_startup_fault_retries_are_counted(self, tmp_path, monkeypatch,
+                                               saved):
+        from repro.telemetry import Telemetry
+
+        marker_dir = tmp_path / "markers"
+        marker_dir.mkdir()
+        monkeypatch.setenv("REPRO_CHAOS_STARTUP",
+                           "{}:handshake_death".format(marker_dir))
+        telemetry = Telemetry()
+
+        async def scenario(cluster):
+            return cluster.health()
+
+        health = run_with_cluster(
+            scenario, [("synthA", "1", saved["lookup"])], n_workers=2,
+            telemetry=telemetry)
+        assert health["n_healthy"] == 2
+        retries = sum(
+            value
+            for (name, _), value in telemetry._counters.items()
+            if name == "repro_cluster_spawn_retries_total"
+        )
+        assert retries >= 2
 
     def test_round_trip_consensus_and_hot_swap(self, saved, lookup_pair,
                                                live_pair):

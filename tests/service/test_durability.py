@@ -1,0 +1,255 @@
+"""StateJournal semantics: append/replay, torn tails, corruption.
+
+The journal's one job is that a restart reconstructs exactly the acked
+control-plane history -- no more (mid-file corruption must raise, not
+be skipped) and no less (a torn trailing record was never acked, so
+truncating it is correct).  These tests drive the file format directly:
+crafting valid lines with the module's own encoder, tearing them at
+byte granularity, and checking both recovery verdicts.
+"""
+
+import os
+
+import pytest
+
+from repro.errors import JournalError
+from repro.service import JournalWarning, StateJournal
+from repro.service import durability as durability_module
+from repro.service.durability import JOURNAL_FILE, _encode
+
+
+def _journal_path(tmp_path):
+    return os.path.join(str(tmp_path), JOURNAL_FILE)
+
+
+class TestAppendReplay:
+    def test_round_trip_across_restart(self, tmp_path):
+        journal = StateJournal(tmp_path)
+        journal.append("register", "synthA", "1", path="a1.rtp")
+        journal.append("register", "synthA", "2", path="a2.rtp")
+        journal.append("retire", "synthA", "1")
+        journal.close()
+
+        reopened = StateJournal(tmp_path)
+        ops = reopened.replay()
+        assert [(r["op"], r["device"], r["version"]) for r in ops] == [
+            ("register", "synthA", "1"),
+            ("register", "synthA", "2"),
+            ("retire", "synthA", "1"),
+        ]
+        assert [r["seq"] for r in ops] == [1, 2, 3]
+        assert ops[0]["path"] == "a1.rtp"
+        assert len(reopened) == 3
+        reopened.close()
+
+    def test_append_continues_sequence_after_restart(self, tmp_path):
+        journal = StateJournal(tmp_path)
+        journal.append("register", "a", "1", path="a.rtp")
+        journal.close()
+        reopened = StateJournal(tmp_path)
+        record = reopened.append("register", "b", "1", path="b.rtp")
+        assert record["seq"] == 2
+        reopened.close()
+
+    def test_replay_returns_copies(self, tmp_path):
+        journal = StateJournal(tmp_path)
+        journal.append("register", "a", "1", path="a.rtp")
+        journal.replay()[0]["device"] = "mutated"
+        assert journal.replay()[0]["device"] == "a"
+        journal.close()
+
+    def test_register_requires_path(self, tmp_path):
+        journal = StateJournal(tmp_path)
+        with pytest.raises(JournalError, match="path"):
+            journal.append("register", "a", "1")
+        journal.close()
+
+    def test_unknown_op_is_typed(self, tmp_path):
+        journal = StateJournal(tmp_path)
+        with pytest.raises(JournalError, match="unknown journal op"):
+            journal.append("explode", "a", "1")
+        journal.close()
+
+
+class TestTornTail:
+    """A crash mid-append leaves a partial final record: truncate it."""
+
+    def test_unterminated_tail_is_truncated_with_warning(self, tmp_path):
+        journal = StateJournal(tmp_path)
+        journal.append("register", "a", "1", path="a.rtp")
+        journal.append("register", "b", "1", path="b.rtp")
+        journal.close()
+        path = _journal_path(tmp_path)
+        good_size = os.path.getsize(path)
+        with open(path, "ab") as handle:
+            # Half an encoded record, no terminator: the exact shape
+            # a kill -9 mid-write leaves behind.
+            line = _encode({"seq": 3, "op": "retire", "device": "a",
+                            "version": "1"})
+            handle.write(line[: len(line) // 2])
+
+        with pytest.warns(JournalWarning, match="torn trailing record"):
+            reopened = StateJournal(tmp_path)
+        assert len(reopened) == 2
+        # The truncation is durable: the file itself shrank back.
+        assert os.path.getsize(path) == good_size
+        # And the journal is writable again at the right sequence.
+        assert reopened.append("retire", "a", "1")["seq"] == 3
+        reopened.close()
+
+    def test_corrupt_final_complete_line_is_also_a_tail(self, tmp_path):
+        # A final line that fails its checksum (terminator intact) is
+        # still the torn-tail case: nothing valid follows it, so it
+        # cannot have been acked before anything that survived.
+        journal = StateJournal(tmp_path)
+        journal.append("register", "a", "1", path="a.rtp")
+        journal.close()
+        with open(_journal_path(tmp_path), "ab") as handle:
+            handle.write(b"0000000000000000 {\"seq\": 2}\n")
+        with pytest.warns(JournalWarning):
+            reopened = StateJournal(tmp_path)
+        assert len(reopened) == 1
+        reopened.close()
+
+    def test_empty_and_missing_journals_are_clean(self, tmp_path):
+        journal = StateJournal(tmp_path)  # no file yet
+        assert len(journal) == 0
+        journal.close()
+        open(_journal_path(tmp_path), "wb").close()
+        assert len(StateJournal(tmp_path)) == 0
+
+
+class TestMidFileCorruption:
+    """Corruption *before* the tail must refuse to reconstruct."""
+
+    def _write_lines(self, tmp_path, lines):
+        with open(_journal_path(tmp_path), "wb") as handle:
+            for line in lines:
+                handle.write(line)
+
+    def test_flipped_byte_mid_file_raises(self, tmp_path):
+        journal = StateJournal(tmp_path)
+        journal.append("register", "a", "1", path="a.rtp")
+        journal.append("register", "b", "1", path="b.rtp")
+        journal.close()
+        path = _journal_path(tmp_path)
+        with open(path, "r+b") as handle:
+            handle.seek(20)  # inside record 1's payload
+            byte = handle.read(1)
+            handle.seek(20)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+        with pytest.raises(JournalError, match="corrupt at record 1"):
+            StateJournal(tmp_path)
+
+    def test_sequence_gap_raises(self, tmp_path):
+        self._write_lines(tmp_path, [
+            _encode({"seq": 1, "op": "register", "device": "a",
+                     "version": "1", "path": "a.rtp"}),
+            _encode({"seq": 3, "op": "retire", "device": "a",
+                     "version": "1"}),
+            _encode({"seq": 4, "op": "register", "device": "b",
+                     "version": "1", "path": "b.rtp"}),
+        ])
+        with pytest.raises(JournalError, match="sequence gap"):
+            StateJournal(tmp_path)
+
+    def test_unknown_op_on_disk_raises(self, tmp_path):
+        self._write_lines(tmp_path, [
+            _encode({"seq": 1, "op": "format", "device": "a",
+                     "version": "1"}),
+            _encode({"seq": 2, "op": "retire", "device": "a",
+                     "version": "1"}),
+        ])
+        with pytest.raises(JournalError, match="unknown op"):
+            StateJournal(tmp_path)
+
+
+class TestFaultHook:
+    """The chaos hook's two journal faults, at the unit level."""
+
+    def _with_hook(self, hook):
+        durability_module.JOURNAL_FAULT_HOOK = hook
+
+    def teardown_method(self):
+        durability_module.JOURNAL_FAULT_HOOK = None
+
+    def test_disk_full_writes_nothing(self, tmp_path):
+        journal = StateJournal(tmp_path)
+        journal.append("register", "a", "1", path="a.rtp")
+        size_before = os.path.getsize(_journal_path(tmp_path))
+        self._with_hook(lambda record: "disk_full")
+        with pytest.raises(OSError, match="no space left"):
+            journal.append("register", "b", "1", path="b.rtp")
+        self._with_hook(None)
+        # Nothing was acked, nothing landed; the journal is not
+        # poisoned and the next append takes the same sequence slot.
+        assert os.path.getsize(_journal_path(tmp_path)) == size_before
+        assert journal.append("register", "b", "1", path="b.rtp")["seq"] == 2
+        journal.close()
+
+    def test_torn_append_poisons_until_restart(self, tmp_path):
+        journal = StateJournal(tmp_path)
+        journal.append("register", "a", "1", path="a.rtp")
+        self._with_hook(lambda record: "torn")
+        with pytest.raises(OSError, match="torn journal append"):
+            journal.append("register", "b", "1", path="b.rtp")
+        self._with_hook(None)
+        # The file now ends in a partial record only a recovery scan
+        # may remove; further appends must refuse rather than write
+        # after garbage.
+        with pytest.raises(JournalError, match="restart"):
+            journal.append("register", "c", "1", path="c.rtp")
+        journal.close()
+
+        with pytest.warns(JournalWarning):
+            recovered = StateJournal(tmp_path)
+        assert [r["device"] for r in recovered.replay()] == ["a"]
+        assert recovered.append(
+            "register", "c", "1", path="c.rtp")["seq"] == 2
+        recovered.close()
+
+
+class TestManifestFromOps:
+    def test_hot_swap_order_is_preserved(self):
+        manifest = StateJournal.manifest_from_ops([
+            {"op": "register", "device": "a", "version": "1",
+             "path": "a1.rtp"},
+            {"op": "register", "device": "a", "version": "2",
+             "path": "a2.rtp"},
+            {"op": "register", "device": "b", "version": "1",
+             "path": "b1.rtp"},
+        ])
+        assert [(e["device"], e["version"]) for e in manifest] == [
+            ("a", "1"), ("a", "2"), ("b", "1")]
+        assert all(e["retired"] is False for e in manifest)
+
+    def test_re_register_moves_to_newest(self):
+        # Registering a1 again after a2 makes a1 newest-active --
+        # exactly the cluster's commit semantics, which replay must
+        # reproduce or a restart would silently un-swap an artifact.
+        manifest = StateJournal.manifest_from_ops([
+            {"op": "register", "device": "a", "version": "1",
+             "path": "a1.rtp"},
+            {"op": "register", "device": "a", "version": "2",
+             "path": "a2.rtp"},
+            {"op": "register", "device": "a", "version": "1",
+             "path": "a1.rtp"},
+        ])
+        assert [e["version"] for e in manifest] == ["2", "1"]
+
+    def test_retire_flags_in_place(self):
+        manifest = StateJournal.manifest_from_ops([
+            {"op": "register", "device": "a", "version": "1",
+             "path": "a1.rtp"},
+            {"op": "register", "device": "a", "version": "2",
+             "path": "a2.rtp"},
+            {"op": "retire", "device": "a", "version": "2"},
+        ])
+        assert [(e["version"], e["retired"]) for e in manifest] == [
+            ("1", False), ("2", True)]
+
+    def test_retire_of_unknown_key_is_corruption(self):
+        with pytest.raises(JournalError, match="never registered"):
+            StateJournal.manifest_from_ops([
+                {"op": "retire", "device": "ghost", "version": "1"},
+            ])

@@ -153,6 +153,176 @@ class TestRetryPaths:
         assert MAX_RETRIES == original
 
 
+class TestSeededBackoff:
+    """RetryBackoff: replayable jitter, Retry-After floor, cap."""
+
+    def test_same_seed_replays_the_same_delays(self):
+        import numpy as np
+
+        from repro.service import RetryBackoff
+
+        first = RetryBackoff(np.random.SeedSequence(42))
+        second = RetryBackoff(np.random.SeedSequence(42))
+        for attempt in range(10):
+            assert first.next_delay(attempt) == second.next_delay(attempt)
+        assert first.delays == second.delays
+
+    def test_different_clients_desynchronize(self):
+        import numpy as np
+
+        from repro.service import RetryBackoff
+
+        children = np.random.SeedSequence(42).spawn(2)
+        a = RetryBackoff(children[0])
+        b = RetryBackoff(children[1])
+        assert [a.next_delay(i) for i in range(5)] != [
+            b.next_delay(i) for i in range(5)]
+
+    def test_exponential_with_jitter_under_cap(self):
+        import numpy as np
+
+        from repro.service import RetryBackoff
+        from repro.service.loadgen import BACKOFF_CAP, BACKOFF_SECONDS
+
+        backoff = RetryBackoff(np.random.SeedSequence(7))
+        for attempt in range(20):
+            delay = backoff.next_delay(attempt)
+            base = min(BACKOFF_CAP, BACKOFF_SECONDS * 2.0 ** attempt)
+            assert 0.75 * base <= delay < 1.25 * base
+        # Deep attempts never exceed the jittered cap.
+        assert max(backoff.delays) < BACKOFF_CAP * 1.25
+
+    def test_retry_after_floors_the_sleep(self):
+        import numpy as np
+
+        from repro.service import RetryBackoff
+
+        backoff = RetryBackoff(np.random.SeedSequence(3))
+        # Attempt 0's jittered exponential is ~20ms; the server said 2s.
+        assert backoff.next_delay(0, retry_after=2.0) == 2.0
+        # A floor below the local guess changes nothing.
+        delay = backoff.next_delay(9, retry_after=0.001)
+        assert delay > 0.001
+
+    def test_parse_retry_after_degrades_on_garbage(self):
+        from repro.service.loadgen import parse_retry_after
+
+        assert parse_retry_after({"retry-after": "1"}) == 1.0
+        assert parse_retry_after({"retry-after": "0.25"}) == 0.25
+        assert parse_retry_after({}) is None
+        assert parse_retry_after({"retry-after": "soon"}) is None
+        assert parse_retry_after({"retry-after": "-3"}) is None
+
+
+class TestRetryReplayability:
+    """The realized retry schedule is a pure function of the run seed."""
+
+    @staticmethod
+    def _raw_503_handler(fail_503):
+        """N raw 503s (no Retry-After -- pure local backoff), then 200s."""
+        state = {"n_503": 0}
+
+        async def handle(reader, writer):
+            try:
+                while True:
+                    request = await _read_request(reader)
+                    if request is None:
+                        return
+                    _, _, _, _, body = request
+                    payload = _json_body(body)
+                    if state["n_503"] < fail_503:
+                        state["n_503"] += 1
+                        reply = b'{"error": "respawning"}'
+                        writer.write(
+                            b"HTTP/1.1 503 Service Unavailable\r\n"
+                            b"Content-Type: application/json\r\n"
+                            b"Content-Length: "
+                            + str(len(reply)).encode()
+                            + b"\r\nConnection: keep-alive\r\n\r\n"
+                            + reply)
+                        await writer.drain()
+                        continue
+                    decisions = [1] * len(payload["measurements"])
+                    await _write_response(
+                        writer, 200, {"decisions": decisions}, True)
+            except (ConnectionError, asyncio.IncompleteReadError):
+                pass
+
+        return handle, state
+
+    def _run(self, fail_503):
+        handler, _ = self._raw_503_handler(fail_503)
+
+        async def scenario(port):
+            return await run_load(
+                "127.0.0.1", port, [_plan()], n_clients=1, seed=11
+            )
+
+        return run_with_stub(scenario, handler)
+
+    def test_identical_runs_replay_identical_delays(self):
+        import numpy as np
+
+        first = self._run(fail_503=3)
+        second = self._run(fail_503=3)
+        assert first.retry_delays is not None
+        assert len(first.retry_delays) == 3
+        np.testing.assert_array_equal(first.retry_delays,
+                                      second.retry_delays)
+        # And the decisions replayed bit-identically too.
+        np.testing.assert_array_equal(first.plans[0].decisions,
+                                      second.plans[0].decisions)
+
+    def test_clean_run_records_no_delays(self):
+        report = self._run(fail_503=0)
+        assert report.n_retried == 0
+        assert len(report.retry_delays) == 0
+
+    def test_server_retry_after_floors_the_realized_delays(self):
+        # A raw 503 carrying an explicit Retry-After must floor every
+        # backoff sleep at the server's schedule, not the local guess.
+        state = {"n_503": 0}
+        floor_s = 0.09
+
+        async def handle(reader, writer):
+            try:
+                while True:
+                    request = await _read_request(reader)
+                    if request is None:
+                        return
+                    _, _, _, _, body = request
+                    payload = _json_body(body)
+                    if state["n_503"] < 2:
+                        state["n_503"] += 1
+                        reply = b'{"error": "respawning"}'
+                        writer.write(
+                            b"HTTP/1.1 503 Service Unavailable\r\n"
+                            b"Content-Type: application/json\r\n"
+                            b"Content-Length: "
+                            + str(len(reply)).encode()
+                            + b"\r\nRetry-After: "
+                            + str(floor_s).encode()
+                            + b"\r\nConnection: keep-alive\r\n\r\n"
+                            + reply)
+                        await writer.drain()
+                        continue
+                    decisions = [1] * len(payload["measurements"])
+                    await _write_response(
+                        writer, 200, {"decisions": decisions}, True)
+            except (ConnectionError, asyncio.IncompleteReadError):
+                pass
+
+        async def scenario(port):
+            return await run_load(
+                "127.0.0.1", port, [_plan(8)], n_clients=1, seed=2
+            )
+
+        report = run_with_stub(scenario, handle)
+        assert state["n_503"] == 2
+        assert len(report.retry_delays) == 2
+        assert all(delay >= floor_s for delay in report.retry_delays)
+
+
 @pytest.mark.slow
 class TestKilledWorkerLive:
     def test_worker_kill_mid_load_retries_and_stays_equivalent(

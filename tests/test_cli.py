@@ -143,9 +143,16 @@ class TestServeLoadgenParser:
         assert args.port == 8731
         assert args.max_batch == 512
 
-    def test_serve_requires_an_artifact(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["serve"])
+    def test_serve_requires_an_artifact_or_state_dir(self, capsys):
+        # The parser accepts a bare `serve` (a --state-dir restart can
+        # boot purely from the journal), but the command itself refuses
+        # to start with nothing to serve and no journal to replay.
+        args = build_parser().parse_args(["serve"])
+        assert args.artifact is None
+        assert args.state_dir is None
+        assert main(["serve"]) == 2
+        err = capsys.readouterr().err
+        assert "--artifact" in err and "--state-dir" in err
 
     def test_serve_worker_defaults_and_overrides(self):
         args = build_parser().parse_args(
